@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables, figures or in-text
+numerical claims (see DESIGN.md section 4 for the experiment index and
+EXPERIMENTS.md for the recorded paper-vs-measured values).  Benchmarks use a
+fixed random seed so that the reported numbers are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for Monte-Carlo benchmarks."""
+    return np.random.default_rng(20240614)
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Render a small ASCII table (used by benchmarks to print paper-style rows)."""
+    widths = [
+        max(len(str(header)), max((len(str(row[i])) for row in rows), default=0))
+        for i, header in enumerate(headers)
+    ]
+    def render_row(values):
+        return "  ".join(str(value).ljust(width) for value, width in zip(values, widths))
+
+    lines = [render_row(headers), render_row(["-" * width for width in widths])]
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)

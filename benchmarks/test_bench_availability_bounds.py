@@ -1,0 +1,101 @@
+"""Benchmarks for the availability lower bounds (Propositions 4.3-4.5).
+
+Checks, on systems small enough for exact computation, that the true crash
+probability dominates all three lower bounds, and runs the exact-vs-
+Monte-Carlo ablation: the two estimators must agree within the Monte-Carlo
+confidence interval on every system tested.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import format_table
+
+from repro import (
+    MGrid,
+    RecursiveThreshold,
+    exact_failure_probability,
+    masking_threshold,
+    monte_carlo_failure_probability,
+)
+from repro.core.bounds import crash_probability_lower_bound_for_system
+from repro.constructions.threshold import ThresholdQuorumSystem, boosting_block
+
+
+def test_propositions_4_3_to_4_5(benchmark):
+    """Fp >= p^(f+1), p^(c-2b), p^(b+1) on exactly-computable systems."""
+    systems = [
+        masking_threshold(13, 3),
+        ThresholdQuorumSystem(9, 7),
+        boosting_block(2),
+        RecursiveThreshold(4, 3, 2),
+    ]
+    probabilities = (0.1, 0.2, 0.35)
+
+    def evaluate():
+        results = []
+        for system in systems:
+            for p in probabilities:
+                exact = exact_failure_probability(system, p).value
+                bound = crash_probability_lower_bound_for_system(system, p)
+                results.append((system.name, p, exact, bound))
+        return results
+
+    results = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    for name, p, exact, bound in results:
+        assert exact >= bound - 1e-12, (name, p)
+
+    rows = [[name, p, f"{exact:.3e}", f"{bound:.3e}"] for name, p, exact, bound in results]
+    print("\nExact Fp vs the strongest Section 4.1 lower bound:")
+    print(format_table(["system", "p", "exact Fp", "lower bound"], rows))
+
+
+def test_ablation_exact_vs_monte_carlo(benchmark, rng):
+    """Ablation: Monte-Carlo Fp agrees with exact enumeration on small systems."""
+    systems = [
+        masking_threshold(13, 3),
+        RecursiveThreshold(4, 3, 2),
+        MGrid(4, 1).to_explicit(),
+    ]
+    p = 0.2
+
+    def run_monte_carlo():
+        return [
+            (system, monte_carlo_failure_probability(system, p, trials=20_000, rng=rng))
+            for system in systems
+        ]
+
+    estimates = benchmark.pedantic(run_monte_carlo, rounds=1, iterations=1)
+    rows = []
+    for system, estimate in estimates:
+        exact = exact_failure_probability(system, p).value
+        low, high = estimate.confidence_interval(z=4.0)
+        assert low <= exact <= high
+        rows.append([system.name, f"{exact:.4f}", f"{estimate.value:.4f}", f"{estimate.std_error:.4f}"])
+
+    print("\nAblation: exact enumeration vs Monte-Carlo (p = 0.2, 20k trials):")
+    print(format_table(["system", "exact", "monte-carlo", "std err"], rows))
+
+
+def test_condorcet_threshold_families(benchmark):
+    """Threshold-style families are Condorcet: Fp -> 0 for p < 1/2, -> 1 for p > 1/2."""
+
+    def evaluate():
+        sizes = (9, 25, 49, 81, 121)
+        below = [masking_threshold(n, 1).crash_probability(0.35) for n in sizes]
+        above = [masking_threshold(n, 1).crash_probability(0.65) for n in sizes]
+        return below, above
+
+    below, above = benchmark(evaluate)
+    assert below == sorted(below, reverse=True)
+    assert below[-1] < 0.05
+    assert above == sorted(above)
+    assert above[-1] > 0.95
+
+    print("\nCondorcet behaviour of the Threshold family:")
+    print(format_table(
+        ["n", "Fp at p=0.35", "Fp at p=0.65"],
+        [[n, f"{b:.4f}", f"{a:.4f}"] for n, b, a in zip((9, 25, 49, 81, 121), below, above)],
+    ))

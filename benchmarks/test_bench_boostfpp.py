@@ -1,0 +1,111 @@
+"""Benchmarks for boostFPP (Section 6).
+
+Reproduces Proposition 6.2 (load ~ 3/(4q), optimal for every q and b), the
+two scaling policies discussed after it, and Proposition 6.3 (availability
+``(q+1) exp(-b(1-4p)^2/2)`` for ``p < 1/4``, collapsing above 1/4).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from conftest import format_table
+
+from repro import BoostedFPP, load_lower_bound
+
+
+def test_proposition_6_2_load(benchmark):
+    """Load ~ 3/(4q) and within a constant of the Corollary 4.2 bound, for every (q, b)."""
+    cases = [(2, 2), (3, 2), (3, 19), (4, 5), (5, 10), (7, 8)]
+
+    def evaluate():
+        rows = []
+        for q, b in cases:
+            system = BoostedFPP(q, b)
+            rows.append(
+                (q, b, system.n, system.load(), 3 / (4 * q), load_lower_bound(system.n, b))
+            )
+        return rows
+
+    rows = benchmark(evaluate)
+    for q, b, n, load, approximation, bound in rows:
+        assert load == pytest.approx(approximation, rel=0.25)
+        assert bound - 1e-12 <= load <= 1.8 * bound
+
+    print("\nboostFPP load vs 3/(4q) and the Corollary 4.2 bound:")
+    print(format_table(
+        ["q", "b", "n", "L", "3/(4q)", "sqrt((2b+1)/n)"],
+        [[q, b, n, f"{l:.3f}", f"{a:.3f}", f"{lb:.3f}"] for q, b, n, l, a, lb in rows],
+    ))
+
+
+def test_scaling_policies(benchmark):
+    """The two Section 6 scaling policies: grow b at fixed q, or grow q at fixed b."""
+
+    def evaluate():
+        fixed_q = [(b, BoostedFPP(3, b)) for b in (1, 4, 16, 64)]
+        fixed_b = [(q, BoostedFPP(q, 4)) for q in (2, 3, 4, 5, 7, 8)]
+        return fixed_q, fixed_b
+
+    fixed_q, fixed_b = benchmark(evaluate)
+
+    # Policy 1: masking grows, load stays ~ 3/(4q).
+    masking = [system.masking_bound() for _, system in fixed_q]
+    loads_q = [system.load() for _, system in fixed_q]
+    assert masking == sorted(masking)
+    assert max(loads_q) - min(loads_q) < 0.03
+
+    # Policy 2: load shrinks like 1/q, masking stays b.
+    loads_b = [system.load() for _, system in fixed_b]
+    assert loads_b == sorted(loads_b, reverse=True)
+    assert all(system.masking_bound() == 4 for _, system in fixed_b)
+
+    print("\nScaling policy 1 (fix q = 3, grow b):")
+    print(format_table(
+        ["b", "n", "masks", "L"],
+        [[b, s.n, s.masking_bound(), f"{s.load():.3f}"] for b, s in fixed_q],
+    ))
+    print("\nScaling policy 2 (fix b = 4, grow q):")
+    print(format_table(
+        ["q", "n", "masks", "L"],
+        [[q, s.n, s.masking_bound(), f"{s.load():.3f}"] for q, s in fixed_b],
+    ))
+
+
+def test_proposition_6_3_availability(benchmark):
+    """Fp <= (q+1) exp(-b(1-4p)^2/2) below p = 1/4; collapse above it."""
+
+    def evaluate():
+        below = []
+        for b in (2, 5, 10, 20, 40):
+            system = BoostedFPP(3, b)
+            below.append(
+                (
+                    b,
+                    system.crash_probability(0.125),
+                    system.crash_probability_chernoff_bound(0.125),
+                )
+            )
+        above = [BoostedFPP(3, b).crash_probability(0.3) for b in (2, 10, 40)]
+        return below, above
+
+    below, above = benchmark(evaluate)
+    for b, composed, chernoff in below:
+        assert composed <= chernoff + 1e-12
+    # Availability improves exponentially with b below the threshold...
+    estimates = [composed for _, composed, _ in below]
+    assert estimates == sorted(estimates, reverse=True)
+    assert estimates[-1] < 1e-4
+    # ...and collapses above p = 1/4 (the remark after Proposition 6.3).
+    assert above == sorted(above)
+    assert above[-1] > 0.99
+
+    print("\nboostFPP availability below the 1/4 threshold (p = 0.125):")
+    print(format_table(
+        ["b", "Fp (composed estimate)", "(q+1)exp(-b(1-4p)^2/2)"],
+        [[b, f"{c:.3e}", f"{ch:.3e}"] for b, c, ch in below],
+    ))
+    print(f"\nAbove the threshold (p = 0.3) Fp climbs to {above[-1]:.3f} as b grows.")

@@ -1,0 +1,125 @@
+"""Benchmark for the composition algebra (Definition 4.6, Theorem 4.7).
+
+Verifies, with timings, the full Theorem 4.7 table on concrete compositions:
+the combinatorial parameters multiply, the load multiplies, and the crash
+probability functions compose — checked both through the closed-form algebra
+and by brute force on the materialised composed system.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import format_table
+
+from repro import (
+    RegularGrid,
+    ThresholdQuorumSystem,
+    boost_masking,
+    compose,
+    exact_failure_probability,
+    exact_load,
+    majority,
+    self_compose,
+)
+
+
+def test_theorem_4_7_algebra(benchmark):
+    """Parameters / load / Fp of S∘R vs the products of the component values."""
+    pairs = [
+        (majority(3), ThresholdQuorumSystem(4, 3)),
+        (ThresholdQuorumSystem(4, 3), majority(3)),
+        (majority(5), majority(3)),
+    ]
+    p = 0.15
+
+    def evaluate():
+        rows = []
+        for outer, inner in pairs:
+            composed = compose(outer, inner)
+            explicit = composed.to_explicit()
+            rows.append(
+                (
+                    composed.name,
+                    (composed.min_quorum_size(), explicit.min_quorum_size()),
+                    (composed.min_intersection_size(), explicit.min_intersection_size()),
+                    (composed.min_transversal_size(), explicit.min_transversal_size()),
+                    (composed.load(), exact_load(explicit).load),
+                    (
+                        composed.crash_probability(p),
+                        exact_failure_probability(explicit, p).value,
+                    ),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    for name, c_pair, is_pair, mt_pair, load_pair, fp_pair in rows:
+        assert c_pair[0] == c_pair[1]
+        assert is_pair[0] == is_pair[1]
+        assert mt_pair[0] == mt_pair[1]
+        assert load_pair[0] == pytest.approx(load_pair[1], abs=1e-6)
+        assert fp_pair[0] == pytest.approx(fp_pair[1], abs=1e-9)
+
+    printable = [
+        [name, f"{c[0]}", f"{i[0]}", f"{m[0]}", f"{l[0]:.3f}", f"{f[0]:.4f}"]
+        for name, c, i, m, l, f in rows
+    ]
+    print("\nTheorem 4.7 (algebraic = brute force on the composed system):")
+    print(format_table(["composition", "c", "IS", "MT", "L", "Fp(0.15)"], printable))
+
+
+def test_boosting_transform(benchmark):
+    """Section 6's boosting: every regular input becomes b-masking, at 3/4 of the load cost."""
+    regular_inputs = [majority(5), RegularGrid(3), majority(7)]
+    b = 1
+
+    def evaluate():
+        results = []
+        for regular in regular_inputs:
+            boosted = boost_masking(regular, b)
+            results.append((regular, boosted))
+        return results
+
+    results = benchmark(evaluate)
+    rows = []
+    for regular, boosted in results:
+        assert boosted.is_b_masking(b)
+        assert boosted.n == regular.n * 5
+        assert boosted.load() == pytest.approx(regular.load() * 0.8, abs=1e-9)
+        rows.append(
+            [regular.name, boosted.n, boosted.min_intersection_size(),
+             boosted.min_transversal_size(), f"{boosted.load():.3f}"]
+        )
+
+    print(f"\nBoosting regular systems into {b}-masking systems (4-of-5 blocks):")
+    print(format_table(["input", "boosted n", "IS", "MT", "L"], rows))
+
+
+def test_recursive_composition_scaling(benchmark):
+    """Self-composition drives IS and MT up exponentially (the RT idea)."""
+    block = ThresholdQuorumSystem(4, 3)
+
+    def evaluate():
+        return [
+            (
+                depth,
+                self_compose(block, depth).min_intersection_size(),
+                self_compose(block, depth).min_transversal_size(),
+                self_compose(block, depth).load(),
+            )
+            for depth in (1, 2, 3, 4, 5)
+        ]
+
+    rows = benchmark(evaluate)
+    for depth, intersection, transversal, load in rows:
+        assert intersection == 2 ** depth
+        assert transversal == 2 ** depth
+        assert load == pytest.approx(0.75 ** depth)
+
+    print("\nSelf-composition of the 3-of-4 block (Theorem 4.7 applied recursively):")
+    print(format_table(
+        ["depth", "IS", "MT", "L"],
+        [[d, i, t, f"{l:.4f}"] for d, i, t, l in rows],
+    ))

@@ -1,0 +1,83 @@
+"""Benchmarks regenerating Figures 1-3: the construction instances the paper draws.
+
+Figure 1 — M-Grid on a 7x7 grid with b = 3 (one quorum = 2 rows + 2 columns).
+Figure 2 — RT(4, 3) of depth 2 (one quorum = 3-of-4 applied twice).
+Figure 3 — M-Path on a 9x9 triangulated grid with b = 4 (3 LR + 3 TB paths).
+
+Each benchmark times the construction and one quorum draw, verifies the
+parameters stated in the surrounding text, and emits an ASCII rendering of a
+sample quorum analogous to the shaded quorums in the figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MGrid, MPath, RecursiveThreshold
+from repro.constructions.grid import render_grid_quorum
+
+
+def test_figure1_mgrid(benchmark, rng):
+    """Figure 1: the 7x7 M-Grid with b = 3 and one shaded quorum."""
+
+    def build_and_sample():
+        system = MGrid(7, 3)
+        return system, system.sample_quorum(rng)
+
+    system, quorum = benchmark(build_and_sample)
+
+    assert system.n == 49
+    assert system.k == 2                      # sqrt(b+1) rows and columns
+    assert system.masking_bound() == 3
+    assert len(quorum) == system.min_quorum_size() == 24
+
+    zero_based = frozenset(quorum)
+    picture = render_grid_quorum(7, zero_based)
+    assert picture.count("#") == 24
+    print("\nFigure 1 (M-Grid, n=7x7, b=3), one quorum shaded:\n" + picture)
+
+
+def test_figure2_rt43(benchmark, rng):
+    """Figure 2: RT(4, 3) of depth 2 with one shaded quorum."""
+
+    def build_and_sample():
+        system = RecursiveThreshold(4, 3, 2)
+        return system, system.sample_quorum(rng)
+
+    system, quorum = benchmark(build_and_sample)
+
+    assert system.n == 16
+    assert system.min_quorum_size() == 9      # 3-of-4 recursively: 3^2 leaves
+    assert system.num_quorums() == 256
+    assert len(quorum) == 9
+
+    # Render the recursion: 4 groups of 4 leaves, chosen leaves marked '#'.
+    groups = []
+    for group_index in range(4):
+        leaves = range(group_index * 4, (group_index + 1) * 4)
+        groups.append("".join("#" if leaf in quorum else "." for leaf in leaves))
+    picture = " | ".join(groups)
+    assert picture.count("#") == 9
+    print("\nFigure 2 (RT(4,3), depth 2), one quorum shaded (3 of 4 groups, "
+          "3 of 4 leaves each):\n" + picture)
+
+
+def test_figure3_mpath(benchmark, rng):
+    """Figure 3: M-Path on a 9x9 triangulated grid with b = 4."""
+
+    def build_and_sample():
+        system = MPath(9, 4)
+        return system, system.sample_quorum(rng)
+
+    system, quorum = benchmark(build_and_sample)
+
+    assert system.n == 81
+    assert system.k == 3                      # sqrt(2b+1) paths per direction
+    assert system.masking_bound() == 4
+    assert system.min_intersection_size() >= 2 * 4 + 1
+
+    # Render on the lattice coordinates (1-based (i, j) -> row-major picture).
+    zero_based = frozenset((j - 1, i - 1) for (i, j) in quorum)
+    picture = render_grid_quorum(9, zero_based)
+    assert picture.count("#") == len(quorum)
+    print("\nFigure 3 (M-Path, n=9x9, b=4), one straight-line quorum shaded:\n" + picture)

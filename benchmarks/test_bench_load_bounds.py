@@ -1,0 +1,128 @@
+"""Benchmarks for the load lower bound (Theorem 4.1 / Corollary 4.2).
+
+Reproduces the in-text claims that M-Grid, boostFPP and M-Path are load
+optimal (within a constant of ``sqrt((2b+1)/n)``) while Threshold and RT are
+not, and runs the LP-vs-closed-form ablation on every fair construction: the
+exact linear program must agree with the Proposition 3.9 value ``c/n`` to
+numerical precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import format_table
+
+from repro import (
+    BoostedFPP,
+    MGrid,
+    MPath,
+    RecursiveThreshold,
+    exact_load,
+    load_lower_bound,
+    masking_threshold,
+)
+from repro.constructions.grid import MaskingGrid
+
+
+def _load_table(n_side: int = 16):
+    """Build all six constructions near n = n_side^2 and tabulate load vs bound."""
+    n = n_side * n_side
+    entries = []
+    systems = [
+        ("Threshold", masking_threshold(n, (n - 1) // 4), (n - 1) // 4),
+        ("Threshold b=1", masking_threshold(n, 1), 1),
+        ("Grid", MaskingGrid(n_side, (n_side - 1) // 3), (n_side - 1) // 3),
+        ("M-Grid", MGrid(n_side, (n_side - 1) // 2), (n_side - 1) // 2),
+        ("RT(4,3)", RecursiveThreshold(4, 3, 4), RecursiveThreshold(4, 3, 4).masking_bound()),
+        ("boostFPP", BoostedFPP(3, (n // 13 - 1) // 4), (n // 13 - 1) // 4),
+        ("M-Path", MPath(n_side, 7), 7),
+    ]
+    for name, system, b in systems:
+        bound = load_lower_bound(system.n, b)
+        entries.append((name, system, b, system.load(), bound, system.load() / bound))
+    return entries
+
+
+def test_load_vs_corollary_4_2(benchmark):
+    """Every construction's load against the universal lower bound."""
+    entries = benchmark(_load_table, 16)
+
+    ratios = {name: ratio for name, _, _, _, _, ratio in entries}
+    # Load-optimal systems: within a small constant of the bound.
+    assert ratios["M-Grid"] <= 2.0
+    assert ratios["boostFPP"] <= 1.6
+    assert ratios["M-Path"] <= 2.0
+    # The remark after Corollary 4.2: Threshold is close to optimal when
+    # b = Omega(n), but far from optimal for small b (its load never drops
+    # below 1/2 while the bound shrinks like 1/sqrt(n)).
+    assert ratios["Threshold"] <= 1.2
+    assert ratios["Threshold b=1"] > 3.0
+    # The bound itself is never violated.
+    for _, system, b, load, bound, _ in entries:
+        assert load >= bound - 1e-12
+
+    rows = [
+        [name, system.n, b, f"{load:.3f}", f"{bound:.3f}", f"{ratio:.2f}"]
+        for name, system, b, load, bound, ratio in entries
+    ]
+    print("\nLoad vs Corollary 4.2 lower bound (n ~ 256):")
+    print(format_table(["system", "n", "b", "L", "sqrt((2b+1)/n)", "ratio"], rows))
+
+
+def test_ablation_lp_vs_fair_closed_form(benchmark):
+    """Ablation: the exact LP equals Proposition 3.9's c/n on every fair system."""
+    systems = [
+        masking_threshold(13, 3),
+        MGrid(7, 3),
+        RecursiveThreshold(4, 3, 2),
+        BoostedFPP(2, 1).to_explicit(),
+        MaskingGrid(5, 1),
+    ]
+
+    def run_lps():
+        return [(system, exact_load(system).load) for system in systems]
+
+    results = benchmark(run_lps)
+    rows = []
+    for system, lp_value in results:
+        closed_form = system.min_quorum_size() / system.n
+        assert lp_value == pytest.approx(closed_form, abs=1e-6)
+        rows.append([system.name, system.n, f"{lp_value:.4f}", f"{closed_form:.4f}"])
+
+    print("\nAblation: LP-exact load vs Proposition 3.9 closed form:")
+    print(format_table(["system", "n", "LP", "c/n"], rows))
+
+
+def test_theorem_4_1_both_branches(benchmark):
+    """Theorem 4.1's two branches: (2b+1)/c binds for small quorums, c/n for large ones."""
+
+    def evaluate():
+        small_quorums = masking_threshold(64, 1)         # c ~ n/2: c/n branch binds
+        large_quorums = masking_threshold(64, 15)        # c ~ 3n/4, b large: both high
+        values = []
+        for system, b in ((small_quorums, 1), (large_quorums, 15)):
+            c = system.min_quorum_size()
+            values.append(
+                (
+                    system.name,
+                    load_lower_bound(system.n, b, quorum_size=c),
+                    (2 * b + 1) / c,
+                    c / system.n,
+                    system.load(),
+                )
+            )
+        return values
+
+    values = benchmark(evaluate)
+    for name, bound, intersection_branch, size_branch, load in values:
+        assert bound == pytest.approx(max(intersection_branch, size_branch))
+        assert load >= bound - 1e-12
+
+    rows = [
+        [name, f"{bound:.3f}", f"{ib:.3f}", f"{sb:.3f}", f"{load:.3f}"]
+        for name, bound, ib, sb, load in values
+    ]
+    print("\nTheorem 4.1 branches ((2b+1)/c vs c/n):")
+    print(format_table(["system", "bound", "(2b+1)/c", "c/n", "actual L"], rows))

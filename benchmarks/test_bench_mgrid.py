@@ -1,0 +1,82 @@
+"""Benchmarks for the M-Grid construction (Section 5.1).
+
+Reproduces Proposition 5.2 (optimal load ~ 2 sqrt((b+1)/n)) across a sweep of
+grid sizes and the Section 5.1 availability warning: the crash probability is
+bounded below by ``(1 - (1-p)^sqrt(n))^sqrt(n)`` and climbs to one as the
+grid grows.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from conftest import format_table
+
+from repro import MGrid, load_lower_bound
+
+
+def test_proposition_5_2_load_sweep(benchmark):
+    """Load of M-Grid across grid sizes, against the Corollary 4.2 bound."""
+    cases = [(7, 3), (10, 3), (16, 7), (20, 9), (32, 15)]
+
+    def evaluate():
+        rows = []
+        for side, b in cases:
+            system = MGrid(side, b)
+            approximation = 2 * math.sqrt(b + 1) / side
+            rows.append(
+                (side, b, system.load(), approximation, load_lower_bound(system.n, b))
+            )
+        return rows
+
+    rows = benchmark(evaluate)
+    for side, b, load, approximation, bound in rows:
+        # Proposition 5.2: L ~ 2 sqrt(b+1)/sqrt(n); the exact value is the
+        # fair-system c/n, which deviates from the approximation only through
+        # the integrality of ceil(sqrt(b+1)) and the row/column overlap.
+        assert 0.6 * approximation <= load <= 1.35 * approximation
+        # Optimality: within sqrt(2) (plus integrality) of the lower bound.
+        assert load <= 2.0 * bound
+
+    print("\nM-Grid load vs the 2 sqrt((b+1)/n) approximation and the lower bound:")
+    print(format_table(
+        ["side", "b", "L", "2 sqrt(b+1)/sqrt(n)", "sqrt((2b+1)/n)"],
+        [[s, b, f"{l:.3f}", f"{a:.3f}", f"{lb:.3f}"] for s, b, l, a, lb in rows],
+    ))
+
+
+def test_mgrid_availability_degrades(benchmark, rng):
+    """Fp(M-Grid) -> 1: the lower bound and the Monte-Carlo estimate both climb with n."""
+    p = 0.15
+    sides = (6, 10, 16, 24)
+
+    def evaluate():
+        rows = []
+        for side in sides:
+            system = MGrid(side, 1)
+            rows.append(
+                (
+                    side,
+                    system.crash_probability_lower_bound(p),
+                    system.crash_probability(p, trials=4000, rng=rng),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    bounds = [bound for _, bound, _ in rows]
+    estimates = [estimate for _, _, estimate in rows]
+    assert bounds == sorted(bounds)
+    assert estimates[-1] > estimates[0]
+    assert estimates[-1] > 0.9
+    for _, bound, estimate in rows:
+        assert estimate >= bound - 0.03
+
+    print(f"\nM-Grid crash probability grows with n (p = {p}):")
+    print(format_table(
+        ["side", "lower bound", "monte-carlo"],
+        [[side, f"{bound:.3f}", f"{estimate:.3f}"] for side, bound, estimate in rows],
+    ))

@@ -1,0 +1,133 @@
+"""Benchmarks for the recursive threshold systems (Section 5.2).
+
+Reproduces Proposition 5.5 (load ``n^-(1 - log_k l)``), Proposition 5.6 (the
+critical probability of the crash recurrence, 0.2324 for RT(4,3)) and
+Proposition 5.7 (the doubly exponential decay ``Fp < (6p)^sqrt(n)`` for
+``p < 1/6``), plus the depth sweep showing the sharp threshold behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from conftest import format_table
+
+from repro import RecursiveThreshold
+
+
+def test_proposition_5_5_load_exponent(benchmark):
+    """L(RT(4,3)) = n^-0.2075; compare against the optimal n^-0.25 at its b."""
+
+    def evaluate():
+        rows = []
+        for depth in (2, 3, 4, 5):
+            system = RecursiveThreshold(4, 3, depth)
+            exponent = -math.log(system.load()) / math.log(system.n)
+            optimal_exponent = -math.log(
+                math.sqrt((2 * system.masking_bound() + 1) / system.n)
+            ) / math.log(system.n)
+            rows.append((depth, system.n, system.load(), exponent, optimal_exponent))
+        return rows
+
+    rows = benchmark(evaluate)
+    for depth, n, load, exponent, optimal_exponent in rows:
+        assert load == pytest.approx((3 / 4) ** depth)
+        assert exponent == pytest.approx(1 - math.log(3, 4), abs=1e-9)
+        # The remark after Proposition 5.5: the exponent is worse (smaller)
+        # than the optimal ~0.25 achievable at this masking level.
+        assert exponent < optimal_exponent
+
+    print("\nRT(4,3) load exponent vs the optimal exponent at its masking level:")
+    print(format_table(
+        ["depth", "n", "L", "-log_n L", "optimal"],
+        [[d, n, f"{l:.4f}", f"{e:.4f}", f"{o:.4f}"] for d, n, l, e, o in rows],
+    ))
+
+
+def test_proposition_5_6_critical_probability(benchmark):
+    """The RT(4,3) recurrence has its fixed point at 0.2324 and behaves sharply around it."""
+
+    def evaluate():
+        system = RecursiveThreshold(4, 3, 6)
+        critical = system.critical_probability()
+        below = [RecursiveThreshold(4, 3, h).crash_probability(critical - 0.04) for h in range(1, 7)]
+        above = [RecursiveThreshold(4, 3, h).crash_probability(critical + 0.04) for h in range(1, 7)]
+        return critical, below, above
+
+    critical, below, above = benchmark(evaluate)
+    assert critical == pytest.approx(0.2324, abs=5e-4)
+    assert below == sorted(below, reverse=True)
+    assert below[-1] < 1e-2
+    assert above == sorted(above)
+    assert above[-1] > 0.6
+
+    print(f"\nRT(4,3) critical probability: {critical:.4f} (paper: 0.2324)")
+    print(format_table(
+        ["depth", f"Fp at pc-0.04", f"Fp at pc+0.04"],
+        [[h + 1, f"{b:.4f}", f"{a:.4f}"] for h, (b, a) in enumerate(zip(below, above))],
+    ))
+
+
+def test_proposition_5_7_decay_bound(benchmark):
+    """Fp(RT(4,3)) < (6p)^sqrt(n) for p < 1/6, and the exact recurrence is optimal-shaped."""
+    p = 0.1
+
+    def evaluate():
+        rows = []
+        for depth in (1, 2, 3, 4, 5):
+            system = RecursiveThreshold(4, 3, depth)
+            exact = system.crash_probability(p)
+            upper = system.crash_probability_upper_bound(p)
+            lower = p ** system.min_transversal_size()
+            rows.append((depth, system.n, exact, upper, lower))
+        return rows
+
+    rows = benchmark(evaluate)
+    for depth, n, exact, upper, lower in rows:
+        assert lower - 1e-15 <= exact <= upper + 1e-15
+        assert upper == pytest.approx((6 * p) ** (2 ** depth))
+
+    print(f"\nRT(4,3) crash probability vs the Proposition 5.7 bound (p = {p}):")
+    print(format_table(
+        ["depth", "n", "exact Fp", "(6p)^(2^h)", "p^MT (lower bd)"],
+        [[d, n, f"{e:.3e}", f"{u:.3e}", f"{l:.3e}"] for d, n, e, u, l in rows],
+    ))
+
+
+def test_rt_variants(benchmark):
+    """Other (k, l) choices: RT(3,2) (HQS) and RT(5,4) behave per Proposition 5.3."""
+
+    def evaluate():
+        rows = []
+        for k, l, depth in ((3, 2, 4), (5, 4, 3), (4, 3, 4)):
+            system = RecursiveThreshold(k, l, depth)
+            rows.append(
+                (
+                    f"RT({k},{l}) h={depth}",
+                    system.n,
+                    system.min_quorum_size(),
+                    system.min_intersection_size(),
+                    system.min_transversal_size(),
+                    system.masking_bound(),
+                    system.critical_probability(),
+                )
+            )
+        return rows
+
+    rows = benchmark(evaluate)
+    by_name = {row[0]: row for row in rows}
+    # Proposition 5.3 closed forms.
+    assert by_name["RT(3,2) h=4"][2:5] == (2 ** 4, 1, 2 ** 4)
+    assert by_name["RT(5,4) h=3"][2:5] == (4 ** 3, 3 ** 3, 2 ** 3)
+    # RT(3,2) is a regular (non-masking) family; RT(5,4) masks plenty.
+    assert by_name["RT(3,2) h=4"][5] == 0
+    assert by_name["RT(5,4) h=3"][5] == 7
+
+    print("\nRT(k,l) family (Proposition 5.3 parameters and critical points):")
+    print(format_table(
+        ["system", "n", "c", "IS", "MT", "b", "pc"],
+        [[name, n, c, i, m, b, f"{pc:.3f}"] for name, n, c, i, m, b, pc in rows],
+    ))

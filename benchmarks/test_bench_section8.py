@@ -1,0 +1,78 @@
+"""Benchmark regenerating the Section 8 worked example.
+
+Paper (Section 8): with n ~ 1024 servers, a target load of about 1/4 and
+per-server crash probability p = 1/8,
+
+* M-Grid      masks b = 15, survives f = 28 crashes, but Fp >= 0.638;
+* boostFPP    (q = 3, n = 1001) masks b = 19, f = 79, Fp <= 0.372;
+* M-Path      (4 LR + 4 TB paths) masks b = 7, f ~ 29, Fp <= 0.001;
+* RT(4,3) h=5 masks b = 15, f = 31, Fp <= 0.0001.
+
+The benchmark rebuilds the same four instances, recomputes each quantity and
+checks the ordering the paper's discussion relies on (who has the best
+availability, who masks the most, who is the all-round winner).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import format_table
+
+from repro.analysis import section8_comparison
+
+
+def test_section8_worked_example(benchmark, rng):
+    profiles = benchmark(section8_comparison, n=1024, p=0.125, rng=rng)
+    by_family = {profile.name.split("(")[0]: profile for profile in profiles}
+
+    mgrid = by_family["M-Grid"]
+    boost = by_family["boostFPP"]
+    mpath = by_family["M-Path"]
+    rt = by_family["RT"]
+
+    # Masking and resilience columns.
+    assert mgrid.b == 15 and mgrid.f == 28
+    assert boost.b == 19 and boost.f == 79 and boost.n == 1001
+    assert mpath.b == 7 and mpath.f in (28, 29)
+    assert rt.b == 15 and rt.f == 31
+
+    # Every system is configured at load ~ 1/4.
+    for profile in (mgrid, boost, mpath, rt):
+        assert profile.load == pytest.approx(0.25, abs=0.03)
+
+    # Availability column: values and ordering.
+    assert mgrid.crash_probability == pytest.approx(0.638, abs=0.01)
+    assert boost.crash_probability == pytest.approx(0.372, abs=0.005)
+    assert mpath.crash_probability <= 0.001
+    assert rt.crash_probability <= 0.0001
+    assert rt.crash_probability < mpath.crash_probability < boost.crash_probability < mgrid.crash_probability
+
+    rows = [
+        [p.name, p.n, p.b, p.f, f"{p.load:.3f}", f"{p.crash_probability:.2e}", p.crash_probability_kind]
+        for p in profiles
+    ]
+    print("\nSection 8 worked example (n ~ 1024, p = 1/8):")
+    print(format_table(["system", "n", "b", "f", "L", "Fp", "Fp kind"], rows))
+    print("Paper: M-Grid Fp>=0.638 | boostFPP Fp<=0.372 | M-Path Fp<=0.001 | RT Fp<=0.0001")
+
+
+def test_section8_above_one_quarter(benchmark, rng):
+    """The same deployment with cheap servers (p = 0.3): boostFPP collapses, RT survives."""
+    profiles = benchmark(section8_comparison, n=1024, p=0.3, rng=rng)
+    by_family = {profile.name.split("(")[0]: profile for profile in profiles}
+
+    # p = 0.3 > 1/4: boostFPP's Chernoff guarantee is void (bound reports 1).
+    assert by_family["boostFPP"].crash_probability == pytest.approx(1.0)
+    # RT(4,3) is above its critical point 0.2324 too, so it also degrades...
+    assert by_family["RT"].crash_probability > 0.5
+    # ...while M-Grid is, as always at this scale, effectively dead.
+    assert by_family["M-Grid"].crash_probability > 0.9
+
+    rows = [
+        [p.name, f"{p.load:.3f}", f"{p.crash_probability:.3f}", p.crash_probability_kind]
+        for p in profiles
+    ]
+    print("\nSection 8 setting at p = 0.3 (above the 1/4 and 0.2324 thresholds):")
+    print(format_table(["system", "L", "Fp", "Fp kind"], rows))

@@ -1,0 +1,104 @@
+"""Benchmark regenerating Table 2: properties of all six constructions.
+
+The paper's Table 2 lists, for Threshold, Grid, M-Grid, RT(k,l), boostFPP and
+M-Path: the largest maskable ``b``, the resilience ``f``, the load ``L`` and
+the asymptotic behaviour of ``Fp``.  The benchmark evaluates all six at a
+concrete size and checks the *shape* of every column:
+
+* masking: Threshold masks Theta(n), the grid-shaped systems Theta(sqrt(n));
+* resilience: Threshold >> grid-shaped systems;
+* load: Threshold stuck at >= 1/2, the three load-optimal systems within a
+  small factor of sqrt((2b+1)/n);
+* availability: Grid and M-Grid poor, Threshold / RT / M-Path good.
+
+The second benchmark sweeps ``n`` to reproduce the asymptotic column
+(``Fp -> 1`` for Grid/M-Grid, ``Fp -> 0`` for the others below threshold).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import format_table
+
+from repro.analysis import availability_trend, table2
+
+
+def test_table2_at_n256(benchmark, rng):
+    """Regenerate Table 2 at n = 256, p = 1/8."""
+    rows = benchmark(table2, 256, 0.125, rng=rng)
+
+    by_name = {row.system: row for row in rows}
+    assert set(by_name) == {"Threshold", "Grid", "M-Grid", "RT(4,3)", "boostFPP", "M-Path"}
+
+    # Masking column: Threshold masks Theta(n), grid-shaped systems Theta(sqrt n).
+    assert by_name["Threshold"].max_b == 63
+    assert by_name["M-Grid"].max_b <= 16
+    assert by_name["M-Path"].max_b <= 16
+    assert by_name["Grid"].max_b <= 6
+
+    # Resilience column: Threshold has the largest f by far.
+    assert by_name["Threshold"].resilience > 2 * by_name["M-Grid"].resilience
+
+    # Load column: Threshold >= 1/2, the load-optimal systems near the bound.
+    assert by_name["Threshold"].load >= 0.5
+    for name in ("M-Grid", "boostFPP", "M-Path"):
+        assert by_name[name].load <= 2.5 * by_name[name].load_lower_bound
+
+    # Availability column: Grid/M-Grid poor, Threshold/RT excellent.
+    assert by_name["Grid"].crash_probability > 0.3
+    assert by_name["M-Grid"].crash_probability > 0.3
+    assert by_name["Threshold"].crash_probability < 1e-6
+    assert by_name["RT(4,3)"].crash_probability < 1e-3
+
+    printable = [
+        [
+            row.system,
+            row.n,
+            row.max_b,
+            row.resilience,
+            f"{row.load:.3f}",
+            f"{row.load_lower_bound:.3f}",
+            f"{row.crash_probability:.2e}",
+            "yes" if row.load_optimal else "no",
+            "yes" if row.availability_optimal else "no",
+        ]
+        for row in rows
+    ]
+    print("\nTable 2 reproduction (n = 256, p = 1/8):")
+    print(format_table(
+        ["system", "n", "max b", "f", "L", "sqrt((2b+1)/n)", "Fp", "L-opt", "A-opt"],
+        printable,
+    ))
+
+
+def test_table2_availability_asymptotics(benchmark, rng):
+    """The asymptotic Fp column: Grid-shaped systems degrade, the rest improve."""
+
+    sizes = [25, 81, 169]
+    rt_sizes = [16, 64, 256]
+
+    def sweep():
+        return {
+            "M-Grid": availability_trend("M-Grid", sizes, 0.2, rng=rng),
+            "Grid": availability_trend("Grid", sizes, 0.2, rng=rng),
+            "Threshold": availability_trend("Threshold", sizes, 0.2, rng=rng),
+            "RT(4,3)": availability_trend("RT(4,3)", rt_sizes, 0.15, rng=rng),
+            "boostFPP": availability_trend("boostFPP", sizes, 0.15, rng=rng),
+            "M-Path": availability_trend("M-Path", sizes, 0.3, rng=rng),
+        }
+
+    trends = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    assert trends["M-Grid"][-1] > trends["M-Grid"][0]          # -> 1
+    assert trends["Grid"][-1] > trends["Grid"][0]              # -> 1
+    assert trends["Threshold"][-1] < trends["Threshold"][0]    # -> 0
+    assert trends["RT(4,3)"][-1] < trends["RT(4,3)"][0]        # -> 0
+    assert trends["boostFPP"][-1] < trends["boostFPP"][0]      # -> 0
+    assert trends["M-Path"][-1] <= trends["M-Path"][0] + 0.05  # -> 0 (Monte-Carlo noise)
+
+    rows = [
+        [name] + [f"{value:.3f}" for value in values] for name, values in trends.items()
+    ]
+    print("\nFp trends as n grows (Table 2, asymptotic column):")
+    print(format_table(["system", "small n", "medium n", "large n"], rows))

@@ -1,0 +1,63 @@
+"""Benchmark for the Section 8 resilience/load trade-off (f <= n L(Q)).
+
+Evaluates both sides of the inequality for every construction at a common
+scale and reports the slack, demonstrating the impossibility the paper closes
+with: no system is simultaneously at the resilience frontier and the load
+frontier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import format_table
+
+from repro import (
+    BoostedFPP,
+    MGrid,
+    MPath,
+    RecursiveThreshold,
+    masking_threshold,
+)
+from repro.analysis import tradeoff_point, verify_tradeoff
+from repro.constructions.grid import MaskingGrid
+
+
+def test_resilience_load_tradeoff(benchmark):
+    systems = [
+        masking_threshold(256, 63),
+        MaskingGrid(16, 5),
+        MGrid(16, 7),
+        RecursiveThreshold(4, 3, 4),
+        BoostedFPP(3, 4),
+        MPath(16, 7),
+    ]
+
+    def evaluate():
+        return [tradeoff_point(system) for system in systems]
+
+    points = benchmark(evaluate)
+    for system, point in zip(systems, points):
+        assert verify_tradeoff(system)
+        assert point.slack >= -1e-9
+
+    # The trade-off in action: the Threshold system sits at the resilience
+    # frontier (f close to n L), the load-optimal systems give up resilience.
+    threshold_point = points[0]
+    mpath_point = points[-1]
+    assert threshold_point.resilience > 3 * mpath_point.resilience
+    assert mpath_point.load < 0.7 * threshold_point.load
+
+    rows = [
+        [
+            point.name,
+            point.n,
+            point.resilience,
+            f"{point.load:.3f}",
+            f"{point.resilience_bound:.1f}",
+            f"{point.slack:.1f}",
+        ]
+        for point in points
+    ]
+    print("\nResilience/load trade-off (f <= n L, Section 8):")
+    print(format_table(["system", "n", "f", "L", "n*L", "slack"], rows))

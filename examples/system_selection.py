@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Choosing a quorum system for a deployment (the Section 8 comparison).
+
+Section 8 of the paper works through a concrete design exercise: about a
+thousand servers, a target load around 1/4, and servers that crash
+independently with probability 1/8.  Which construction should you use?
+
+This example reproduces that comparison (and optionally extends it to the
+Threshold and Grid baselines), printing masking ability, resilience, load and
+crash probability side by side — the same trade-offs as the paper's Table 2.
+
+Run with::
+
+    python examples/system_selection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import section8_comparison, table2
+
+
+def print_profiles(profiles) -> None:
+    header = f"{'system':<28} {'n':>6} {'b':>4} {'f':>4} {'load':>7} {'Fp':>12}  kind"
+    print(header)
+    print("-" * len(header))
+    for profile in profiles:
+        print(
+            f"{profile.name:<28} {profile.n:>6} {profile.b:>4} {profile.f:>4} "
+            f"{profile.load:>7.3f} {profile.crash_probability:>12.6f}  "
+            f"({profile.crash_probability_kind})"
+        )
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    print("Section 8 worked example: n ~ 1024 servers, load ~ 1/4, p = 1/8")
+    print("(paper: M-Grid Fp>=0.638, boostFPP Fp<=0.372, M-Path Fp<=0.001, "
+          "RT(4,3) Fp<=0.0001)\n")
+    profiles = section8_comparison(n=1024, p=0.125, rng=rng)
+    print_profiles(profiles)
+
+    print("\nThe same servers, but cheap components: p = 0.3 (> 1/4)")
+    print("(boostFPP's availability collapses above p = 1/4; RT and M-Path "
+          "still below their thresholds)\n")
+    profiles_high_p = section8_comparison(n=1024, p=0.3, rng=rng)
+    print_profiles(profiles_high_p)
+
+    print("\nFull Table 2 reproduction at n = 256, p = 1/8 "
+          "(each system at its largest maskable b):\n")
+    rows = table2(n=256, p=0.125, rng=rng)
+    header = (f"{'system':<12} {'n':>5} {'max b':>6} {'f':>5} {'load':>7} "
+              f"{'sqrt((2b+1)/n)':>15} {'Fp':>12} {'L-opt':>6} {'A-opt':>6}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row.system:<12} {row.n:>5} {row.max_b:>6} {row.resilience:>5} "
+            f"{row.load:>7.3f} {row.load_lower_bound:>15.3f} "
+            f"{row.crash_probability:>12.6f} {str(row.load_optimal):>6} "
+            f"{str(row.availability_optimal):>6}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment this library targets may lack the ``wheel`` package, which
+PEP 660 editable installs require; keeping a ``setup.py`` allows the legacy
+editable-install path (``pip install -e . --no-use-pep517``) to work offline.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

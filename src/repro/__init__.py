@@ -1,0 +1,125 @@
+"""repro — Byzantine masking quorum systems.
+
+A reproduction of *The Load and Availability of Byzantine Quorum Systems*
+(Malkhi, Reiter, Wool; PODC 1997 / SIAM J. Computing): the b-masking
+quorum-system model, its load and availability measures and lower bounds,
+quorum composition, the paper's four constructions (M-Grid, RT, boostFPP,
+M-Path) and the two [MR98a] baselines, plus a replicated-register simulator
+that runs the masking-quorum protocol over any of them.
+
+Quickstart
+----------
+>>> from repro import MGrid, best_known_load, load_lower_bound
+>>> system = MGrid(side=7, b=3)
+>>> system.masking_bound() >= 3
+True
+>>> best_known_load(system).load <= 2 * load_lower_bound(system.n, 3)
+True
+"""
+
+from repro.constructions import (
+    BoostedFPP,
+    TreeQuorumSystem,
+    WheelQuorumSystem,
+    CrumblingWall,
+    FiniteProjectivePlane,
+    MGrid,
+    MPath,
+    MaskingGrid,
+    RecursiveThreshold,
+    RegularGrid,
+    ThresholdQuorumSystem,
+    boost_masking,
+    boosting_block,
+    majority,
+    masking_threshold,
+)
+from repro.core import (
+    AvailabilityResult,
+    ComposedQuorumSystem,
+    ExplicitQuorumSystem,
+    LoadResult,
+    MaskingReport,
+    QuorumSystem,
+    Strategy,
+    Universe,
+    best_known_load,
+    compose,
+    crash_probability_lower_bound,
+    exact_failure_probability,
+    exact_load,
+    failure_probability,
+    fair_load,
+    load_lower_bound,
+    load_of_strategy,
+    load_optimality_ratio,
+    masking_report,
+    minimal_transversal,
+    monte_carlo_failure_probability,
+    resilience_upper_bound_from_load,
+    self_compose,
+    verify_masking,
+)
+from repro.exceptions import (
+    ComputationError,
+    ConstructionError,
+    FieldError,
+    InvalidQuorumSystemError,
+    MaskingViolationError,
+    ReproError,
+    SimulationError,
+    StrategyError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AvailabilityResult",
+    "BoostedFPP",
+    "ComposedQuorumSystem",
+    "ComputationError",
+    "ConstructionError",
+    "CrumblingWall",
+    "ExplicitQuorumSystem",
+    "FieldError",
+    "FiniteProjectivePlane",
+    "InvalidQuorumSystemError",
+    "LoadResult",
+    "MGrid",
+    "MPath",
+    "MaskingGrid",
+    "MaskingReport",
+    "MaskingViolationError",
+    "QuorumSystem",
+    "RecursiveThreshold",
+    "RegularGrid",
+    "ReproError",
+    "SimulationError",
+    "Strategy",
+    "StrategyError",
+    "ThresholdQuorumSystem",
+    "TreeQuorumSystem",
+    "Universe",
+    "WheelQuorumSystem",
+    "best_known_load",
+    "boost_masking",
+    "boosting_block",
+    "compose",
+    "crash_probability_lower_bound",
+    "exact_failure_probability",
+    "exact_load",
+    "failure_probability",
+    "fair_load",
+    "load_lower_bound",
+    "load_of_strategy",
+    "load_optimality_ratio",
+    "majority",
+    "masking_report",
+    "masking_threshold",
+    "minimal_transversal",
+    "monte_carlo_failure_probability",
+    "resilience_upper_bound_from_load",
+    "self_compose",
+    "verify_masking",
+    "__version__",
+]

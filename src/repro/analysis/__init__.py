@@ -1,0 +1,22 @@
+"""Evaluation-level analysis: Table 2, the Section 8 comparison, and trade-offs."""
+
+from repro.analysis.comparison import SystemProfile, profile_system, section8_comparison
+from repro.analysis.tables import TABLE2_SYSTEMS, Table2Row, availability_trend, table2
+from repro.analysis.selector import Recommendation, candidate_constructions, recommend_construction
+from repro.analysis.tradeoffs import TradeoffPoint, tradeoff_point, verify_tradeoff
+
+__all__ = [
+    "Recommendation",
+    "TABLE2_SYSTEMS",
+    "SystemProfile",
+    "Table2Row",
+    "TradeoffPoint",
+    "availability_trend",
+    "candidate_constructions",
+    "profile_system",
+    "recommend_construction",
+    "section8_comparison",
+    "table2",
+    "tradeoff_point",
+    "verify_tradeoff",
+]

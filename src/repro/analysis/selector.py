@@ -1,0 +1,159 @@
+"""Automated construction selection (the Section 8 design exercise as a function).
+
+Section 8 of the paper walks through picking a quorum system by hand given a
+universe size, a load budget and the component crash probability, noting that
+"determining the best quorum construction depends on the goals and
+constraints of any particular setting, as no system is advantageous in all
+measures".  :func:`recommend_construction` automates exactly that exercise:
+it instantiates every construction of the paper at the requested scale,
+discards the ones that cannot meet the masking and load requirements, and
+ranks the survivors by crash probability (the measure left over once the hard
+requirements are met).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.comparison import SystemProfile, profile_system
+from repro.constructions.boost_fpp import BoostedFPP
+from repro.constructions.grid import MaskingGrid
+from repro.constructions.mgrid import MGrid
+from repro.constructions.mpath import MPath
+from repro.constructions.recursive_threshold import RecursiveThreshold
+from repro.constructions.threshold import masking_threshold
+from repro.exceptions import ConstructionError
+from repro.gf.prime_field import factor_prime_power
+
+__all__ = ["Recommendation", "candidate_constructions", "recommend_construction"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The outcome of a construction-selection run.
+
+    Attributes
+    ----------
+    best:
+        The profile of the recommended construction (``None`` when no
+        construction meets the requirements).
+    feasible:
+        Profiles of every construction meeting the requirements, best first.
+    rejected:
+        Profiles of the constructions that exist at this scale but fail the
+        masking or load requirement, for transparency.
+    """
+
+    best: SystemProfile | None
+    feasible: list[SystemProfile]
+    rejected: list[SystemProfile]
+
+
+def _largest_prime_power_at_most(value: int) -> int:
+    for candidate in range(value, 1, -1):
+        try:
+            factor_prime_power(candidate)
+            return candidate
+        except Exception:
+            continue
+    raise ConstructionError(f"no prime power at most {value}")
+
+
+def candidate_constructions(n: int, required_b: int) -> list:
+    """Instantiate every construction of the paper near size ``n`` masking ``required_b``.
+
+    Constructions whose shape constraints cannot accommodate ``required_b``
+    at (roughly) this universe size are silently skipped — that in itself is
+    part of the answer the paper's Section 8 gives (e.g. M-Grid simply cannot
+    mask ``n/4`` failures).
+    """
+    candidates = []
+    side = math.isqrt(n)
+
+    if 4 * required_b < n:
+        candidates.append(masking_threshold(n, required_b))
+
+    for builder in (
+        lambda: MaskingGrid(side, required_b),
+        lambda: MGrid(side, required_b),
+        lambda: MPath(side, required_b),
+    ):
+        try:
+            candidates.append(builder())
+        except ConstructionError:
+            pass
+
+    depth = max(1, round(math.log(max(n, 4), 4)))
+    rt = RecursiveThreshold(4, 3, depth)
+    if rt.masking_bound() >= required_b:
+        candidates.append(rt)
+
+    # boostFPP: pick the plane order so that (4b+1)(q^2+q+1) lands near n.
+    points_budget = max(3, n // (4 * required_b + 1))
+    # q^2 + q + 1 <= points_budget  =>  q <= (sqrt(4*budget - 3) - 1)/2.
+    q_limit = int((math.sqrt(4 * points_budget - 3) - 1) // 2)
+    if q_limit >= 2:
+        try:
+            q = _largest_prime_power_at_most(q_limit)
+            candidates.append(BoostedFPP(q, required_b))
+        except ConstructionError:
+            pass
+
+    return candidates
+
+
+def recommend_construction(
+    n: int,
+    p: float,
+    *,
+    required_b: int,
+    max_load: float | None = None,
+    rng: np.random.Generator | None = None,
+) -> Recommendation:
+    """Pick the best construction for the given deployment constraints.
+
+    Parameters
+    ----------
+    n:
+        Approximate number of servers available (grid constructions use the
+        largest perfect square at most ``n``; boostFPP and RT use their own
+        natural shapes near ``n``).
+    p:
+        Independent per-server crash probability.
+    required_b:
+        The number of Byzantine failures that must be masked.
+    max_load:
+        Optional load budget; constructions whose load exceeds it are
+        rejected (this is how the paper's example rules out Threshold).
+    rng:
+        Randomness for the Monte-Carlo availability estimates of the systems
+        that need one.
+
+    Returns
+    -------
+    Recommendation
+        Feasible constructions ranked by crash probability (then by load).
+    """
+    if required_b < 0:
+        raise ConstructionError(f"required_b must be >= 0, got {required_b}")
+    if n < 4:
+        raise ConstructionError(f"need at least 4 servers, got {n}")
+    rng = rng if rng is not None else np.random.default_rng()
+
+    feasible: list[SystemProfile] = []
+    rejected: list[SystemProfile] = []
+    for system in candidate_constructions(n, required_b):
+        profile = profile_system(system, p, b=required_b, rng=rng)
+        meets_masking = system.masking_bound() >= required_b
+        meets_load = max_load is None or profile.load <= max_load + 1e-12
+        if meets_masking and meets_load:
+            feasible.append(profile)
+        else:
+            rejected.append(profile)
+
+    feasible.sort(key=lambda profile: (profile.crash_probability, profile.load))
+    best = feasible[0] if feasible else None
+    return Recommendation(best=best, feasible=feasible, rejected=rejected)

@@ -1,0 +1,300 @@
+"""Regeneration of Table 2: properties of all six constructions.
+
+Table 2 of the paper summarises, for the two [MR98a] baselines and the four
+new constructions, the largest maskable ``b``, the resilience ``f``, the load
+``L`` and the asymptotic behaviour of ``Fp``.  The paper states these as
+asymptotic formulas; this module evaluates the same quantities numerically
+for concrete universe sizes, so that the benchmark can check both the
+absolute values at a given ``n`` and the trends across ``n`` (who wins, where
+the crossovers are).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constructions.boost_fpp import BoostedFPP
+from repro.constructions.grid import MaskingGrid
+from repro.constructions.mgrid import MGrid
+from repro.constructions.mpath import MPath
+from repro.constructions.recursive_threshold import RecursiveThreshold
+from repro.constructions.threshold import masking_threshold
+from repro.core.bounds import load_lower_bound
+from repro.exceptions import ConstructionError
+
+__all__ = ["Table2Row", "table2", "TABLE2_SYSTEMS", "availability_trend"]
+
+#: The six systems of Table 2, in the paper's order.
+TABLE2_SYSTEMS = (
+    "Threshold",
+    "Grid",
+    "M-Grid",
+    "RT(4,3)",
+    "boostFPP",
+    "M-Path",
+)
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of the reproduced Table 2.
+
+    Attributes
+    ----------
+    system:
+        Construction name (one of :data:`TABLE2_SYSTEMS`).
+    n:
+        Universe size actually used by the instance.
+    max_b:
+        The largest ``b`` the construction can mask at this size (the
+        paper's ``b <`` column).
+    resilience:
+        ``f`` at that ``b`` (the paper's ``f`` column).
+    load:
+        The construction's load at that ``b`` (the paper's ``L`` column).
+    load_lower_bound:
+        ``sqrt((2b+1)/n)`` — the Corollary 4.2 bound the ``L`` column is
+        judged against (the dagger footnote marks load-optimal systems).
+    crash_probability:
+        ``Fp`` at the given ``p`` (exact, bound or Monte-Carlo depending on
+        the system; see the corresponding construction's documentation).
+    load_optimal:
+        Whether the paper marks this system's load optimal for ``b``-masking
+        systems.
+    availability_optimal:
+        Whether the paper marks this system's ``Fp`` optimal for its
+        resilience.
+    """
+
+    system: str
+    n: int
+    max_b: int
+    resilience: int
+    load: float
+    load_lower_bound: float
+    crash_probability: float
+    load_optimal: bool
+    availability_optimal: bool
+
+
+def _max_b_threshold(n: int) -> int:
+    return (n - 1) // 4
+
+
+def _max_b_grid(side: int) -> int:
+    return (side - 1) // 3
+
+
+def _max_b_mgrid(side: int) -> int:
+    # b <= (side - 1)/2, subject to 2*ceil(sqrt(b+1)) <= side.
+    best = 0
+    for b in range((side - 1) // 2 + 1):
+        k = math.isqrt(b + 1)
+        if k * k < b + 1:
+            k += 1
+        if 2 * k <= side:
+            best = b
+    return best
+
+
+def _max_b_mpath(side: int) -> int:
+    # Largest b with ceil(sqrt(2b+1)) <= side and resilience >= b.
+    best = 0
+    for b in range(side * side):
+        k = math.isqrt(2 * b + 1)
+        if k * k < 2 * b + 1:
+            k += 1
+        if k > side or side - k < b:
+            break
+        best = b
+    return best
+
+
+def table2(
+    n: int = 1024,
+    p: float = 0.125,
+    *,
+    boost_q: int = 3,
+    rng: np.random.Generator | None = None,
+) -> list[Table2Row]:
+    """Return the reproduced Table 2 at universe size ``n`` and crash probability ``p``.
+
+    Each construction is instantiated at (or near) ``n`` with the *largest*
+    masking parameter it supports, matching the ``b <`` column of the paper's
+    table; systems with natural shapes use the closest feasible size
+    (boostFPP uses ``(4b+1)(q^2+q+1)``, RT uses ``4^h``).
+    """
+    side = math.isqrt(n)
+    if side * side != n:
+        raise ConstructionError(f"Table 2 reproduction expects a perfect-square n; got {n}")
+    rng = rng if rng is not None else np.random.default_rng()
+    rows: list[Table2Row] = []
+
+    # Threshold [MR98a].
+    b = _max_b_threshold(n)
+    threshold = masking_threshold(n, b)
+    rows.append(
+        Table2Row(
+            system="Threshold",
+            n=n,
+            max_b=b,
+            resilience=threshold.min_transversal_size() - 1,
+            load=threshold.load(),
+            load_lower_bound=load_lower_bound(n, b),
+            crash_probability=threshold.crash_probability(p),
+            load_optimal=False,
+            availability_optimal=True,
+        )
+    )
+
+    # Grid [MR98a].
+    b = _max_b_grid(side)
+    grid = MaskingGrid(side, b)
+    rows.append(
+        Table2Row(
+            system="Grid",
+            n=grid.n,
+            max_b=b,
+            resilience=grid.min_transversal_size() - 1,
+            load=grid.load(),
+            load_lower_bound=load_lower_bound(grid.n, b),
+            crash_probability=grid.crash_probability(p, rng=rng),
+            load_optimal=False,
+            availability_optimal=False,
+        )
+    )
+
+    # M-Grid.
+    b = _max_b_mgrid(side)
+    mgrid = MGrid(side, b)
+    rows.append(
+        Table2Row(
+            system="M-Grid",
+            n=mgrid.n,
+            max_b=b,
+            resilience=mgrid.min_transversal_size() - 1,
+            load=mgrid.load(),
+            load_lower_bound=load_lower_bound(mgrid.n, b),
+            crash_probability=mgrid.crash_probability(p, rng=rng),
+            load_optimal=True,
+            availability_optimal=False,
+        )
+    )
+
+    # RT(4, 3) at depth log4(n).
+    depth = max(1, round(math.log(n, 4)))
+    rt = RecursiveThreshold(4, 3, depth)
+    b = rt.masking_bound()
+    rows.append(
+        Table2Row(
+            system="RT(4,3)",
+            n=rt.n,
+            max_b=b,
+            resilience=rt.min_transversal_size() - 1,
+            load=rt.load(),
+            load_lower_bound=load_lower_bound(rt.n, b),
+            crash_probability=rt.crash_probability(p),
+            load_optimal=False,
+            availability_optimal=True,
+        )
+    )
+
+    # boostFPP at the requested q, sized close to n.
+    points = boost_q * boost_q + boost_q + 1
+    b = max(1, (n // points - 1) // 4)
+    boost = BoostedFPP(boost_q, b)
+    rows.append(
+        Table2Row(
+            system="boostFPP",
+            n=boost.n,
+            max_b=b,
+            resilience=boost.min_transversal_size() - 1,
+            load=boost.load(),
+            load_lower_bound=load_lower_bound(boost.n, b),
+            crash_probability=boost.crash_probability(p),
+            load_optimal=True,
+            availability_optimal=False,
+        )
+    )
+
+    # M-Path.
+    b = _max_b_mpath(side)
+    mpath = MPath(side, b)
+    if p < 1.0 / 3.0:
+        mpath_fp = mpath.crash_probability_upper_bound(p)
+    else:
+        mpath_fp = mpath.crash_probability(p, trials=100, rng=rng)
+    rows.append(
+        Table2Row(
+            system="M-Path",
+            n=mpath.n,
+            max_b=b,
+            resilience=mpath.min_transversal_size() - 1,
+            load=mpath.load(),
+            load_lower_bound=load_lower_bound(mpath.n, b),
+            crash_probability=mpath_fp,
+            load_optimal=True,
+            availability_optimal=True,
+        )
+    )
+
+    return rows
+
+
+def availability_trend(
+    system_name: str,
+    sizes: list[int],
+    p: float,
+    *,
+    rng: np.random.Generator | None = None,
+    b_policy: str = "fixed-small",
+) -> list[float]:
+    """Return ``Fp`` across universe sizes for one Table 2 system.
+
+    Used to check the asymptotic column of Table 2: the Grid and M-Grid
+    trends increase towards 1, the others decrease towards 0 for ``p`` below
+    their thresholds.
+
+    Parameters
+    ----------
+    system_name:
+        One of :data:`TABLE2_SYSTEMS`.
+    sizes:
+        Universe sizes (perfect squares where the construction needs them;
+        RT uses the nearest power of 4, boostFPP its own natural sizes).
+    p:
+        Individual crash probability.
+    b_policy:
+        ``"fixed-small"`` keeps ``b`` at the smallest interesting value
+        (1 for most systems) so the trend isolates the effect of ``n``;
+        ``"max"`` uses the largest maskable ``b`` at each size.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    values: list[float] = []
+    for n in sizes:
+        side = math.isqrt(n)
+        if system_name == "Threshold":
+            b = 1 if b_policy == "fixed-small" else _max_b_threshold(n)
+            values.append(masking_threshold(n, b).crash_probability(p))
+        elif system_name == "Grid":
+            b = 1 if b_policy == "fixed-small" else _max_b_grid(side)
+            values.append(MaskingGrid(side, b).crash_probability(p, rng=rng))
+        elif system_name == "M-Grid":
+            b = 1 if b_policy == "fixed-small" else _max_b_mgrid(side)
+            values.append(MGrid(side, b).crash_probability(p, rng=rng))
+        elif system_name == "RT(4,3)":
+            depth = max(1, round(math.log(n, 4)))
+            values.append(RecursiveThreshold(4, 3, depth).crash_probability(p))
+        elif system_name == "boostFPP":
+            points = 7  # q = 2
+            b = max(1, (n // points - 1) // 4)
+            values.append(BoostedFPP(2, b).crash_probability(p))
+        elif system_name == "M-Path":
+            b = 1 if b_policy == "fixed-small" else _max_b_mpath(side)
+            values.append(MPath(side, b).crash_probability(p, trials=150, rng=rng))
+        else:
+            raise ConstructionError(f"unknown Table 2 system {system_name!r}")
+    return values

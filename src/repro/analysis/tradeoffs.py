@@ -1,0 +1,70 @@
+"""The resilience/load trade-off of Section 8.
+
+The paper closes by observing that optimal resilience and optimal load are
+incompatible: since every quorum is a transversal-blocker, ``f <= c(Q)``, and
+Theorem 4.1 gives ``c(Q) <= n L(Q)``, hence ``f <= n L(Q)``.  Systems with
+low load therefore necessarily have low resilience and vice versa — the
+impossibility that motivated the probabilistic quorum systems of [MRWW98].
+
+This module evaluates both sides of the inequality for any construction and
+produces the data the trade-off benchmark plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bounds import resilience_upper_bound_from_load
+from repro.core.load import best_known_load
+from repro.core.quorum_system import QuorumSystem
+
+__all__ = ["TradeoffPoint", "tradeoff_point", "verify_tradeoff"]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One construction's position in the (load, resilience) plane.
+
+    Attributes
+    ----------
+    name:
+        Construction name.
+    n:
+        Universe size.
+    load:
+        The construction's load.
+    resilience:
+        Its resilience ``f``.
+    resilience_bound:
+        The Section 8 bound ``n * load``; ``resilience`` must not exceed it.
+    slack:
+        ``resilience_bound - resilience`` (non-negative when the bound holds).
+    """
+
+    name: str
+    n: int
+    load: float
+    resilience: int
+    resilience_bound: float
+    slack: float
+
+
+def tradeoff_point(system: QuorumSystem) -> TradeoffPoint:
+    """Return the trade-off data point for ``system``."""
+    load = best_known_load(system).load
+    resilience = system.min_transversal_size() - 1
+    bound = resilience_upper_bound_from_load(system.n, load)
+    return TradeoffPoint(
+        name=system.name,
+        n=system.n,
+        load=load,
+        resilience=resilience,
+        resilience_bound=bound,
+        slack=bound - resilience,
+    )
+
+
+def verify_tradeoff(system: QuorumSystem, *, tolerance: float = 1e-9) -> bool:
+    """Return ``True`` when ``f <= n L(Q)`` holds for ``system``."""
+    point = tradeoff_point(system)
+    return point.resilience <= point.resilience_bound + tolerance

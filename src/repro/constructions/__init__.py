@@ -1,0 +1,42 @@
+"""Quorum-system constructions.
+
+The four new systems of the paper (M-Grid, RT, boostFPP, M-Path), the two
+[MR98a] baselines (Threshold, Grid) they are compared against in Table 2 and
+Section 8, and a few classical regular systems used as boosting inputs.
+"""
+
+from repro.constructions.boost_fpp import BoostedFPP, boost_masking
+from repro.constructions.crumbling_wall import CrumblingWall
+from repro.constructions.fpp import FiniteProjectivePlane
+from repro.constructions.grid import MaskingGrid, RegularGrid, grid_side_for, render_grid_quorum
+from repro.constructions.mgrid import MGrid
+from repro.constructions.mpath import MPath
+from repro.constructions.recursive_threshold import RecursiveThreshold
+from repro.constructions.tree import TreeQuorumSystem
+from repro.constructions.wheel import WheelQuorumSystem
+from repro.constructions.threshold import (
+    ThresholdQuorumSystem,
+    boosting_block,
+    majority,
+    masking_threshold,
+)
+
+__all__ = [
+    "BoostedFPP",
+    "CrumblingWall",
+    "FiniteProjectivePlane",
+    "MGrid",
+    "MPath",
+    "MaskingGrid",
+    "RecursiveThreshold",
+    "RegularGrid",
+    "ThresholdQuorumSystem",
+    "TreeQuorumSystem",
+    "WheelQuorumSystem",
+    "boost_masking",
+    "boosting_block",
+    "grid_side_for",
+    "majority",
+    "masking_threshold",
+    "render_grid_quorum",
+]

@@ -1,0 +1,240 @@
+"""Grid-based quorum systems.
+
+Two grid systems appear in the paper:
+
+* :class:`RegularGrid` — the classical Maekawa-style grid over a
+  ``side x side`` arrangement of servers, whose quorums are one full row plus
+  one full column.  It is a *regular* quorum system (``IS = 2``), included as
+  a boosting input and as a baseline regular system.
+* :class:`MaskingGrid` — the Grid baseline of [MR98a] (second row of
+  Table 2): a quorum is one full column together with ``2b + 1`` full rows.
+  It masks ``b < sqrt(n)/3`` failures, has load roughly ``2b/sqrt(n)`` and
+  its crash probability tends to one.
+
+Both use the element labelling ``(row, column)`` with indices starting at 0.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.core.quorum_system import QuorumSystem
+from repro.core.universe import Universe
+from repro.exceptions import ComputationError, ConstructionError
+
+__all__ = ["RegularGrid", "MaskingGrid", "grid_side_for", "render_grid_quorum"]
+
+
+def grid_side_for(n: int) -> int:
+    """Return ``sqrt(n)`` for a perfect square ``n``, else raise.
+
+    The grid constructions of the paper assume ``n`` is a perfect square; the
+    usual engineering workaround (padding to the next square) changes the
+    measures, so this library requires exact squares and says so explicitly.
+    """
+    side = math.isqrt(n)
+    if side * side != n:
+        raise ConstructionError(
+            f"grid constructions need a perfect-square universe; {n} is not one"
+        )
+    return side
+
+
+def _row(side: int, row_index: int) -> frozenset:
+    return frozenset((row_index, column) for column in range(side))
+
+
+def _column(side: int, column_index: int) -> frozenset:
+    return frozenset((row, column_index) for row in range(side))
+
+
+class RegularGrid(QuorumSystem):
+    """The Maekawa grid: a quorum is one full row plus one full column.
+
+    It is fair with quorums of size ``2*side - 1``, load ``(2*side - 1)/n``
+    (about ``2/sqrt(n)``), ``IS = 2`` and ``MT = side`` — a regular quorum
+    system that masks no Byzantine failures but serves as a natural input to
+    the boosting transform of Section 6.
+    """
+
+    def __init__(self, side: int):
+        if side < 2:
+            raise ConstructionError(f"grid side must be at least 2, got {side}")
+        self.side = side
+        self._universe = Universe(
+            (row, column) for row in range(side) for column in range(side)
+        )
+        self.name = f"RegularGrid({side}x{side})"
+
+    @property
+    def universe(self) -> Universe:
+        return self._universe
+
+    def iter_quorums(self) -> Iterator[frozenset]:
+        for row in range(self.side):
+            for column in range(self.side):
+                yield _row(self.side, row) | _column(self.side, column)
+
+    def num_quorums(self) -> int:
+        return self.side * self.side
+
+    def sample_quorum(self, rng: np.random.Generator) -> frozenset:
+        row = int(rng.integers(self.side))
+        column = int(rng.integers(self.side))
+        return _row(self.side, row) | _column(self.side, column)
+
+    def min_quorum_size(self) -> int:
+        return 2 * self.side - 1
+
+    def max_quorum_size(self) -> int:
+        return 2 * self.side - 1
+
+    def min_intersection_size(self) -> int:
+        return 2 if self.side >= 2 else 1
+
+    def min_transversal_size(self) -> int:
+        return self.side
+
+    def load(self) -> float:
+        """Return ``(2*side - 1) / n`` (the system is fair)."""
+        return (2 * self.side - 1) / self.n
+
+    def crash_probability(
+        self,
+        p: float,
+        *,
+        trials: int = 20_000,
+        rng: np.random.Generator | None = None,
+    ) -> float:
+        """Estimate ``Fp`` by Monte-Carlo: the grid survives iff some row and some
+        column are completely alive (that row plus that column is an untouched quorum)."""
+        if not 0.0 <= p <= 1.0:
+            raise ComputationError(f"crash probability must lie in [0, 1], got {p}")
+        rng = rng if rng is not None else np.random.default_rng()
+        crashed = rng.random((trials, self.side, self.side)) < p
+        alive_rows = (~crashed).all(axis=2).any(axis=1)
+        alive_columns = (~crashed).all(axis=1).any(axis=1)
+        survived = alive_rows & alive_columns
+        return float(1.0 - survived.mean())
+
+
+class MaskingGrid(QuorumSystem):
+    """The [MR98a] Grid baseline: one full column plus ``2b + 1`` full rows.
+
+    Consistency holds because the column of one quorum crosses the ``2b + 1``
+    rows of any other quorum in ``2b + 1`` distinct servers.  The resilience
+    is ``f = MT - 1 = side - 2b - 1``, so the construction requires
+    ``2b + 1 <= side`` (and is only ``b``-masking while ``f >= b``, i.e.
+    ``b <= (side - 1)/3``).
+    """
+
+    def __init__(self, side: int, b: int):
+        if side < 2:
+            raise ConstructionError(f"grid side must be at least 2, got {side}")
+        if b < 0:
+            raise ConstructionError(f"masking parameter must be >= 0, got {b}")
+        if 2 * b + 1 > side:
+            raise ConstructionError(
+                f"MaskingGrid needs 2b+1 <= side; got b={b}, side={side}"
+            )
+        if side - 2 * b - 1 < b:
+            raise ConstructionError(
+                f"MaskingGrid with side={side} can mask at most b={(side - 1) // 3} "
+                f"failures (resilience side-2b-1 must be >= b); got b={b}"
+            )
+        self.side = side
+        self.b = b
+        self._universe = Universe(
+            (row, column) for row in range(side) for column in range(side)
+        )
+        self.name = f"MR98-Grid({side}x{side}, b={b})"
+
+    @property
+    def universe(self) -> Universe:
+        return self._universe
+
+    def iter_quorums(self) -> Iterator[frozenset]:
+        for column in range(self.side):
+            for rows in itertools.combinations(range(self.side), 2 * self.b + 1):
+                quorum = set(_column(self.side, column))
+                for row in rows:
+                    quorum |= _row(self.side, row)
+                yield frozenset(quorum)
+
+    def num_quorums(self) -> int:
+        return self.side * math.comb(self.side, 2 * self.b + 1)
+
+    def sample_quorum(self, rng: np.random.Generator) -> frozenset:
+        column = int(rng.integers(self.side))
+        rows = rng.choice(self.side, size=2 * self.b + 1, replace=False)
+        quorum = set(_column(self.side, column))
+        for row in rows:
+            quorum |= _row(self.side, int(row))
+        return frozenset(quorum)
+
+    def min_quorum_size(self) -> int:
+        rows_part = (2 * self.b + 1) * self.side
+        column_part = self.side - (2 * self.b + 1)
+        return rows_part + column_part
+
+    def max_quorum_size(self) -> int:
+        return self.min_quorum_size()
+
+    def min_intersection_size(self) -> int:
+        # Disjoint row sets and distinct columns: the column of each quorum
+        # crosses the rows of the other, giving 2(2b+1) cells; sharing rows or
+        # the column only increases the intersection.  When the row sets are
+        # forced to overlap (2(2b+1) > side) the minimum pair is less regular,
+        # so fall back to exhaustive enumeration in that case.
+        if 2 * (2 * self.b + 1) <= self.side:
+            return 2 * (2 * self.b + 1)
+        return super().min_intersection_size()
+
+    def min_transversal_size(self) -> int:
+        # A set fails to be a transversal when some column and 2b+1 rows are
+        # all untouched; hitting all but 2b rows (side - 2b servers) is the
+        # cheapest way to rule that out (hitting every column costs side).
+        return self.side - 2 * self.b
+
+    def load(self) -> float:
+        """Return ``c/n ~ (2b+2)/sqrt(n)`` (the system is fair by symmetry)."""
+        return self.min_quorum_size() / self.n
+
+    def crash_probability(
+        self,
+        p: float,
+        *,
+        trials: int = 20_000,
+        rng: np.random.Generator | None = None,
+    ) -> float:
+        """Estimate ``Fp`` by Monte-Carlo over grid crash patterns.
+
+        A sample survives when some column is completely alive *and* at least
+        ``2b + 1`` rows are completely alive; like M-Grid's, this probability
+        tends to one as the grid grows (Table 2).
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ComputationError(f"crash probability must lie in [0, 1], got {p}")
+        rng = rng if rng is not None else np.random.default_rng()
+        crashed = rng.random((trials, self.side, self.side)) < p
+        alive_rows = (~crashed).all(axis=2).sum(axis=1)
+        alive_column_exists = (~crashed).all(axis=1).any(axis=1)
+        survived = (alive_rows >= 2 * self.b + 1) & alive_column_exists
+        return float(1.0 - survived.mean())
+
+
+def render_grid_quorum(side: int, quorum: frozenset, *, filled: str = "#", empty: str = ".") -> str:
+    """Return an ASCII rendering of a quorum over a ``side x side`` grid.
+
+    Used by the figure-reproduction benchmarks to produce pictures analogous
+    to Figures 1 and 3 of the paper.
+    """
+    lines = []
+    for row in range(side):
+        cells = [filled if (row, column) in quorum else empty for column in range(side)]
+        lines.append(" ".join(cells))
+    return "\n".join(lines)

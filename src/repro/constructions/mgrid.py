@@ -1,0 +1,154 @@
+"""The multi-grid (M-Grid) construction of Section 5.1.
+
+Servers are arranged in a ``sqrt(n) x sqrt(n)`` grid; a quorum is the union
+of ``sqrt(b+1)`` full rows and ``sqrt(b+1)`` full columns (Figure 1 shows the
+``7 x 7``, ``b = 3`` instance).  The system is ``b``-masking for
+``b <= (sqrt(n) - 1)/2``, has optimal load ``~ 2 sqrt((b+1)/n)``
+(Proposition 5.2), but its crash probability tends to one as the grid grows
+(any configuration that hits every row kills every quorum).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.core.quorum_system import QuorumSystem
+from repro.core.universe import Universe
+from repro.exceptions import ComputationError, ConstructionError
+
+__all__ = ["MGrid"]
+
+
+class MGrid(QuorumSystem):
+    """The M-Grid(b) quorum system over a ``side x side`` grid.
+
+    Parameters
+    ----------
+    side:
+        The grid side; the universe has ``n = side ** 2`` servers labelled
+        ``(row, column)`` with 0-based indices.
+    b:
+        The masking parameter.  The construction uses
+        ``k = ceil(sqrt(b + 1))`` rows and columns per quorum and requires
+        ``b <= (side - 1)/2`` (Proposition 5.1) as well as ``2k <= side`` so
+        that quorums with disjoint row and column sets exist.
+    """
+
+    def __init__(self, side: int, b: int):
+        if side < 2:
+            raise ConstructionError(f"grid side must be at least 2, got {side}")
+        if b < 0:
+            raise ConstructionError(f"masking parameter must be >= 0, got {b}")
+        if b > (side - 1) / 2:
+            raise ConstructionError(
+                f"M-Grid over a {side}x{side} grid can mask at most "
+                f"b = {(side - 1) // 2}; got b={b}"
+            )
+        k = math.isqrt(b + 1)
+        if k * k < b + 1:
+            k += 1
+        if 2 * k > side:
+            raise ConstructionError(
+                f"M-Grid needs 2*ceil(sqrt(b+1)) <= side; got b={b}, side={side}"
+            )
+        self.side = side
+        self.b = b
+        #: Number of rows (and of columns) per quorum, ``ceil(sqrt(b+1))``.
+        self.k = k
+        self._universe = Universe(
+            (row, column) for row in range(side) for column in range(side)
+        )
+        self.name = f"M-Grid({side}x{side}, b={b})"
+
+    # ------------------------------------------------------------------
+    # Structure.
+    # ------------------------------------------------------------------
+    @property
+    def universe(self) -> Universe:
+        return self._universe
+
+    def _quorum_from(self, rows: tuple[int, ...], columns: tuple[int, ...]) -> frozenset:
+        cells = set()
+        for row in rows:
+            cells.update((row, column) for column in range(self.side))
+        for column in columns:
+            cells.update((row, column) for row in range(self.side))
+        return frozenset(cells)
+
+    def iter_quorums(self) -> Iterator[frozenset]:
+        for rows in itertools.combinations(range(self.side), self.k):
+            for columns in itertools.combinations(range(self.side), self.k):
+                yield self._quorum_from(rows, columns)
+
+    def num_quorums(self) -> int:
+        return math.comb(self.side, self.k) ** 2
+
+    def sample_quorum(self, rng: np.random.Generator) -> frozenset:
+        rows = tuple(int(r) for r in rng.choice(self.side, size=self.k, replace=False))
+        columns = tuple(int(c) for c in rng.choice(self.side, size=self.k, replace=False))
+        return self._quorum_from(rows, columns)
+
+    # ------------------------------------------------------------------
+    # Analytic measures (Propositions 5.1 and 5.2).
+    # ------------------------------------------------------------------
+    def min_quorum_size(self) -> int:
+        return 2 * self.k * self.side - self.k * self.k
+
+    def max_quorum_size(self) -> int:
+        return self.min_quorum_size()
+
+    def min_intersection_size(self) -> int:
+        # Quorums with disjoint row sets and disjoint column sets intersect in
+        # exactly 2 k^2 cells (each one's rows crossed with the other's
+        # columns); any shared row or column only enlarges the intersection.
+        return 2 * self.k * self.k
+
+    def min_transversal_size(self) -> int:
+        # A set is a transversal exactly when it leaves fewer than k rows or
+        # fewer than k columns untouched; cheapest is one hit in each of
+        # side - (k - 1) rows.
+        return self.side - self.k + 1
+
+    def load(self) -> float:
+        """Return ``c/n ~ 2 sqrt(b+1)/sqrt(n)`` (Proposition 5.2; the system is fair)."""
+        return self.min_quorum_size() / self.n
+
+    # ------------------------------------------------------------------
+    # Availability.
+    # ------------------------------------------------------------------
+    def crash_probability_lower_bound(self, p: float) -> float:
+        """Return the Section 5.1 lower bound ``(1 - (1-p)^side)^side``.
+
+        If every row contains a crashed server then no quorum survives, so
+        the probability of that event lower-bounds ``Fp``; it tends to one as
+        the grid grows, which is M-Grid's weakness.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ComputationError(f"crash probability must lie in [0, 1], got {p}")
+        return (1.0 - (1.0 - p) ** self.side) ** self.side
+
+    def crash_probability(
+        self,
+        p: float,
+        *,
+        trials: int = 20_000,
+        rng: np.random.Generator | None = None,
+    ) -> float:
+        """Estimate ``Fp`` by direct Monte-Carlo over grid crash patterns.
+
+        A sample survives when at least ``k`` rows and at least ``k`` columns
+        are completely alive (then any such rows/columns form an untouched
+        quorum); otherwise every quorum is hit.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ComputationError(f"crash probability must lie in [0, 1], got {p}")
+        rng = rng if rng is not None else np.random.default_rng()
+        crashed = rng.random((trials, self.side, self.side)) < p
+        alive_rows = (~crashed).all(axis=2).sum(axis=1)
+        alive_columns = (~crashed).all(axis=1).sum(axis=1)
+        survived = (alive_rows >= self.k) & (alive_columns >= self.k)
+        return float(1.0 - survived.mean())

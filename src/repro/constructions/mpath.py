@@ -1,0 +1,262 @@
+"""The multi-path (M-Path) construction of Section 7.
+
+Servers are the vertices of a triangulated ``sqrt(n) x sqrt(n)`` grid
+(:class:`~repro.percolation.lattice.TriangularGrid`).  A quorum consists of
+``sqrt(2b+1)`` vertex-disjoint left-right paths together with ``sqrt(2b+1)``
+vertex-disjoint top-bottom paths (Figure 3).  The LR paths of one quorum must
+cross the TB paths of any other, which yields intersections of at least
+``2b + 1`` vertices (Proposition 7.1).
+
+M-Path matches M-Grid's optimal load (Proposition 7.2) but, unlike every
+other construction in the paper, it also has optimal crash probability for
+*every* ``p < 1/2`` (Proposition 7.3) — a consequence of the percolation
+threshold of the triangular lattice being 1/2.  The generic quorum family is
+far too large to enumerate, so this class exposes
+
+* analytic combinatorial parameters,
+* the straight-line sub-family of quorums (rows and columns only), which is
+  what the load-optimal strategy of Proposition 7.2 uses, and
+* Monte-Carlo availability via the percolation substrate (disjoint open
+  crossings counted by max-flow).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.core.quorum_system import ExplicitQuorumSystem, QuorumSystem
+from repro.core.universe import Universe
+from repro.exceptions import ComputationError, ConstructionError
+from repro.percolation.lattice import TriangularGrid
+from repro.percolation.site import count_disjoint_crossings, sample_open_vertices
+
+__all__ = ["MPath"]
+
+
+class MPath(QuorumSystem):
+    """The M-Path(b) quorum system over a triangulated ``side x side`` grid.
+
+    Parameters
+    ----------
+    side:
+        The grid side; the universe has ``n = side ** 2`` servers labelled by
+        their lattice coordinates ``(i, j)`` with ``1 <= i, j <= side``.
+    b:
+        The masking parameter.  The construction uses
+        ``k = ceil(sqrt(2b + 1))`` paths per direction and requires
+        ``MT = side - k + 1 >= b + 1`` (Proposition 7.1).
+    """
+
+    #: Only the straight-line sub-family is enumerated; the full system is
+    #: too large, so generic exact measures must not silently use it.
+    enumerates_all_quorums = False
+
+    def __init__(self, side: int, b: int):
+        if side < 2:
+            raise ConstructionError(f"grid side must be at least 2, got {side}")
+        if b < 0:
+            raise ConstructionError(f"masking parameter must be >= 0, got {b}")
+        k = math.isqrt(2 * b + 1)
+        if k * k < 2 * b + 1:
+            k += 1
+        if k > side:
+            raise ConstructionError(
+                f"M-Path needs ceil(sqrt(2b+1)) <= side; got b={b}, side={side}"
+            )
+        if side - k + 1 < b + 1:
+            raise ConstructionError(
+                f"M-Path over a {side}x{side} grid is not {b}-masking: "
+                f"resilience {side - k} < b = {b}"
+            )
+        self.side = side
+        self.b = b
+        #: Number of LR (and of TB) paths per quorum, ``ceil(sqrt(2b+1))``.
+        self.k = k
+        self.grid = TriangularGrid(side)
+        self._universe = Universe(self.grid.vertices())
+        self.name = f"M-Path({side}x{side}, b={b})"
+
+    # ------------------------------------------------------------------
+    # Structure.
+    # ------------------------------------------------------------------
+    @property
+    def universe(self) -> Universe:
+        return self._universe
+
+    def _straight_quorum(self, rows: tuple[int, ...], columns: tuple[int, ...]) -> frozenset:
+        cells: set = set()
+        for j in rows:
+            cells.update(self.grid.row(j))
+        for i in columns:
+            cells.update(self.grid.column(i))
+        return frozenset(cells)
+
+    def iter_quorums(self) -> Iterator[frozenset]:
+        """Yield the *straight-line* quorums (k rows plus k columns).
+
+        This is a strict sub-family of the full M-Path quorum set (any
+        collection of disjoint lattice paths would do), but it is the family
+        the load-optimal strategy of Proposition 7.2 draws from, and it is
+        the family the simulator uses.
+        """
+        indices = range(1, self.side + 1)
+        for rows in itertools.combinations(indices, self.k):
+            for columns in itertools.combinations(indices, self.k):
+                yield self._straight_quorum(rows, columns)
+
+    def straight_line_subsystem(self, *, limit: int = 200_000) -> ExplicitQuorumSystem:
+        """Return the straight-line quorums as an explicit quorum system."""
+        quorums = []
+        for index, quorum in enumerate(self.iter_quorums()):
+            if index >= limit:
+                raise ComputationError(
+                    f"more than {limit} straight-line quorums; raise the limit explicitly"
+                )
+            quorums.append(quorum)
+        return ExplicitQuorumSystem(
+            self._universe, quorums, name=f"{self.name} (straight lines)", validate=False
+        )
+
+    def sample_quorum(self, rng: np.random.Generator) -> frozenset:
+        """Sample a straight-line quorum: k uniform rows and k uniform columns.
+
+        This is exactly the strategy used in the proof of Proposition 7.2 and
+        it realises the optimal load ``2k/side``.
+        """
+        rows = tuple(int(r) + 1 for r in rng.choice(self.side, size=self.k, replace=False))
+        columns = tuple(int(c) + 1 for c in rng.choice(self.side, size=self.k, replace=False))
+        return self._straight_quorum(rows, columns)
+
+    # ------------------------------------------------------------------
+    # Analytic measures (Propositions 7.1 and 7.2).
+    # ------------------------------------------------------------------
+    def min_quorum_size(self) -> int:
+        """Return the straight-line quorum size ``2 k side - k^2 <= 2 sqrt(n(2b+1))``.
+
+        This is an upper bound on the true ``c`` (bent paths cannot be
+        shorter than ``side`` vertices each, and the straight-line family
+        achieves the maximum row/column overlap), and it is the value the
+        paper's ``c <= 2 sqrt(n(2b+1))`` statement refers to.
+        """
+        return 2 * self.k * self.side - self.k * self.k
+
+    def min_intersection_size(self) -> int:
+        """Return ``k^2 >= 2b + 1``: LR paths of one quorum cross TB paths of the other."""
+        return self.k * self.k
+
+    def min_transversal_size(self) -> int:
+        """Return ``side - k + 1`` (as in M-Grid; Proposition 7.1)."""
+        return self.side - self.k + 1
+
+    def load(self) -> float:
+        """Return the load of the straight-line strategy of Proposition 7.2.
+
+        The strategy picks ``k`` of the ``side`` rows and ``k`` of the
+        ``side`` columns uniformly; the probability that a fixed vertex is
+        touched is ``1 - (1 - k/side)^2 = 2k/side - (k/side)^2``, which the
+        paper upper-bounds by ``2k/side ~ 2 sqrt((2b+1)/n)``.
+        """
+        fraction = self.k / self.side
+        return 2.0 * fraction - fraction * fraction
+
+    def masking_bound(self) -> int:
+        return max(
+            0,
+            min(
+                self.min_transversal_size() - 1,
+                (self.min_intersection_size() - 1) // 2,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Availability (Proposition 7.3) via percolation.
+    # ------------------------------------------------------------------
+    def survives(self, crashed: set) -> bool:
+        """Return ``True`` when some quorum avoids the ``crashed`` vertices.
+
+        A quorum exists among the alive vertices exactly when there are at
+        least ``k`` vertex-disjoint open LR crossings *and* at least ``k``
+        vertex-disjoint open TB crossings (the LR and TB families may share
+        vertices with each other, just not within a family).
+        """
+        open_vertices = {
+            vertex for vertex in self.grid.vertices() if vertex not in crashed
+        }
+        lr = count_disjoint_crossings(self.grid, open_vertices, direction="lr")
+        if lr < self.k:
+            return False
+        tb = count_disjoint_crossings(self.grid, open_vertices, direction="tb")
+        return tb >= self.k
+
+    def crash_probability(
+        self,
+        p: float,
+        *,
+        trials: int = 300,
+        rng: np.random.Generator | None = None,
+    ) -> float:
+        """Estimate ``Fp`` by Monte-Carlo percolation sampling.
+
+        Each trial crashes every vertex independently with probability ``p``
+        and checks quorum survival with two max-flow computations.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ComputationError(f"crash probability must lie in [0, 1], got {p}")
+        if trials <= 0:
+            raise ComputationError(f"trials must be positive, got {trials}")
+        rng = rng if rng is not None else np.random.default_rng()
+        failures = 0
+        for _ in range(trials):
+            open_vertices = sample_open_vertices(self.grid, p, rng)
+            lr = count_disjoint_crossings(self.grid, open_vertices, direction="lr")
+            if lr < self.k:
+                failures += 1
+                continue
+            tb = count_disjoint_crossings(self.grid, open_vertices, direction="tb")
+            if tb < self.k:
+                failures += 1
+        return failures / trials
+
+    def crash_probability_upper_bound(self, p: float, p_prime: float | None = None) -> float:
+        """Return the analytic bound of Proposition 7.3 (via Theorems B.1 and B.3).
+
+        Combines the Bazzi-style counting estimate
+        ``P_p'(LR) >= 1 - sqrt(n)(3p')^sqrt(n) / (1 - 3p')`` (valid for
+        ``p' < 1/3``) with the interior inequality of Theorem B.3 to bound the
+        probability that fewer than ``k`` disjoint crossings exist, and
+        doubles it for the two directions (equation (7)).
+
+        Parameters
+        ----------
+        p:
+            The per-server crash probability (< 1/3 for this estimate).
+        p_prime:
+            The auxiliary probability ``p < p' < 1/3`` of Theorem B.3.  When
+            omitted, the bound is minimised over a grid of candidate values
+            (the paper picks ``p' = 1/7`` by hand for its Section 8 numbers).
+        """
+        if not 0.0 <= p < 1.0 / 3.0:
+            raise ComputationError(
+                f"the counting estimate needs p < 1/3, got {p}; "
+                "use the Monte-Carlo crash_probability instead"
+            )
+
+        def evaluate(prime: float) -> float:
+            one_minus_lr = self.side * (3.0 * prime) ** self.side / (1.0 - 3.0 * prime)
+            amplification = ((1.0 - p) / (prime - p)) ** (self.k - 1)
+            return 2.0 * amplification * one_minus_lr
+
+        if p_prime is not None:
+            if not p < p_prime < 1.0 / 3.0:
+                raise ComputationError(
+                    f"need p < p_prime < 1/3, got p={p}, p_prime={p_prime}"
+                )
+            return min(1.0, evaluate(p_prime))
+
+        candidates = [p + (1.0 / 3.0 - p) * fraction for fraction in
+                      (0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)]
+        return min(1.0, min(evaluate(prime) for prime in candidates))

@@ -1,0 +1,71 @@
+"""Core quorum-system model: universes, quorum systems, measures, and bounds.
+
+This package implements Sections 3 and 4 of the paper: the quorum-system
+abstraction, the load and availability measures, the lower bounds on both,
+and quorum composition.
+"""
+
+from repro.core.availability import (
+    AvailabilityResult,
+    exact_failure_probability,
+    failure_probability,
+    inclusion_exclusion_failure_probability,
+    is_condorcet_sequence,
+    monte_carlo_failure_probability,
+)
+from repro.core.bounds import (
+    crash_probability_lower_bound,
+    crash_probability_lower_bound_for_system,
+    load_lower_bound,
+    load_lower_bound_for_system,
+    load_optimality_ratio,
+    optimal_quorum_size,
+    resilience_upper_bound_from_load,
+)
+from repro.core.composition import ComposedQuorumSystem, compose, self_compose
+from repro.core.load import LoadResult, best_known_load, exact_load, fair_load, load_of_strategy
+from repro.core.masking import MaskingReport, masking_report, verify_masking
+from repro.core.quorum_system import ExplicitQuorumSystem, QuorumSystem
+from repro.core.strategy import Strategy
+from repro.core.transversal import (
+    greedy_transversal,
+    is_transversal,
+    minimal_transversal,
+    minimal_transversal_size,
+)
+from repro.core.universe import Universe
+
+__all__ = [
+    "AvailabilityResult",
+    "ComposedQuorumSystem",
+    "ExplicitQuorumSystem",
+    "LoadResult",
+    "MaskingReport",
+    "QuorumSystem",
+    "Strategy",
+    "Universe",
+    "best_known_load",
+    "compose",
+    "crash_probability_lower_bound",
+    "crash_probability_lower_bound_for_system",
+    "exact_failure_probability",
+    "exact_load",
+    "failure_probability",
+    "fair_load",
+    "greedy_transversal",
+    "inclusion_exclusion_failure_probability",
+    "is_condorcet_sequence",
+    "is_transversal",
+    "load_lower_bound",
+    "load_lower_bound_for_system",
+    "load_of_strategy",
+    "load_optimality_ratio",
+    "masking_report",
+    "minimal_transversal",
+    "minimal_transversal_size",
+    "monte_carlo_failure_probability",
+    "optimal_quorum_size",
+    "resilience_upper_bound_from_load",
+    "self_compose",
+    "verify_masking",
+]

@@ -1,0 +1,244 @@
+"""Availability of quorum systems: the crash probability ``Fp`` (Definition 3.10).
+
+Assume each server crashes independently with probability ``p``.  A quorum is
+*hit* when it contains at least one crashed server; the system fails when
+every quorum is hit.  ``Fp(Q)`` is the probability of that event.  A family of
+systems is *Condorcet* when ``Fp -> 0`` as ``n -> infinity`` for every
+``p < 1/2``.
+
+Three general-purpose estimators are provided (constructions additionally
+expose their own closed forms or specialised simulators, e.g. percolation for
+M-Path):
+
+* :func:`exact_failure_probability` — sums over all ``2^n`` crash
+  configurations.  Exponential, but exact; intended for ``n`` up to ~20.
+* :func:`inclusion_exclusion_failure_probability` — inclusion–exclusion over
+  the quorums (the minimal path sets of reliability theory).  Exponential in
+  the *number of quorums*; intended for systems with up to ~22 quorums.
+* :func:`monte_carlo_failure_probability` — vectorised Monte-Carlo estimate
+  with a normal-approximation confidence interval.
+
+:func:`failure_probability` dispatches between them (and a construction's own
+``crash_probability`` method) based on system size.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.quorum_system import QuorumSystem
+from repro.exceptions import ComputationError
+
+__all__ = [
+    "AvailabilityResult",
+    "exact_failure_probability",
+    "inclusion_exclusion_failure_probability",
+    "monte_carlo_failure_probability",
+    "failure_probability",
+    "is_condorcet_sequence",
+]
+
+
+@dataclass(frozen=True)
+class AvailabilityResult:
+    """Outcome of a crash-probability estimation.
+
+    Attributes
+    ----------
+    value:
+        The estimate of ``Fp(Q)``.
+    method:
+        ``"exact"``, ``"inclusion-exclusion"``, ``"monte-carlo"`` or
+        ``"analytic"``.
+    std_error:
+        Standard error of the estimate (zero for exact methods).
+    trials:
+        Number of Monte-Carlo trials (zero for exact methods).
+    """
+
+    value: float
+    method: str
+    std_error: float = 0.0
+    trials: int = 0
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Return a two-sided normal-approximation confidence interval."""
+        low = max(0.0, self.value - z * self.std_error)
+        high = min(1.0, self.value + z * self.std_error)
+        return low, high
+
+
+def _validate_probability(p: float) -> float:
+    if not 0.0 <= p <= 1.0:
+        raise ComputationError(f"crash probability must lie in [0, 1], got {p}")
+    return float(p)
+
+
+def exact_failure_probability(
+    system: QuorumSystem, p: float, *, max_universe: int = 22
+) -> AvailabilityResult:
+    """Return ``Fp(Q)`` exactly by enumerating crash configurations.
+
+    The system survives a crash configuration exactly when some quorum
+    contains no crashed server, so
+
+    ``Fp(Q) = sum over crashed sets D of p^|D| (1-p)^(n-|D|) [every quorum meets D]``.
+
+    The sum is organised over *alive* sets represented as bitmasks so the
+    inner test is a subset check on integers.
+    """
+    p = _validate_probability(p)
+    n = system.n
+    if n > max_universe:
+        raise ComputationError(
+            f"exact enumeration over 2^{n} crash configurations refused "
+            f"(limit n <= {max_universe}); use Monte-Carlo instead"
+        )
+    universe_order = {element: i for i, element in enumerate(system.universe)}
+    quorum_masks = []
+    for quorum in system.quorums():
+        mask = 0
+        for element in quorum:
+            mask |= 1 << universe_order[element]
+        quorum_masks.append(mask)
+
+    survive_probability = 0.0
+    for alive_mask in range(1 << n):
+        if any(quorum_mask & alive_mask == quorum_mask for quorum_mask in quorum_masks):
+            alive_count = alive_mask.bit_count()
+            survive_probability += (1.0 - p) ** alive_count * p ** (n - alive_count)
+    return AvailabilityResult(value=1.0 - survive_probability, method="exact")
+
+
+def inclusion_exclusion_failure_probability(
+    system: QuorumSystem, p: float, *, max_quorums: int = 22
+) -> AvailabilityResult:
+    """Return ``Fp(Q)`` exactly via inclusion–exclusion over quorums.
+
+    ``P(some quorum alive) = sum_{∅ != S ⊆ Q} (-1)^(|S|+1) (1-p)^(|union of S|)``.
+
+    Exact but exponential in the number of quorums; useful when the system
+    has few quorums over a large universe (e.g. a finite projective plane).
+    """
+    p = _validate_probability(p)
+    quorum_list = system.quorums()
+    if len(quorum_list) > max_quorums:
+        raise ComputationError(
+            f"inclusion-exclusion over 2^{len(quorum_list)} quorum subsets refused "
+            f"(limit {max_quorums} quorums); use Monte-Carlo instead"
+        )
+    survive_probability = 0.0
+    for subset_size in range(1, len(quorum_list) + 1):
+        sign = 1.0 if subset_size % 2 == 1 else -1.0
+        for subset in itertools.combinations(quorum_list, subset_size):
+            union_size = len(frozenset().union(*subset))
+            survive_probability += sign * (1.0 - p) ** union_size
+    return AvailabilityResult(value=1.0 - survive_probability, method="inclusion-exclusion")
+
+
+def monte_carlo_failure_probability(
+    system: QuorumSystem,
+    p: float,
+    *,
+    trials: int = 20_000,
+    rng: np.random.Generator | None = None,
+    batch_size: int = 2_000,
+) -> AvailabilityResult:
+    """Estimate ``Fp(Q)`` by sampling crash configurations.
+
+    Each trial crashes every server independently with probability ``p`` and
+    checks whether any quorum is left untouched.  The check is vectorised
+    through the quorum/element incidence matrix.
+    """
+    p = _validate_probability(p)
+    if trials <= 0:
+        raise ComputationError(f"trials must be positive, got {trials}")
+    rng = rng if rng is not None else np.random.default_rng()
+    incidence = system.element_index_matrix()  # (m, n) boolean
+    quorum_sizes = incidence.sum(axis=1)
+
+    failures = 0
+    remaining = trials
+    while remaining > 0:
+        batch = min(batch_size, remaining)
+        crashed = rng.random((batch, system.n)) < p  # (batch, n)
+        # A quorum is alive when none of its members crashed: the count of
+        # alive members equals the quorum size.
+        alive_members = (~crashed).astype(np.int64) @ incidence.T.astype(np.int64)
+        some_quorum_alive = (alive_members == quorum_sizes[np.newaxis, :]).any(axis=1)
+        failures += int((~some_quorum_alive).sum())
+        remaining -= batch
+
+    estimate = failures / trials
+    std_error = math.sqrt(max(estimate * (1.0 - estimate), 1e-12) / trials)
+    return AvailabilityResult(
+        value=estimate, method="monte-carlo", std_error=std_error, trials=trials
+    )
+
+
+def failure_probability(
+    system: QuorumSystem,
+    p: float,
+    *,
+    method: str = "auto",
+    trials: int = 20_000,
+    rng: np.random.Generator | None = None,
+) -> AvailabilityResult:
+    """Return ``Fp(Q)`` using the most appropriate available method.
+
+    ``method`` may be ``"auto"``, ``"exact"``, ``"inclusion-exclusion"``,
+    ``"monte-carlo"`` or ``"analytic"``.  With ``"auto"``:
+
+    1. use the construction's own ``crash_probability`` method when present;
+    2. otherwise use exact enumeration when the universe is small;
+    3. otherwise use inclusion–exclusion when the quorum list is small;
+    4. otherwise fall back to Monte-Carlo.
+    """
+    if method == "analytic" or method == "auto":
+        analytic = getattr(system, "crash_probability", None)
+        if callable(analytic):
+            return AvailabilityResult(value=float(analytic(p)), method="analytic")
+        if method == "analytic":
+            raise ComputationError(
+                f"{system.name} does not provide an analytic crash probability"
+            )
+    if method == "exact":
+        return exact_failure_probability(system, p)
+    if method == "inclusion-exclusion":
+        return inclusion_exclusion_failure_probability(system, p)
+    if method == "monte-carlo":
+        return monte_carlo_failure_probability(system, p, trials=trials, rng=rng)
+    if method != "auto":
+        raise ComputationError(f"unknown availability method {method!r}")
+
+    if system.n <= 18:
+        return exact_failure_probability(system, p)
+    try:
+        quorum_count = system.num_quorums()
+    except ComputationError:
+        quorum_count = None
+    if quorum_count is not None and quorum_count <= 18:
+        return inclusion_exclusion_failure_probability(system, p)
+    return monte_carlo_failure_probability(system, p, trials=trials, rng=rng)
+
+
+def is_condorcet_sequence(
+    failure_probabilities: list[float], *, tolerance: float = 0.0
+) -> bool:
+    """Return ``True`` when a sequence of ``Fp`` values trends to zero.
+
+    The paper calls a family of systems *Condorcet* when ``Fp -> 0`` as the
+    universe grows, for every ``p < 1/2``.  This numeric proxy checks that
+    the sequence is (weakly) decreasing overall and that its last value is at
+    most half its first value (or already below ``tolerance``).
+    """
+    if len(failure_probabilities) < 2:
+        raise ComputationError("need at least two points to judge a trend")
+    first, last = failure_probabilities[0], failure_probabilities[-1]
+    if last <= tolerance:
+        return True
+    return last <= first / 2.0

@@ -1,0 +1,176 @@
+"""Quorum-system composition (Definition 4.6 and Theorem 4.7).
+
+The composition ``S ∘ R`` replaces every element ``i`` of the outer system
+``S`` with a disjoint copy ``R_i`` of the inner system ``R``; a quorum of the
+composition is obtained by choosing a quorum ``S`` of the outer system and,
+for every ``i`` in it, a quorum of ``R_i``.
+
+Theorem 4.7 gives the algebra of the composition:
+
+=====================  ==========================================
+universe size          ``n = n_S · n_R``
+minimal quorum         ``c = c(S) · c(R)``
+minimal intersection   ``IS = IS(S) · IS(R)``
+minimal transversal    ``MT = MT(S) · MT(R)``
+crash probability      ``Fp(S∘R) = s(r(p))`` with ``s = Fp(S)``, ``r = Fp(R)``
+load                   ``L(S∘R) = L(S) · L(R)``
+=====================  ==========================================
+
+The composed system is exposed both lazily (:class:`ComposedQuorumSystem`
+enumerates quorums on demand and reports the Theorem 4.7 values without
+enumeration) and eagerly (:meth:`ComposedQuorumSystem.to_explicit` for small
+systems, used heavily by the test-suite to validate the theorem).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Hashable, Iterator
+
+import numpy as np
+
+from repro.core import availability as availability_mod
+from repro.core import load as load_mod
+from repro.core.quorum_system import ExplicitQuorumSystem, QuorumSystem
+from repro.core.universe import Universe
+
+__all__ = ["ComposedQuorumSystem", "compose", "self_compose"]
+
+
+class ComposedQuorumSystem(QuorumSystem):
+    """The composition ``S ∘ R`` of two quorum systems.
+
+    Elements of the composed universe are pairs ``(i, r)`` where ``i`` is an
+    element of the outer universe and ``r`` an element of the inner universe:
+    the ``i``-th copy of the inner system lives on ``{(i, r) : r in R}``.
+    """
+
+    def __init__(self, outer: QuorumSystem, inner: QuorumSystem, *, name: str | None = None):
+        self._outer = outer
+        self._inner = inner
+        copies = [inner.universe.relabel(i) for i in outer.universe]
+        self._universe = Universe.disjoint_union(copies)
+        self.name = name or f"{outer.name}∘{inner.name}"
+
+    # ------------------------------------------------------------------
+    # Structure.
+    # ------------------------------------------------------------------
+    @property
+    def outer(self) -> QuorumSystem:
+        """The outer component ``S``."""
+        return self._outer
+
+    @property
+    def inner(self) -> QuorumSystem:
+        """The inner component ``R``."""
+        return self._inner
+
+    @property
+    def universe(self) -> Universe:
+        return self._universe
+
+    @staticmethod
+    def _tag(copy_index: Hashable, inner_quorum: frozenset) -> frozenset:
+        return frozenset((copy_index, element) for element in inner_quorum)
+
+    def iter_quorums(self) -> Iterator[frozenset]:
+        inner_quorums = self._inner.quorums()
+        for outer_quorum in self._outer.quorums():
+            members = sorted(outer_quorum, key=repr)
+            for choice in itertools.product(inner_quorums, repeat=len(members)):
+                combined: set = set()
+                for copy_index, inner_quorum in zip(members, choice):
+                    combined |= self._tag(copy_index, inner_quorum)
+                yield frozenset(combined)
+
+    def num_quorums(self) -> int:
+        """Return the number of quorums without enumerating them."""
+        inner_count = self._inner.num_quorums()
+        return sum(
+            inner_count ** len(outer_quorum) for outer_quorum in self._outer.quorums()
+        )
+
+    # ------------------------------------------------------------------
+    # Theorem 4.7: combinatorial parameters.
+    # ------------------------------------------------------------------
+    def min_quorum_size(self) -> int:
+        return self._outer.min_quorum_size() * self._inner.min_quorum_size()
+
+    def max_quorum_size(self) -> int:
+        return self._outer.max_quorum_size() * self._inner.max_quorum_size()
+
+    def min_intersection_size(self) -> int:
+        return self._outer.min_intersection_size() * self._inner.min_intersection_size()
+
+    def min_transversal_size(self) -> int:
+        return self._outer.min_transversal_size() * self._inner.min_transversal_size()
+
+    def fairness(self) -> tuple[int, int] | None:
+        outer_fairness = self._outer.fairness()
+        inner_fairness = self._inner.fairness()
+        if outer_fairness is None or inner_fairness is None:
+            return None
+        outer_size, outer_degree = outer_fairness
+        inner_size, inner_degree = inner_fairness
+        # Each composed quorum has outer_size * inner_size elements.  A fixed
+        # element (i, r) appears once for every outer quorum containing i,
+        # every inner quorum containing r, and every free choice on the other
+        # outer-quorum positions.
+        inner_count = self._inner.num_quorums()
+        degree = outer_degree * inner_degree * inner_count ** (outer_size - 1)
+        return outer_size * inner_size, degree
+
+    # ------------------------------------------------------------------
+    # Theorem 4.7: load and availability.
+    # ------------------------------------------------------------------
+    def load(self) -> float:
+        """Return ``L(S) · L(R)`` using the best known load of each component."""
+        outer_load = load_mod.best_known_load(self._outer).load
+        inner_load = load_mod.best_known_load(self._inner).load
+        return outer_load * inner_load
+
+    def crash_probability(self, p: float, **kwargs) -> float:
+        """Return ``Fp(S∘R) = s(r(p))`` (modular decomposition of reliability)."""
+        inner_value = availability_mod.failure_probability(self._inner, p, **kwargs).value
+        return availability_mod.failure_probability(self._outer, inner_value, **kwargs).value
+
+    def sample_quorum(self, rng: np.random.Generator) -> frozenset:
+        """Sample a quorum with the product strategy of Theorem 4.7's proof."""
+        outer_quorum = self._outer.sample_quorum(rng)
+        combined: set = set()
+        for copy_index in outer_quorum:
+            inner_quorum = self._inner.sample_quorum(rng)
+            combined |= self._tag(copy_index, inner_quorum)
+        return frozenset(combined)
+
+    # ------------------------------------------------------------------
+    # Conversion.
+    # ------------------------------------------------------------------
+    def to_explicit(self, *, limit: int = 200_000) -> ExplicitQuorumSystem:
+        """Materialise the composition (only sensible for small components)."""
+        return ExplicitQuorumSystem(
+            self._universe, self.quorums(limit=limit), name=self.name, validate=False
+        )
+
+
+def compose(outer: QuorumSystem, inner: QuorumSystem, *, name: str | None = None) -> ComposedQuorumSystem:
+    """Return the composition ``outer ∘ inner`` (Definition 4.6)."""
+    return ComposedQuorumSystem(outer, inner, name=name)
+
+
+def self_compose(system: QuorumSystem, depth: int, *, name: str | None = None) -> QuorumSystem:
+    """Compose ``system`` over itself ``depth - 1`` times.
+
+    ``self_compose(R, 1)`` is ``R`` itself, ``self_compose(R, 2)`` is
+    ``R ∘ R``, and so on.  This is the recursive construction underlying the
+    RT systems of Section 5.2.
+    """
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    result: QuorumSystem = system
+    for _ in range(depth - 1):
+        result = ComposedQuorumSystem(system, result)
+    if name is not None:
+        result.name = name
+    return result

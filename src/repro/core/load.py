@@ -1,0 +1,149 @@
+"""Load of a quorum system (Definition 3.8, Proposition 3.9).
+
+The *load* ``L(Q)`` is the access probability of the busiest server under the
+best possible access strategy.  It is a best-case, failure-free measure of
+how well the system spreads work.
+
+This module offers three ways to obtain the load:
+
+* :func:`exact_load` — solve the defining linear program exactly with
+  :func:`scipy.optimize.linprog`.  Feasible whenever the quorum list can be
+  enumerated (a few tens of thousands of quorums).
+* :func:`fair_load` — Proposition 3.9: a fair quorum system has
+  ``L(Q) = c(Q) / n``.  This is a closed form, valid only for fair systems.
+* :func:`best_known_load` — use the construction's own closed form when one
+  exists, fall back to the fair formula, and finally to the LP.
+
+The linear program is the standard one: variables are the strategy weights
+``w_Q`` plus the load bound ``L``; minimise ``L`` subject to
+``sum_{Q ∋ u} w_Q <= L`` for every server ``u`` and ``sum_Q w_Q = 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+from repro.core.quorum_system import QuorumSystem
+from repro.core.strategy import Strategy
+from repro.exceptions import ComputationError
+
+__all__ = ["LoadResult", "exact_load", "fair_load", "best_known_load", "load_of_strategy"]
+
+
+@dataclass(frozen=True)
+class LoadResult:
+    """The outcome of a load computation.
+
+    Attributes
+    ----------
+    load:
+        The value of ``L(Q)`` (or an upper bound, depending on the method).
+    strategy:
+        A strategy achieving ``load``, when the method produces one.
+    method:
+        Which procedure produced the value (``"lp"``, ``"fair"``,
+        ``"analytic"`` or ``"strategy"``).
+    """
+
+    load: float
+    strategy: Strategy | None
+    method: str
+
+
+def load_of_strategy(system: QuorumSystem, strategy: Strategy) -> float:
+    """Return the load induced on ``system`` by ``strategy`` (Definition 3.8)."""
+    return strategy.induced_system_load(system.universe)
+
+
+def fair_load(system: QuorumSystem) -> LoadResult:
+    """Return ``c(Q)/n`` for a fair system (Proposition 3.9).
+
+    Raises
+    ------
+    ComputationError
+        If the system is not fair, in which case the formula does not apply.
+    """
+    fairness = system.fairness()
+    if fairness is None:
+        raise ComputationError(
+            f"{system.name} is not a fair quorum system; Proposition 3.9 does not apply"
+        )
+    quorum_size, _ = fairness
+    quorum_list = system.quorums()
+    strategy = Strategy.uniform(quorum_list)
+    return LoadResult(load=quorum_size / system.n, strategy=strategy, method="fair")
+
+
+def exact_load(system: QuorumSystem, *, quorum_limit: int = 50_000) -> LoadResult:
+    """Return the exact load of ``system`` by solving the defining LP.
+
+    Parameters
+    ----------
+    system:
+        The quorum system; its quorums must be enumerable.
+    quorum_limit:
+        Guard on the number of quorums the LP is allowed to contain.
+
+    Returns
+    -------
+    LoadResult
+        The optimal load and an optimal strategy realising it.
+    """
+    quorum_list = system.quorums(limit=quorum_limit)
+    incidence = system.element_index_matrix().astype(float)  # shape (m, n)
+    num_quorums, num_elements = incidence.shape
+
+    # Variables: [w_1, ..., w_m, L].  Minimise L.
+    objective = np.zeros(num_quorums + 1)
+    objective[-1] = 1.0
+
+    # For every element u: sum_{Q ∋ u} w_Q - L <= 0.
+    upper_matrix = np.hstack([incidence.T, -np.ones((num_elements, 1))])
+    upper_bounds = np.zeros(num_elements)
+
+    # sum_Q w_Q = 1.
+    equality_matrix = np.zeros((1, num_quorums + 1))
+    equality_matrix[0, :num_quorums] = 1.0
+    equality_rhs = np.array([1.0])
+
+    bounds = [(0.0, None)] * num_quorums + [(0.0, 1.0)]
+
+    result = optimize.linprog(
+        objective,
+        A_ub=upper_matrix,
+        b_ub=upper_bounds,
+        A_eq=equality_matrix,
+        b_eq=equality_rhs,
+        bounds=bounds,
+        method="highs",
+    )
+    if not result.success:
+        raise ComputationError(f"load LP failed for {system.name}: {result.message}")
+
+    weights = np.clip(result.x[:num_quorums], 0.0, None)
+    strategy = Strategy.from_vector(system, weights, normalise=True)
+    load_value = float(result.x[-1])
+    return LoadResult(load=load_value, strategy=strategy, method="lp")
+
+
+def best_known_load(system: QuorumSystem) -> LoadResult:
+    """Return the best available load value for ``system``.
+
+    Preference order:
+
+    1. A construction-provided closed form (a ``load()`` method on the
+       system object), reported with method ``"analytic"``.
+    2. The fair-system formula of Proposition 3.9.
+    3. The exact linear program.
+    """
+    analytic = getattr(system, "load", None)
+    if callable(analytic):
+        return LoadResult(load=float(analytic()), strategy=None, method="analytic")
+    try:
+        return fair_load(system)
+    except ComputationError:
+        pass
+    return exact_load(system)

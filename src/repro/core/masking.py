@@ -1,0 +1,133 @@
+"""Verification of the b-masking property (Definitions 3.4 and 3.5).
+
+A quorum system is *b-masking* when
+
+1. it is resilient to at least ``b`` failures — for every set ``K`` of ``b``
+   servers some quorum avoids ``K`` entirely (Definition 3.4), and
+2. every two quorums intersect in at least ``2b + 1`` servers
+   (the consistency requirement (1) in Definition 3.5).
+
+The fast way to establish the property is through ``MT`` and ``IS``
+(Lemma 3.6 and Corollary 3.7), which :class:`~repro.core.quorum_system.QuorumSystem`
+already exposes.  This module provides the *literal* checks, used by the
+test-suite to validate the fast path and by users who want an explicit
+certificate or counterexample.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.quorum_system import QuorumSystem
+from repro.exceptions import MaskingViolationError
+
+__all__ = [
+    "MaskingReport",
+    "check_consistency",
+    "check_resilience",
+    "verify_masking",
+    "masking_report",
+]
+
+
+@dataclass(frozen=True)
+class MaskingReport:
+    """Summary of a masking verification.
+
+    Attributes
+    ----------
+    b:
+        The masking parameter that was checked.
+    consistent:
+        Whether every pair of quorums intersects in at least ``2b+1`` servers.
+    resilient:
+        Whether every ``b``-set of servers avoids some quorum.
+    violating_pair:
+        A pair of quorums with too small an intersection, if any.
+    blocking_set:
+        A ``b``-set of servers hitting every quorum, if any.
+    """
+
+    b: int
+    consistent: bool
+    resilient: bool
+    violating_pair: tuple[frozenset, frozenset] | None = None
+    blocking_set: frozenset | None = None
+
+    @property
+    def is_masking(self) -> bool:
+        """Whether the system is a ``b``-masking quorum system."""
+        return self.consistent and self.resilient
+
+
+def check_consistency(system: QuorumSystem, b: int) -> tuple[frozenset, frozenset] | None:
+    """Return a pair of quorums violating ``|Q1 ∩ Q2| >= 2b+1``, or ``None``.
+
+    This is the consistency requirement (1) of Definition 3.5, checked
+    exhaustively over all quorum pairs.
+    """
+    required = 2 * b + 1
+    quorum_list = system.quorums()
+    for first, second in itertools.combinations(quorum_list, 2):
+        if len(first & second) < required:
+            return first, second
+    if len(quorum_list) == 1 and len(quorum_list[0]) < required:
+        return quorum_list[0], quorum_list[0]
+    return None
+
+
+def check_resilience(system: QuorumSystem, b: int) -> frozenset | None:
+    """Return a ``b``-set of servers that hits every quorum, or ``None``.
+
+    Definition 3.4 requires that for every set ``K`` of ``b`` servers some
+    quorum is disjoint from ``K``.  Rather than enumerating all ``C(n, b)``
+    candidate sets, we use the equivalence with transversals: such a ``K``
+    exists exactly when ``MT(Q) <= b``, and the minimal transversal itself is
+    a witness (padded to size ``b`` if needed, which preserves the hitting
+    property).
+    """
+    if b <= 0:
+        return None
+    min_transversal = system.minimal_transversal()
+    if len(min_transversal) > b:
+        return None
+    padding_needed = b - len(min_transversal)
+    if padding_needed == 0:
+        return min_transversal
+    extra = [
+        element for element in system.universe if element not in min_transversal
+    ][:padding_needed]
+    return frozenset(min_transversal | set(extra))
+
+
+def masking_report(system: QuorumSystem, b: int) -> MaskingReport:
+    """Return a full :class:`MaskingReport` for masking parameter ``b``."""
+    if b < 0:
+        raise MaskingViolationError(f"masking parameter must be >= 0, got {b}")
+    violating_pair = check_consistency(system, b)
+    blocking_set = check_resilience(system, b)
+    return MaskingReport(
+        b=b,
+        consistent=violating_pair is None,
+        resilient=blocking_set is None,
+        violating_pair=violating_pair,
+        blocking_set=blocking_set,
+    )
+
+
+def verify_masking(system: QuorumSystem, b: int) -> None:
+    """Raise :class:`~repro.exceptions.MaskingViolationError` unless ``system`` is ``b``-masking."""
+    report = masking_report(system, b)
+    if report.is_masking:
+        return
+    if not report.consistent:
+        first, second = report.violating_pair
+        raise MaskingViolationError(
+            f"{system.name} is not {b}-masking: quorums intersect in "
+            f"{len(first & second)} < {2 * b + 1} servers"
+        )
+    raise MaskingViolationError(
+        f"{system.name} is not {b}-masking: the {len(report.blocking_set)} servers "
+        f"{sorted(report.blocking_set, key=repr)[:6]} hit every quorum"
+    )

@@ -1,0 +1,373 @@
+"""The quorum-system abstraction (Definitions 3.1–3.5 of the paper).
+
+Two layers are provided:
+
+* :class:`QuorumSystem` — an abstract base class.  Subclasses must expose a
+  universe and a way to iterate quorums; the base class derives every
+  combinatorial measure the paper uses (``c``, ``IS``, ``MT``, degrees,
+  fairness, resilience, masking ability) by enumeration, with caching.
+  Constructions in :mod:`repro.constructions` override the measures they know
+  in closed form, so that large systems never need to be enumerated.
+* :class:`ExplicitQuorumSystem` — a concrete quorum system given by an
+  explicit list of quorums, used for small systems, for composition results,
+  and throughout the test-suite.
+
+Terminology follows Table 1 of the paper:
+
+===========  ===========================================================
+``n``        number of servers, ``|U|``
+``c(Q)``     size of the smallest quorum
+``IS(Q)``    size of the smallest intersection between two quorums
+``MT(Q)``    size of the smallest transversal
+``f``        resilience, ``MT(Q) - 1``
+``b``        number of Byzantine failures maskable by the system
+===========  ===========================================================
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from collections.abc import Hashable, Iterable, Iterator
+
+import numpy as np
+
+from repro.core import transversal as transversal_mod
+from repro.core.universe import Universe
+from repro.exceptions import ComputationError, InvalidQuorumSystemError
+
+__all__ = ["QuorumSystem", "ExplicitQuorumSystem"]
+
+#: Default cap on the number of quorums the generic (enumeration based)
+#: measure implementations are willing to materialise.
+DEFAULT_ENUMERATION_LIMIT = 200_000
+
+
+class QuorumSystem(ABC):
+    """Abstract base class for quorum systems (Definition 3.1).
+
+    Subclasses must implement :meth:`universe` and :meth:`iter_quorums`.
+    Everything else has a generic, enumeration-based default implementation
+    that constructions override with the paper's closed forms whenever these
+    are available.
+    """
+
+    #: Human readable name used in tables and reports.
+    name: str = "quorum-system"
+
+    #: Whether :meth:`iter_quorums` enumerates *all* quorums of the system.
+    #: Some very large constructions (e.g. M-Path) only enumerate a canonical
+    #: sub-family; they set this to ``False`` so that the generic measure
+    #: implementations refuse to silently compute wrong exact values.
+    enumerates_all_quorums: bool = True
+
+    # ------------------------------------------------------------------
+    # Abstract surface.
+    # ------------------------------------------------------------------
+    @property
+    @abstractmethod
+    def universe(self) -> Universe:
+        """The universe of servers the system is built over."""
+
+    @abstractmethod
+    def iter_quorums(self) -> Iterator[frozenset]:
+        """Yield the quorums of the system as frozensets of universe elements."""
+
+    # ------------------------------------------------------------------
+    # Basic structure.
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """The number of servers ``n = |U|``."""
+        return self.universe.size
+
+    def quorums(self, *, limit: int | None = DEFAULT_ENUMERATION_LIMIT) -> tuple[frozenset, ...]:
+        """Return the quorums as a tuple, enumerating at most ``limit`` of them.
+
+        Raises
+        ------
+        ComputationError
+            If the system declares that it cannot enumerate all its quorums,
+            or if the enumeration exceeds ``limit``.
+        """
+        if not self.enumerates_all_quorums:
+            raise ComputationError(
+                f"{self.name} cannot enumerate its full quorum list; "
+                "use its analytic measures or sample_quorum instead"
+            )
+        cached = getattr(self, "_quorum_cache", None)
+        if cached is not None:
+            return cached
+        collected: list[frozenset] = []
+        for quorum in self.iter_quorums():
+            collected.append(quorum)
+            if limit is not None and len(collected) > limit:
+                raise ComputationError(
+                    f"{self.name} has more than {limit} quorums; "
+                    "raise the limit explicitly if enumeration is really wanted"
+                )
+        quorum_tuple = tuple(collected)
+        self._quorum_cache = quorum_tuple
+        return quorum_tuple
+
+    def num_quorums(self) -> int:
+        """Return the number of quorums (by enumeration unless overridden)."""
+        return len(self.quorums())
+
+    def sample_quorum(self, rng: np.random.Generator) -> frozenset:
+        """Return a quorum sampled under the system's preferred access strategy.
+
+        The default strategy is uniform over the enumerated quorum list;
+        constructions override this with their load-optimal strategy.
+        """
+        quorum_list = self.quorums()
+        return quorum_list[int(rng.integers(len(quorum_list)))]
+
+    def sample_quorum_avoiding(
+        self,
+        rng: np.random.Generator,
+        excluded: frozenset,
+        *,
+        attempts: int = 50,
+    ) -> frozenset:
+        """Return a quorum avoiding ``excluded`` servers, when one can be found.
+
+        Used by clients as a simple failure detector: once servers are
+        observed to be unresponsive, subsequent accesses should steer towards
+        quorums that avoid them (this is what turns the combinatorial
+        resilience ``f = MT - 1`` into actual protocol availability).  The
+        generic implementation resamples the access strategy; constructions
+        with structure (e.g. thresholds) override it with a direct choice.
+        Falls back to an arbitrary quorum when avoidance fails.
+        """
+        excluded = frozenset(excluded)
+        quorum = self.sample_quorum(rng)
+        if not excluded:
+            return quorum
+        for _ in range(attempts):
+            if not quorum & excluded:
+                return quorum
+            quorum = self.sample_quorum(rng)
+        return quorum
+
+    # ------------------------------------------------------------------
+    # Combinatorial measures (Table 1).
+    # ------------------------------------------------------------------
+    def min_quorum_size(self) -> int:
+        """Return ``c(Q)``, the size of the smallest quorum."""
+        return min(len(quorum) for quorum in self.quorums())
+
+    def max_quorum_size(self) -> int:
+        """Return the size of the largest quorum."""
+        return max(len(quorum) for quorum in self.quorums())
+
+    def min_intersection_size(self) -> int:
+        """Return ``IS(Q)``, the smallest pairwise quorum intersection."""
+        quorum_list = self.quorums()
+        if len(quorum_list) == 1:
+            return len(quorum_list[0])
+        smallest = None
+        for first, second in itertools.combinations(quorum_list, 2):
+            size = len(first & second)
+            if smallest is None or size < smallest:
+                smallest = size
+                if smallest == 0:
+                    break
+        return int(smallest)
+
+    def min_transversal_size(self) -> int:
+        """Return ``MT(Q)``, the size of the smallest transversal."""
+        return transversal_mod.minimal_transversal_size(self.quorums())
+
+    def minimal_transversal(self) -> frozenset:
+        """Return one smallest transversal of the system."""
+        return transversal_mod.minimal_transversal(self.quorums())
+
+    def resilience(self) -> int:
+        """Return ``f = MT(Q) - 1`` (remark after Definition 3.4)."""
+        return self.min_transversal_size() - 1
+
+    def degree(self, element: Hashable) -> int:
+        """Return ``deg(element)``, the number of quorums containing it."""
+        return sum(1 for quorum in self.quorums() if element in quorum)
+
+    def degrees(self) -> dict[Hashable, int]:
+        """Return the degree of every universe element."""
+        counts = {element: 0 for element in self.universe}
+        for quorum in self.quorums():
+            for element in quorum:
+                counts[element] += 1
+        return counts
+
+    def is_fair(self) -> bool:
+        """Return ``True`` when the system is ``(s, d)``-fair (Definition 3.2)."""
+        return self.fairness() is not None
+
+    def fairness(self) -> tuple[int, int] | None:
+        """Return ``(s, d)`` if the system is ``(s, d)``-fair, else ``None``."""
+        quorum_list = self.quorums()
+        sizes = {len(quorum) for quorum in quorum_list}
+        if len(sizes) != 1:
+            return None
+        degree_values = set(self.degrees().values())
+        if len(degree_values) != 1:
+            return None
+        return sizes.pop(), degree_values.pop()
+
+    # ------------------------------------------------------------------
+    # Masking (Definitions 3.4, 3.5; Lemma 3.6; Corollary 3.7).
+    # ------------------------------------------------------------------
+    def masking_bound(self) -> int:
+        """Return the largest ``b`` for which the system is ``b``-masking.
+
+        This is Corollary 3.7: ``b = min{MT(Q) - 1, (IS(Q) - 1) // 2}``.  A
+        value of ``0`` means the system is an ordinary (regular) quorum
+        system that cannot mask any Byzantine failure.
+        """
+        by_resilience = self.min_transversal_size() - 1
+        by_intersection = (self.min_intersection_size() - 1) // 2
+        return max(0, min(by_resilience, by_intersection))
+
+    def is_b_masking(self, b: int) -> bool:
+        """Return ``True`` when the system is a ``b``-masking quorum system.
+
+        Checks the two sufficient conditions of Lemma 3.6:
+        ``MT(Q) >= b + 1`` and ``IS(Q) >= 2b + 1``.
+        """
+        if b < 0:
+            raise InvalidQuorumSystemError(f"masking parameter must be >= 0, got {b}")
+        if b == 0:
+            return True
+        return (
+            self.min_transversal_size() >= b + 1
+            and self.min_intersection_size() >= 2 * b + 1
+        )
+
+    # ------------------------------------------------------------------
+    # Validation and conversion.
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check that the system satisfies Definition 3.1.
+
+        Every quorum must be a non-empty subset of the universe and every
+        pair of quorums must intersect.
+
+        Raises
+        ------
+        InvalidQuorumSystemError
+            On the first violated requirement.
+        """
+        quorum_list = self.quorums()
+        if not quorum_list:
+            raise InvalidQuorumSystemError("a quorum system must contain at least one quorum")
+        universe_set = self.universe.as_frozenset()
+        for quorum in quorum_list:
+            if not quorum:
+                raise InvalidQuorumSystemError("quorums must be non-empty")
+            if not quorum <= universe_set:
+                stray = sorted(quorum - universe_set, key=repr)[:3]
+                raise InvalidQuorumSystemError(
+                    f"quorum contains elements outside the universe: {stray}"
+                )
+        for first, second in itertools.combinations(quorum_list, 2):
+            if not first & second:
+                raise InvalidQuorumSystemError(
+                    "two quorums do not intersect; this is not a quorum system"
+                )
+
+    def to_explicit(self) -> "ExplicitQuorumSystem":
+        """Materialise the system as an :class:`ExplicitQuorumSystem`."""
+        return ExplicitQuorumSystem(self.universe, self.quorums(), name=self.name)
+
+    def element_index_matrix(self) -> np.ndarray:
+        """Return the quorum/element incidence matrix as a boolean array.
+
+        Rows are quorums (in enumeration order), columns are universe
+        elements (in universe order).  Used by the LP load computation and by
+        the exact availability computation.
+        """
+        quorum_list = self.quorums()
+        matrix = np.zeros((len(quorum_list), self.n), dtype=bool)
+        for row, quorum in enumerate(quorum_list):
+            for element in quorum:
+                matrix[row, self.universe.index_of(element)] = True
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Dunder helpers.
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r} n={self.n}>"
+
+
+class ExplicitQuorumSystem(QuorumSystem):
+    """A quorum system given by an explicit collection of quorums.
+
+    Parameters
+    ----------
+    universe:
+        The universe of servers, either a :class:`~repro.core.universe.Universe`
+        or any iterable of hashable elements.
+    quorums:
+        The quorums.  They are normalised to ``frozenset`` and deduplicated
+        while preserving first-seen order.
+    name:
+        Optional human-readable name.
+    validate:
+        When ``True`` (the default), check Definition 3.1 eagerly.
+    """
+
+    def __init__(
+        self,
+        universe: Universe | Iterable[Hashable],
+        quorums: Iterable[Iterable[Hashable]],
+        *,
+        name: str = "explicit",
+        validate: bool = True,
+    ):
+        if not isinstance(universe, Universe):
+            universe = Universe(universe)
+        self._universe = universe
+        seen: dict[frozenset, None] = {}
+        for quorum in quorums:
+            seen.setdefault(frozenset(quorum), None)
+        self._quorums = tuple(seen)
+        self.name = name
+        if validate:
+            self.validate()
+
+    @property
+    def universe(self) -> Universe:
+        return self._universe
+
+    def iter_quorums(self) -> Iterator[frozenset]:
+        return iter(self._quorums)
+
+    def num_quorums(self) -> int:
+        return len(self._quorums)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExplicitQuorumSystem):
+            return NotImplemented
+        return (
+            self._universe.as_frozenset() == other._universe.as_frozenset()
+            and frozenset(self._quorums) == frozenset(other._quorums)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._universe.as_frozenset(), frozenset(self._quorums)))
+
+    def restricted_to_alive(self, crashed: Iterable[Hashable]) -> "ExplicitQuorumSystem | None":
+        """Return the sub-system of quorums untouched by ``crashed`` servers.
+
+        Returns ``None`` when every quorum is hit, i.e. when the crash
+        configuration disables the system (the event ``crash(Q)`` of
+        Definition 3.10).
+        """
+        down = frozenset(crashed)
+        alive = [quorum for quorum in self._quorums if not quorum & down]
+        if not alive:
+            return None
+        return ExplicitQuorumSystem(
+            self._universe, alive, name=f"{self.name}|alive", validate=False
+        )

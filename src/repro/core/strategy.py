@@ -1,0 +1,165 @@
+"""Access strategies over quorum systems (Definition 3.8, first half).
+
+An access strategy ``w`` is a probability distribution over the quorums of a
+system: ``w(Q) >= 0`` and ``sum_Q w(Q) = 1``.  The *load induced on an
+element* ``u`` is ``l_w(u) = sum_{Q ∋ u} w(Q)``; the load induced on the
+system is the maximum over elements.  The system load (the paper's ``L(Q)``)
+is the minimum of the induced load over all strategies, computed in
+:mod:`repro.core.load`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+
+import numpy as np
+
+from repro.core.quorum_system import QuorumSystem
+from repro.core.universe import Universe
+from repro.exceptions import StrategyError
+
+__all__ = ["Strategy"]
+
+#: Probabilities are accepted as valid when they sum to one within this slack.
+_PROBABILITY_TOLERANCE = 1e-9
+
+
+class Strategy:
+    """A probability distribution over quorums.
+
+    Parameters
+    ----------
+    weights:
+        Mapping from quorum (any iterable of elements; normalised to
+        ``frozenset``) to its access probability.  Quorums with zero weight
+        may be omitted.
+    normalise:
+        When ``True``, rescale the weights to sum to one instead of rejecting
+        a distribution that does not.
+
+    Examples
+    --------
+    >>> w = Strategy({frozenset({0, 1}): 0.5, frozenset({1, 2}): 0.5})
+    >>> w.probability(frozenset({0, 1}))
+    0.5
+    """
+
+    def __init__(
+        self,
+        weights: Mapping[Iterable[Hashable], float],
+        *,
+        normalise: bool = False,
+    ):
+        cleaned: dict[frozenset, float] = {}
+        for quorum, weight in weights.items():
+            weight = float(weight)
+            if weight < -_PROBABILITY_TOLERANCE:
+                raise StrategyError(f"negative probability {weight} for quorum {set(quorum)}")
+            if weight <= 0.0:
+                continue
+            key = frozenset(quorum)
+            cleaned[key] = cleaned.get(key, 0.0) + weight
+        if not cleaned:
+            raise StrategyError("a strategy must give positive probability to some quorum")
+        total = sum(cleaned.values())
+        if normalise:
+            cleaned = {quorum: weight / total for quorum, weight in cleaned.items()}
+        elif abs(total - 1.0) > 1e-6:
+            raise StrategyError(f"strategy probabilities sum to {total}, expected 1")
+        self._weights = cleaned
+
+    # ------------------------------------------------------------------
+    # Constructors.
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, quorums: Iterable[Iterable[Hashable]]) -> "Strategy":
+        """Return the uniform strategy over the given quorums."""
+        quorum_list = [frozenset(quorum) for quorum in quorums]
+        if not quorum_list:
+            raise StrategyError("cannot build a uniform strategy over no quorums")
+        weight = 1.0 / len(quorum_list)
+        return cls({quorum: weight for quorum in quorum_list})
+
+    @classmethod
+    def uniform_over_system(cls, system: QuorumSystem) -> "Strategy":
+        """Return the uniform strategy over all quorums of ``system``."""
+        return cls.uniform(system.quorums())
+
+    @classmethod
+    def from_vector(
+        cls, system: QuorumSystem, vector: np.ndarray, *, normalise: bool = True
+    ) -> "Strategy":
+        """Build a strategy from a weight vector aligned with ``system.quorums()``."""
+        quorum_list = system.quorums()
+        if len(vector) != len(quorum_list):
+            raise StrategyError(
+                f"weight vector has length {len(vector)}, expected {len(quorum_list)}"
+            )
+        weights = {
+            quorum: float(weight)
+            for quorum, weight in zip(quorum_list, vector)
+            if weight > 0.0
+        }
+        return cls(weights, normalise=normalise)
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    @property
+    def support(self) -> tuple[frozenset, ...]:
+        """The quorums that receive positive probability."""
+        return tuple(self._weights)
+
+    def probability(self, quorum: Iterable[Hashable]) -> float:
+        """Return the probability assigned to ``quorum`` (0 if unsupported)."""
+        return self._weights.get(frozenset(quorum), 0.0)
+
+    def items(self):
+        """Iterate over ``(quorum, probability)`` pairs."""
+        return self._weights.items()
+
+    def validate_against(self, system: QuorumSystem) -> None:
+        """Check that every supported set is a quorum of ``system``.
+
+        Raises
+        ------
+        StrategyError
+            If some supported set is not among the system's quorums.
+        """
+        quorum_set = set(system.quorums())
+        for quorum in self._weights:
+            if quorum not in quorum_set:
+                raise StrategyError(
+                    f"strategy assigns probability to {set(quorum)}, "
+                    f"which is not a quorum of {system.name}"
+                )
+
+    # ------------------------------------------------------------------
+    # Induced load (Definition 3.8).
+    # ------------------------------------------------------------------
+    def induced_loads(self, universe: Universe) -> dict[Hashable, float]:
+        """Return ``l_w(u)`` for every element ``u`` of ``universe``."""
+        loads = {element: 0.0 for element in universe}
+        for quorum, weight in self._weights.items():
+            for element in quorum:
+                if element in loads:
+                    loads[element] += weight
+        return loads
+
+    def induced_system_load(self, universe: Universe) -> float:
+        """Return ``L_w(Q) = max_u l_w(u)``, the load induced by this strategy."""
+        return max(self.induced_loads(universe).values())
+
+    def sample(self, rng: np.random.Generator) -> frozenset:
+        """Draw one quorum according to the strategy."""
+        quorums = list(self._weights)
+        probabilities = np.fromiter(self._weights.values(), dtype=float)
+        probabilities = probabilities / probabilities.sum()
+        index = int(rng.choice(len(quorums), p=probabilities))
+        return quorums[index]
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def __repr__(self) -> str:
+        return f"Strategy(support={len(self._weights)} quorums)"

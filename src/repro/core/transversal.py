@@ -1,0 +1,198 @@
+"""Transversals (hitting sets) of set systems.
+
+A *transversal* of a quorum system ``Q`` is a set ``T`` that intersects every
+quorum (Definition 3.3).  The size of the smallest transversal, ``MT(Q)``,
+determines the resilience of the system: ``f = MT(Q) - 1`` (the remark after
+Definition 3.4), because crashing a full minimal transversal disables every
+quorum, while any smaller crash set leaves some quorum untouched.
+
+Computing a minimum hitting set is NP-hard in general, so this module offers
+three procedures:
+
+* :func:`minimal_transversal` — exact solution.  The default engine encodes
+  the problem as a small binary integer program solved by HiGHS
+  (:func:`scipy.optimize.milp`); a pure-Python branch-and-bound engine is
+  also available (``engine="branch-and-bound"``) and serves as an
+  independent cross-check in the test-suite.
+* :func:`greedy_transversal` — the classical ``ln m`` approximation, used as
+  an upper bound and as the branch-and-bound incumbent.
+* :func:`is_transversal` — verification helper.
+
+All functions operate on plain collections of ``frozenset`` so that they can
+be reused by the percolation and simulation subsystems without importing the
+quorum-system abstraction.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Collection, Hashable, Iterable
+
+import numpy as np
+from scipy import optimize, sparse
+
+from repro.exceptions import ComputationError
+
+__all__ = [
+    "is_transversal",
+    "greedy_transversal",
+    "minimal_transversal",
+    "minimal_transversal_size",
+]
+
+
+def is_transversal(candidate: Collection[Hashable], sets: Iterable[frozenset]) -> bool:
+    """Return ``True`` when ``candidate`` intersects every set in ``sets``."""
+    members = frozenset(candidate)
+    return all(members & group for group in sets)
+
+
+def greedy_transversal(sets: Collection[frozenset]) -> frozenset:
+    """Return a transversal built by repeatedly picking the most frequent element.
+
+    The result is an upper bound on the minimum transversal; it is within a
+    logarithmic factor of optimal, which is good enough to seed the exact
+    branch-and-bound search with a useful incumbent.
+    """
+    remaining = [frozenset(group) for group in sets]
+    chosen: set[Hashable] = set()
+    while remaining:
+        counts: Counter[Hashable] = Counter()
+        for group in remaining:
+            counts.update(group)
+        element, _ = counts.most_common(1)[0]
+        chosen.add(element)
+        remaining = [group for group in remaining if element not in group]
+    return frozenset(chosen)
+
+
+def _reduce_sets(sets: Collection[frozenset]) -> list[frozenset]:
+    """Deduplicate and drop supersets (they never constrain the optimum)."""
+    unique = sorted(set(sets), key=len)
+    reduced: list[frozenset] = []
+    for group in unique:
+        if not any(smaller <= group for smaller in reduced):
+            reduced.append(group)
+    return reduced
+
+
+def _minimal_transversal_milp(reduced: list[frozenset]) -> frozenset:
+    """Solve the minimum hitting set as a binary integer program (HiGHS)."""
+    elements = sorted({element for group in reduced for element in group}, key=repr)
+    index = {element: position for position, element in enumerate(elements)}
+
+    rows, columns = [], []
+    for row, group in enumerate(reduced):
+        for element in group:
+            rows.append(row)
+            columns.append(index[element])
+    coverage = sparse.csr_matrix(
+        (np.ones(len(rows)), (rows, columns)), shape=(len(reduced), len(elements))
+    )
+
+    constraints = optimize.LinearConstraint(coverage, lb=1, ub=np.inf)
+    integrality = np.ones(len(elements))
+    bounds = optimize.Bounds(0, 1)
+    result = optimize.milp(
+        c=np.ones(len(elements)),
+        constraints=constraints,
+        integrality=integrality,
+        bounds=bounds,
+    )
+    if not result.success:
+        raise ComputationError(f"hitting-set integer program failed: {result.message}")
+    chosen = frozenset(
+        element for element, position in index.items() if result.x[position] > 0.5
+    )
+    if not is_transversal(chosen, reduced):
+        raise ComputationError("integer program returned a non-transversal (numerical issue)")
+    return chosen
+
+
+def _smallest_uncovered(sets: list[frozenset], chosen: set[Hashable]) -> frozenset | None:
+    """Return the smallest set not yet hit by ``chosen`` (or ``None``)."""
+    best: frozenset | None = None
+    for group in sets:
+        if chosen & group:
+            continue
+        if best is None or len(group) < len(best):
+            best = group
+            if len(best) == 1:
+                break
+    return best
+
+
+def _minimal_transversal_branch_and_bound(reduced: list[frozenset]) -> frozenset:
+    """Exact search branching on the smallest uncovered set, pruned by the incumbent."""
+    best = greedy_transversal(reduced)
+
+    def search(chosen: set[Hashable]) -> None:
+        nonlocal best
+        if len(chosen) >= len(best):
+            return
+        target = _smallest_uncovered(reduced, chosen)
+        if target is None:
+            best = frozenset(chosen)
+            return
+        for element in sorted(target, key=repr):
+            chosen.add(element)
+            search(chosen)
+            chosen.remove(element)
+
+    search(set())
+    return best
+
+
+def minimal_transversal(
+    sets: Collection[frozenset],
+    *,
+    engine: str = "milp",
+    max_sets: int = 100_000,
+) -> frozenset:
+    """Return a minimum-cardinality transversal of ``sets``.
+
+    Parameters
+    ----------
+    sets:
+        The sets to hit.  Must be non-empty sets; an empty input collection
+        has the empty set as its (trivial) transversal.
+    engine:
+        ``"milp"`` (default; binary integer program solved by HiGHS) or
+        ``"branch-and-bound"`` (pure Python, only sensible for small
+        instances but independent of scipy — used as a cross-check).
+    max_sets:
+        Guard against running an exact algorithm over an absurdly large
+        quorum list.
+
+    Returns
+    -------
+    frozenset
+        A smallest transversal.  ``MT`` is its length.
+    """
+    groups = [frozenset(group) for group in sets]
+    if not groups:
+        return frozenset()
+    if any(not group for group in groups):
+        raise ComputationError("cannot hit an empty set; no transversal exists")
+    if len(groups) > max_sets:
+        raise ComputationError(
+            f"refusing exact transversal search over {len(groups)} sets "
+            f"(limit {max_sets}); use greedy_transversal or an analytic bound"
+        )
+
+    reduced = _reduce_sets(groups)
+    if engine == "milp":
+        return _minimal_transversal_milp(reduced)
+    if engine == "branch-and-bound":
+        return _minimal_transversal_branch_and_bound(reduced)
+    raise ComputationError(f"unknown transversal engine {engine!r}")
+
+
+def minimal_transversal_size(
+    sets: Collection[frozenset],
+    *,
+    engine: str = "milp",
+    max_sets: int = 100_000,
+) -> int:
+    """Return ``MT``, the size of the smallest transversal of ``sets``."""
+    return len(minimal_transversal(sets, engine=engine, max_sets=max_sets))

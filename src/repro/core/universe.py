@@ -1,0 +1,152 @@
+"""The universe of servers over which quorum systems are constructed.
+
+The paper assumes a universe ``U`` of ``n`` servers (Section 3).  Elements of
+the universe may be any hashable Python objects; the constructions in
+:mod:`repro.constructions` use integers or integer pairs ``(row, column)``.
+
+:class:`Universe` is an immutable, ordered view of a set of elements.  It
+offers index lookups in both directions (element to index and index to
+element), which the load and availability computations use to map servers to
+vector positions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+
+from repro.exceptions import InvalidQuorumSystemError
+
+__all__ = ["Universe"]
+
+
+class Universe:
+    """An immutable, ordered universe of servers.
+
+    Parameters
+    ----------
+    elements:
+        The servers.  Duplicates are rejected because a quorum system is
+        defined over a *set* of servers.  The iteration order of ``elements``
+        is preserved, so constructions can present their servers in a
+        human-meaningful order (e.g. row-major grid order).
+
+    Examples
+    --------
+    >>> u = Universe(range(5))
+    >>> len(u)
+    5
+    >>> u.index_of(3)
+    3
+    >>> u.element_at(0)
+    0
+    """
+
+    __slots__ = ("_elements", "_index")
+
+    def __init__(self, elements: Iterable[Hashable]):
+        ordered = tuple(elements)
+        index: dict[Hashable, int] = {}
+        for position, element in enumerate(ordered):
+            if element in index:
+                raise InvalidQuorumSystemError(
+                    f"duplicate element {element!r} in universe"
+                )
+            index[element] = position
+        if not ordered:
+            raise InvalidQuorumSystemError("a universe must contain at least one server")
+        self._elements = ordered
+        self._index = index
+
+    @classmethod
+    def of_size(cls, n: int) -> "Universe":
+        """Return the canonical universe ``{0, 1, ..., n - 1}``."""
+        if n <= 0:
+            raise InvalidQuorumSystemError(f"universe size must be positive, got {n}")
+        return cls(range(n))
+
+    @property
+    def elements(self) -> tuple[Hashable, ...]:
+        """The servers, in their declared order."""
+        return self._elements
+
+    @property
+    def size(self) -> int:
+        """The number of servers ``n = |U|``."""
+        return len(self._elements)
+
+    def index_of(self, element: Hashable) -> int:
+        """Return the position of ``element`` in the declared order."""
+        try:
+            return self._index[element]
+        except KeyError:
+            raise InvalidQuorumSystemError(
+                f"element {element!r} is not part of this universe"
+            ) from None
+
+    def element_at(self, index: int) -> Hashable:
+        """Return the server at ``index`` in the declared order."""
+        return self._elements[index]
+
+    def indices_of(self, elements: Iterable[Hashable]) -> tuple[int, ...]:
+        """Return the positions of several elements, in iteration order."""
+        return tuple(self.index_of(element) for element in elements)
+
+    def as_frozenset(self) -> frozenset:
+        """Return the universe as a frozenset (order discarded)."""
+        return frozenset(self._elements)
+
+    def subset(self, elements: Iterable[Hashable]) -> frozenset:
+        """Validate that ``elements`` all belong to the universe and return them.
+
+        Raises
+        ------
+        InvalidQuorumSystemError
+            If any element is not a member of the universe.
+        """
+        subset = frozenset(elements)
+        for element in subset:
+            if element not in self._index:
+                raise InvalidQuorumSystemError(
+                    f"element {element!r} is not part of this universe"
+                )
+        return subset
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._index
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Universe):
+            return NotImplemented
+        return self._elements == other._elements
+
+    def __hash__(self) -> int:
+        return hash(self._elements)
+
+    def __repr__(self) -> str:
+        if self.size <= 8:
+            return f"Universe({list(self._elements)!r})"
+        head = ", ".join(repr(element) for element in self._elements[:4])
+        return f"Universe([{head}, ...], size={self.size})"
+
+    def relabel(self, prefix: Hashable) -> "Universe":
+        """Return a copy whose elements are tagged with ``prefix``.
+
+        Used by quorum composition (Definition 4.6), where each element of
+        the outer system is replaced by a *disjoint* copy of the inner
+        system's universe.  Tagging guarantees disjointness.
+        """
+        return Universe((prefix, element) for element in self._elements)
+
+    @staticmethod
+    def disjoint_union(universes: Sequence["Universe"]) -> "Universe":
+        """Return the union of several universes, which must be disjoint."""
+        combined: list[Hashable] = []
+        for universe in universes:
+            combined.extend(universe.elements)
+        return Universe(combined)

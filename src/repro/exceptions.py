@@ -1,0 +1,73 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single type at API boundaries while still being able to
+distinguish configuration problems from mathematical infeasibility.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class InvalidQuorumSystemError(ReproError):
+    """A set system does not satisfy the quorum-system requirements.
+
+    Raised when two quorums fail to intersect (Definition 3.1 of the paper),
+    when a quorum is empty, or when a quorum contains elements outside the
+    declared universe.
+    """
+
+
+class MaskingViolationError(ReproError):
+    """A quorum system does not satisfy the ``b``-masking requirements.
+
+    Raised when the consistency requirement ``|Q1 ∩ Q2| >= 2b + 1``
+    (Definition 3.5) or the resilience requirement ``f >= b`` fails for a
+    requested masking parameter ``b``.
+    """
+
+
+class ConstructionError(ReproError):
+    """A construction was requested with infeasible parameters.
+
+    Examples: an M-Grid with ``b > (sqrt(n) - 1)/2``, a threshold system
+    whose threshold exceeds the universe size, or a finite projective plane
+    of non-prime-power order.
+    """
+
+
+class StrategyError(ReproError):
+    """An access strategy is malformed.
+
+    Raised when probabilities are negative, do not sum to one, or assign
+    weight to sets that are not quorums of the system.
+    """
+
+
+class ComputationError(ReproError):
+    """A measure could not be computed with the requested method.
+
+    Raised, for example, when an exact computation is requested for a system
+    that is too large to enumerate, or when a linear program fails to solve.
+    """
+
+
+class SimulationError(ReproError):
+    """The replicated-service simulation was configured inconsistently.
+
+    Raised when the number of injected Byzantine faults exceeds the masking
+    bound declared for the protocol, when a client is asked to operate over
+    an unknown server, or when the simulated protocol detects an internal
+    invariant violation.
+    """
+
+
+class FieldError(ReproError):
+    """Finite-field arithmetic was requested with invalid parameters.
+
+    Raised for non-prime characteristics, reducible modulus polynomials, or
+    division by zero inside GF(p^r).
+    """

@@ -1,0 +1,18 @@
+"""Finite-field arithmetic and projective planes.
+
+This subpackage is the algebraic substrate for the boostFPP construction of
+Section 6: GF(p), GF(p^r) and the classical projective plane PG(2, q).
+"""
+
+from repro.gf.extension_field import GaloisField
+from repro.gf.prime_field import PrimeField, factor_prime_power, is_prime
+from repro.gf.projective_plane import ProjectivePlane, projective_plane
+
+__all__ = [
+    "GaloisField",
+    "PrimeField",
+    "ProjectivePlane",
+    "factor_prime_power",
+    "is_prime",
+    "projective_plane",
+]

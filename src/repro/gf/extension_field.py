@@ -1,0 +1,146 @@
+"""The finite field GF(q) for prime powers ``q = p^r``.
+
+Elements are represented as integers in ``range(q)``: the integer's base-``p``
+digits are the coefficients of the representing polynomial, lowest degree
+first.  Multiplication reduces modulo a fixed monic irreducible polynomial of
+degree ``r`` found by :func:`repro.gf.polynomial.find_irreducible`, so the
+same order ``q`` always yields the same field representation.
+
+For ``r = 1`` the class degenerates to GF(p) with no polynomial overhead.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import FieldError
+from repro.gf import polynomial as poly
+from repro.gf.prime_field import PrimeField, factor_prime_power
+
+__all__ = ["GaloisField"]
+
+
+class GaloisField:
+    """The finite field with ``q = p^r`` elements.
+
+    Parameters
+    ----------
+    order:
+        The field order.  Must be a prime power.
+
+    Examples
+    --------
+    >>> field = GaloisField(4)
+    >>> sorted(field.elements())
+    [0, 1, 2, 3]
+    >>> field.mul(2, 3)   # x * (x + 1) = x^2 + x = 1  (mod x^2 + x + 1)
+    1
+    """
+
+    def __init__(self, order: int):
+        p, r = factor_prime_power(order)
+        self.order = order
+        self.characteristic = p
+        self.extension_degree = r
+        self._base = PrimeField(p)
+        if r == 1:
+            self._modulus: poly.Poly | None = None
+        else:
+            self._modulus = poly.find_irreducible(self._base, r)
+        self._inverse_cache: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Encoding between integers and coefficient polynomials.
+    # ------------------------------------------------------------------
+    def _to_poly(self, value: int) -> poly.Poly:
+        if not 0 <= value < self.order:
+            raise FieldError(f"{value} is not an element of GF({self.order})")
+        digits = []
+        remaining = value
+        while remaining:
+            digits.append(remaining % self.characteristic)
+            remaining //= self.characteristic
+        return tuple(digits)
+
+    def _from_poly(self, polynomial: poly.Poly) -> int:
+        value = 0
+        for coefficient in reversed(polynomial):
+            value = value * self.characteristic + coefficient
+        return value
+
+    # ------------------------------------------------------------------
+    # Field operations.
+    # ------------------------------------------------------------------
+    def elements(self) -> range:
+        """Return all field elements (as their integer encodings)."""
+        return range(self.order)
+
+    def add(self, left: int, right: int) -> int:
+        """Return ``left + right`` in GF(q)."""
+        if self.extension_degree == 1:
+            return self._base.add(left, right)
+        return self._from_poly(poly.add(self._base, self._to_poly(left), self._to_poly(right)))
+
+    def sub(self, left: int, right: int) -> int:
+        """Return ``left - right`` in GF(q)."""
+        if self.extension_degree == 1:
+            return self._base.sub(left, right)
+        return self._from_poly(poly.sub(self._base, self._to_poly(left), self._to_poly(right)))
+
+    def neg(self, value: int) -> int:
+        """Return ``-value`` in GF(q)."""
+        return self.sub(0, value)
+
+    def mul(self, left: int, right: int) -> int:
+        """Return ``left * right`` in GF(q)."""
+        if self.extension_degree == 1:
+            return self._base.mul(left, right)
+        product = poly.mul(self._base, self._to_poly(left), self._to_poly(right))
+        return self._from_poly(poly.mod(self._base, product, self._modulus))
+
+    def pow(self, base: int, exponent: int) -> int:
+        """Return ``base ** exponent`` in GF(q) by square-and-multiply."""
+        if exponent < 0:
+            return self.pow(self.inverse(base), -exponent)
+        result = 1
+        current = base
+        while exponent:
+            if exponent & 1:
+                result = self.mul(result, current)
+            current = self.mul(current, current)
+            exponent >>= 1
+        return result
+
+    def inverse(self, value: int) -> int:
+        """Return the multiplicative inverse of ``value`` in GF(q).
+
+        Uses the identity ``a^(q-2) = a^(-1)`` in the multiplicative group of
+        GF(q); results are cached because projective-plane construction
+        requests the same few inverses repeatedly.
+
+        Raises
+        ------
+        FieldError
+            On division by zero.
+        """
+        if value == 0:
+            raise FieldError("zero has no multiplicative inverse")
+        cached = self._inverse_cache.get(value)
+        if cached is not None:
+            return cached
+        inverse = self.pow(value, self.order - 2)
+        self._inverse_cache[value] = inverse
+        return inverse
+
+    def div(self, left: int, right: int) -> int:
+        """Return ``left / right`` in GF(q)."""
+        return self.mul(left, self.inverse(right))
+
+    def __repr__(self) -> str:
+        return f"GaloisField({self.order})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GaloisField):
+            return NotImplemented
+        return self.order == other.order
+
+    def __hash__(self) -> int:
+        return hash(("GaloisField", self.order))

@@ -1,0 +1,146 @@
+"""Polynomial arithmetic over GF(p).
+
+Polynomials are represented as tuples of coefficients in *ascending* degree
+order, e.g. ``(1, 0, 2)`` is ``1 + 2x^2``.  The representation is always
+*trimmed*: the last coefficient is non-zero (the zero polynomial is the empty
+tuple).  These helpers exist to construct the extension fields GF(p^r) needed
+by the finite-projective-plane component of the boostFPP system.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.exceptions import FieldError
+from repro.gf.prime_field import PrimeField
+
+__all__ = [
+    "trim",
+    "degree",
+    "add",
+    "sub",
+    "scale",
+    "mul",
+    "divmod_poly",
+    "mod",
+    "is_irreducible",
+    "find_irreducible",
+]
+
+Poly = tuple[int, ...]
+
+
+def trim(coefficients: tuple[int, ...] | list[int]) -> Poly:
+    """Return ``coefficients`` with trailing zeros removed."""
+    coefficients = list(coefficients)
+    while coefficients and coefficients[-1] == 0:
+        coefficients.pop()
+    return tuple(coefficients)
+
+
+def degree(polynomial: Poly) -> int:
+    """Return the degree of ``polynomial`` (-1 for the zero polynomial)."""
+    return len(polynomial) - 1
+
+
+def add(field: PrimeField, left: Poly, right: Poly) -> Poly:
+    """Return ``left + right`` over GF(p)."""
+    length = max(len(left), len(right))
+    padded_left = list(left) + [0] * (length - len(left))
+    padded_right = list(right) + [0] * (length - len(right))
+    return trim([field.add(a, b) for a, b in zip(padded_left, padded_right)])
+
+
+def sub(field: PrimeField, left: Poly, right: Poly) -> Poly:
+    """Return ``left - right`` over GF(p)."""
+    length = max(len(left), len(right))
+    padded_left = list(left) + [0] * (length - len(left))
+    padded_right = list(right) + [0] * (length - len(right))
+    return trim([field.sub(a, b) for a, b in zip(padded_left, padded_right)])
+
+
+def scale(field: PrimeField, polynomial: Poly, scalar: int) -> Poly:
+    """Return ``scalar * polynomial`` over GF(p)."""
+    return trim([field.mul(coefficient, scalar) for coefficient in polynomial])
+
+
+def mul(field: PrimeField, left: Poly, right: Poly) -> Poly:
+    """Return ``left * right`` over GF(p)."""
+    if not left or not right:
+        return ()
+    product = [0] * (len(left) + len(right) - 1)
+    for i, a in enumerate(left):
+        if a == 0:
+            continue
+        for j, b in enumerate(right):
+            product[i + j] = field.add(product[i + j], field.mul(a, b))
+    return trim(product)
+
+
+def divmod_poly(field: PrimeField, dividend: Poly, divisor: Poly) -> tuple[Poly, Poly]:
+    """Return the quotient and remainder of ``dividend / divisor`` over GF(p)."""
+    divisor = trim(divisor)
+    if not divisor:
+        raise FieldError("polynomial division by zero")
+    remainder = list(dividend)
+    quotient = [0] * max(len(dividend) - len(divisor) + 1, 1)
+    divisor_lead_inverse = field.inverse(divisor[-1])
+    while len(trim(remainder)) >= len(divisor):
+        remainder = list(trim(remainder))
+        shift = len(remainder) - len(divisor)
+        factor = field.mul(remainder[-1], divisor_lead_inverse)
+        quotient[shift] = factor
+        for index, coefficient in enumerate(divisor):
+            remainder[shift + index] = field.sub(
+                remainder[shift + index], field.mul(factor, coefficient)
+            )
+    return trim(quotient), trim(remainder)
+
+
+def mod(field: PrimeField, dividend: Poly, divisor: Poly) -> Poly:
+    """Return ``dividend`` reduced modulo ``divisor`` over GF(p)."""
+    _, remainder = divmod_poly(field, dividend, divisor)
+    return remainder
+
+
+def _monic_polynomials(field: PrimeField, target_degree: int):
+    """Yield all monic polynomials of exactly ``target_degree`` over GF(p)."""
+    for lower_coefficients in itertools.product(field.elements(), repeat=target_degree):
+        yield trim(list(lower_coefficients) + [1])
+
+
+def is_irreducible(field: PrimeField, polynomial: Poly) -> bool:
+    """Return ``True`` when ``polynomial`` is irreducible over GF(p).
+
+    Uses trial division by every monic polynomial of degree at most half the
+    degree of ``polynomial``.  This is exponential in the degree but the
+    library only ever needs degrees up to 4 or so (projective planes of
+    modest prime-power order), for which it is instantaneous.
+    """
+    polynomial = trim(polynomial)
+    if degree(polynomial) <= 0:
+        return False
+    if degree(polynomial) == 1:
+        return True
+    for divisor_degree in range(1, degree(polynomial) // 2 + 1):
+        for candidate in _monic_polynomials(field, divisor_degree):
+            _, remainder = divmod_poly(field, polynomial, candidate)
+            if not remainder:
+                return False
+    return True
+
+
+def find_irreducible(field: PrimeField, target_degree: int) -> Poly:
+    """Return a monic irreducible polynomial of degree ``target_degree`` over GF(p).
+
+    Irreducible polynomials of every degree exist over every finite field, so
+    the deterministic scan below always terminates.
+    """
+    if target_degree < 1:
+        raise FieldError(f"degree must be >= 1, got {target_degree}")
+    for candidate in _monic_polynomials(field, target_degree):
+        if degree(candidate) == target_degree and is_irreducible(field, candidate):
+            return candidate
+    raise FieldError(
+        f"no irreducible polynomial of degree {target_degree} over GF({field.p}) found"
+    )

@@ -1,0 +1,149 @@
+"""Arithmetic in the prime field GF(p).
+
+The finite projective plane construction of Section 6 needs arithmetic over
+GF(q) for prime powers ``q = p^r``.  This module provides the base case: the
+field of integers modulo a prime.  Extension fields are built on top of it in
+:mod:`repro.gf.extension_field`.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import FieldError
+
+__all__ = ["is_prime", "smallest_prime_factor", "factor_prime_power", "PrimeField"]
+
+
+def is_prime(value: int) -> bool:
+    """Return ``True`` when ``value`` is a prime number (deterministic trial division)."""
+    if value < 2:
+        return False
+    if value < 4:
+        return True
+    if value % 2 == 0:
+        return False
+    divisor = 3
+    while divisor * divisor <= value:
+        if value % divisor == 0:
+            return False
+        divisor += 2
+    return True
+
+
+def smallest_prime_factor(value: int) -> int:
+    """Return the smallest prime factor of ``value`` (``value >= 2``)."""
+    if value < 2:
+        raise FieldError(f"no prime factor for {value}")
+    if value % 2 == 0:
+        return 2
+    divisor = 3
+    while divisor * divisor <= value:
+        if value % divisor == 0:
+            return divisor
+        divisor += 2
+    return value
+
+
+def factor_prime_power(value: int) -> tuple[int, int]:
+    """Return ``(p, r)`` such that ``value = p^r`` with ``p`` prime.
+
+    Raises
+    ------
+    FieldError
+        If ``value`` is not a prime power (finite fields, and hence the
+        algebraic projective planes used here, exist exactly for prime-power
+        orders).
+    """
+    if value < 2:
+        raise FieldError(f"{value} is not a prime power")
+    p = smallest_prime_factor(value)
+    remaining = value
+    exponent = 0
+    while remaining % p == 0:
+        remaining //= p
+        exponent += 1
+    if remaining != 1:
+        raise FieldError(f"{value} is not a prime power")
+    return p, exponent
+
+
+class PrimeField:
+    """The field GF(p) of integers modulo a prime ``p``.
+
+    Elements are represented as plain integers in ``range(p)``.
+
+    Examples
+    --------
+    >>> field = PrimeField(7)
+    >>> field.mul(3, 5)
+    1
+    >>> field.inverse(3)
+    5
+    """
+
+    def __init__(self, p: int):
+        if not is_prime(p):
+            raise FieldError(f"{p} is not prime; GF({p}) is not a field")
+        self.p = p
+
+    @property
+    def order(self) -> int:
+        """The number of field elements."""
+        return self.p
+
+    def elements(self) -> range:
+        """Return all field elements."""
+        return range(self.p)
+
+    def normalise(self, value: int) -> int:
+        """Return ``value`` reduced into ``range(p)``."""
+        return value % self.p
+
+    def add(self, left: int, right: int) -> int:
+        """Return ``left + right`` in GF(p)."""
+        return (left + right) % self.p
+
+    def sub(self, left: int, right: int) -> int:
+        """Return ``left - right`` in GF(p)."""
+        return (left - right) % self.p
+
+    def neg(self, value: int) -> int:
+        """Return ``-value`` in GF(p)."""
+        return (-value) % self.p
+
+    def mul(self, left: int, right: int) -> int:
+        """Return ``left * right`` in GF(p)."""
+        return (left * right) % self.p
+
+    def inverse(self, value: int) -> int:
+        """Return the multiplicative inverse of ``value``.
+
+        Raises
+        ------
+        FieldError
+            On division by zero.
+        """
+        value %= self.p
+        if value == 0:
+            raise FieldError("zero has no multiplicative inverse")
+        return pow(value, self.p - 2, self.p)
+
+    def div(self, left: int, right: int) -> int:
+        """Return ``left / right`` in GF(p)."""
+        return self.mul(left, self.inverse(right))
+
+    def pow(self, base: int, exponent: int) -> int:
+        """Return ``base ** exponent`` in GF(p)."""
+        if exponent < 0:
+            return pow(self.inverse(base), -exponent, self.p)
+        return pow(base % self.p, exponent, self.p)
+
+    def __repr__(self) -> str:
+        return f"PrimeField({self.p})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PrimeField):
+            return NotImplemented
+        return self.p == other.p
+
+    def __hash__(self) -> int:
+        return hash(("PrimeField", self.p))

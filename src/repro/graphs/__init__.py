@@ -1,0 +1,7 @@
+"""Graph algorithms used by the percolation substrate and the M-Path system."""
+
+from repro.graphs.disjoint_paths import max_vertex_disjoint_paths
+from repro.graphs.maxflow import FlowNetwork
+from repro.graphs.union_find import UnionFind
+
+__all__ = ["FlowNetwork", "UnionFind", "max_vertex_disjoint_paths"]

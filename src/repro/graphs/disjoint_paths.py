@@ -1,0 +1,66 @@
+"""Vertex-disjoint path counting via Menger's theorem.
+
+The M-Path quorum system needs the maximum number of *vertex-disjoint* paths
+between two sides of a (partially failed) lattice.  By Menger's theorem that
+number equals the maximum flow in a network where every vertex is split into
+an ``in`` and an ``out`` node joined by a unit-capacity edge, so that each
+vertex can carry at most one path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Collection, Hashable, Iterable
+
+from repro.graphs.maxflow import FlowNetwork
+
+__all__ = ["max_vertex_disjoint_paths"]
+
+_SOURCE = ("super", "source")
+_SINK = ("super", "sink")
+
+
+def max_vertex_disjoint_paths(
+    vertices: Collection[Hashable],
+    neighbours: Callable[[Hashable], Iterable[Hashable]],
+    sources: Collection[Hashable],
+    sinks: Collection[Hashable],
+) -> int:
+    """Return the maximum number of vertex-disjoint paths from ``sources`` to ``sinks``.
+
+    Parameters
+    ----------
+    vertices:
+        The usable (e.g. alive / open) vertices.  Paths may only pass through
+        these.
+    neighbours:
+        Adjacency oracle; called for each usable vertex and may return
+        neighbours that are not usable (they are ignored).
+    sources, sinks:
+        Vertex sets between which paths are counted.  Paths are disjoint
+        *including* their endpoints, matching the M-Path requirement that the
+        ``sqrt(2b+1)`` left-right paths of a quorum share no server.
+
+    Returns
+    -------
+    int
+        The maximum number of vertex-disjoint paths.  Zero when no usable
+        source can reach a usable sink.
+    """
+    usable = set(vertices)
+    usable_sources = [vertex for vertex in sources if vertex in usable]
+    usable_sinks = [vertex for vertex in sinks if vertex in usable]
+    if not usable_sources or not usable_sinks:
+        return 0
+
+    network = FlowNetwork()
+    for vertex in usable:
+        network.add_edge(("in", vertex), ("out", vertex), 1)
+    for vertex in usable:
+        for neighbour in neighbours(vertex):
+            if neighbour in usable:
+                network.add_edge(("out", vertex), ("in", neighbour), 1)
+    for vertex in usable_sources:
+        network.add_edge(_SOURCE, ("in", vertex), 1)
+    for vertex in usable_sinks:
+        network.add_edge(("out", vertex), _SINK, 1)
+    return network.max_flow(_SOURCE, _SINK)

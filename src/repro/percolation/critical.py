@@ -1,0 +1,110 @@
+"""Estimation of the site-percolation critical probability.
+
+Kesten's theorem gives ``p_c = 1/2`` for site percolation on the triangular
+lattice, which is the fact behind M-Path's availability for every
+``p < 1/2`` (Theorem B.1 / Proposition 7.3).  This module estimates the
+finite-size crossing point numerically so the reproduction can *demonstrate*
+the theorem's shape rather than assume it, and it also exposes the analytic
+critical point of the recursive-threshold recurrence (Proposition 5.6).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ComputationError
+from repro.percolation.lattice import TriangularGrid
+from repro.percolation.site import estimate_crossing_probability
+
+__all__ = [
+    "CriticalEstimate",
+    "estimate_critical_probability",
+    "fixed_point_of_reliability",
+]
+
+
+@dataclass(frozen=True)
+class CriticalEstimate:
+    """Result of a finite-size critical-probability estimation.
+
+    Attributes
+    ----------
+    critical_probability:
+        The closure probability at which the crossing probability passes 1/2.
+    grid_side:
+        The lattice side used.
+    trials_per_point:
+        Monte-Carlo trials per bisection step.
+    """
+
+    critical_probability: float
+    grid_side: int
+    trials_per_point: int
+
+
+def estimate_critical_probability(
+    side: int = 12,
+    *,
+    trials_per_point: int = 200,
+    iterations: int = 8,
+    rng: np.random.Generator | None = None,
+) -> CriticalEstimate:
+    """Estimate the closure probability at which LR crossings stop appearing.
+
+    Bisects on ``p`` for the point where the Monte-Carlo estimate of
+    ``P_p(LR)`` crosses one half.  Finite-size effects bias the estimate, but
+    for moderate grids the answer already lands close to the theoretical
+    ``1/2``, which is what the availability benchmarks check.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    grid = TriangularGrid(side)
+    low, high = 0.0, 1.0
+    for _ in range(iterations):
+        middle = (low + high) / 2.0
+        estimate = estimate_crossing_probability(
+            grid, middle, trials=trials_per_point, rng=rng
+        )
+        if estimate.probability >= 0.5:
+            low = middle
+        else:
+            high = middle
+    return CriticalEstimate(
+        critical_probability=(low + high) / 2.0,
+        grid_side=side,
+        trials_per_point=trials_per_point,
+    )
+
+
+def fixed_point_of_reliability(
+    reliability_function: Callable[[float], float],
+    *,
+    tolerance: float = 1e-9,
+    max_iterations: int = 200,
+) -> float:
+    """Return the non-trivial fixed point ``p_c`` of an S-shaped crash function.
+
+    Proposition 5.6 shows that the crash-probability function ``g`` of the
+    basic ``l``-of-``k`` block has a unique fixed point ``0 < p_c < 1`` with
+    ``g(p) < p`` below it and ``g(p) > p`` above it.  This routine finds the
+    fixed point by bisection on ``g(p) - p``.
+    """
+    low, high = 1e-9, 1.0 - 1e-9
+    low_sign = reliability_function(low) - low
+    high_sign = reliability_function(high) - high
+    if low_sign > 0 or high_sign < 0:
+        raise ComputationError(
+            "function does not look S-shaped: expected g(p) < p near 0 and g(p) > p near 1"
+        )
+    for _ in range(max_iterations):
+        middle = (low + high) / 2.0
+        value = reliability_function(middle) - middle
+        if abs(value) < tolerance or (high - low) < tolerance:
+            return middle
+        if value < 0:
+            low = middle
+        else:
+            high = middle
+    return (low + high) / 2.0

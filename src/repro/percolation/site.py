@@ -1,0 +1,163 @@
+"""Site percolation on the triangulated grid.
+
+Each vertex of a :class:`~repro.percolation.lattice.TriangularGrid` is
+*closed* (crashed) independently with probability ``p`` and *open* (alive)
+otherwise.  The events the M-Path analysis cares about are
+
+* ``LR``   — an open left-right crossing exists,
+* ``LR_k`` — at least ``k`` vertex-disjoint open left-right crossings exist
+  (the interior ``I_{k-1}(LR)`` of Definition B.2), and the analogous top-
+  bottom events.
+
+Crossing existence is decided with a breadth-first search; disjoint-crossing
+counts use the max-flow formulation of Menger's theorem from
+:mod:`repro.graphs.disjoint_paths`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Collection
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ComputationError
+from repro.graphs.disjoint_paths import max_vertex_disjoint_paths
+from repro.percolation.lattice import TriangularGrid, Vertex
+
+__all__ = [
+    "sample_open_vertices",
+    "has_open_crossing",
+    "count_disjoint_crossings",
+    "CrossingEstimate",
+    "estimate_crossing_probability",
+]
+
+
+def sample_open_vertices(
+    grid: TriangularGrid, p_closed: float, rng: np.random.Generator
+) -> set[Vertex]:
+    """Return the set of open (alive) vertices for one percolation sample.
+
+    Each vertex is closed independently with probability ``p_closed``.
+    """
+    if not 0.0 <= p_closed <= 1.0:
+        raise ComputationError(f"closure probability must lie in [0, 1], got {p_closed}")
+    draws = rng.random((grid.side, grid.side))
+    open_vertices: set[Vertex] = set()
+    for i in range(1, grid.side + 1):
+        for j in range(1, grid.side + 1):
+            if draws[i - 1, j - 1] >= p_closed:
+                open_vertices.add((i, j))
+    return open_vertices
+
+
+def has_open_crossing(
+    grid: TriangularGrid,
+    open_vertices: Collection[Vertex],
+    *,
+    direction: str = "lr",
+) -> bool:
+    """Return ``True`` when an open crossing exists in the given direction.
+
+    ``direction`` is ``"lr"`` (left to right) or ``"tb"`` (top to bottom).
+    Uses a breadth-first search restricted to open vertices.
+    """
+    open_set = set(open_vertices)
+    if direction == "lr":
+        sources = [vertex for vertex in grid.left_side() if vertex in open_set]
+        targets = {vertex for vertex in grid.right_side() if vertex in open_set}
+    elif direction == "tb":
+        sources = [vertex for vertex in grid.bottom_side() if vertex in open_set]
+        targets = {vertex for vertex in grid.top_side() if vertex in open_set}
+    else:
+        raise ComputationError(f"unknown crossing direction {direction!r}")
+    if not sources or not targets:
+        return False
+
+    visited = set(sources)
+    queue = deque(sources)
+    while queue:
+        vertex = queue.popleft()
+        if vertex in targets:
+            return True
+        for neighbour in grid.neighbours(vertex):
+            if neighbour in open_set and neighbour not in visited:
+                visited.add(neighbour)
+                queue.append(neighbour)
+    return False
+
+
+def count_disjoint_crossings(
+    grid: TriangularGrid,
+    open_vertices: Collection[Vertex],
+    *,
+    direction: str = "lr",
+) -> int:
+    """Return the maximum number of vertex-disjoint open crossings.
+
+    This is the quantity that decides whether an M-Path quorum survives: a
+    quorum needs ``sqrt(2b+1)`` disjoint LR crossings and as many TB
+    crossings.
+    """
+    if direction == "lr":
+        sources, sinks = grid.left_side(), grid.right_side()
+    elif direction == "tb":
+        sources, sinks = grid.bottom_side(), grid.top_side()
+    else:
+        raise ComputationError(f"unknown crossing direction {direction!r}")
+    return max_vertex_disjoint_paths(
+        set(open_vertices), grid.neighbours, sources, sinks
+    )
+
+
+@dataclass(frozen=True)
+class CrossingEstimate:
+    """Monte-Carlo estimate of a crossing probability.
+
+    Attributes
+    ----------
+    probability:
+        Estimated probability of the crossing event.
+    std_error:
+        Standard error of the estimate.
+    trials:
+        Number of samples used.
+    """
+
+    probability: float
+    std_error: float
+    trials: int
+
+
+def estimate_crossing_probability(
+    grid: TriangularGrid,
+    p_closed: float,
+    *,
+    trials: int = 500,
+    min_disjoint: int = 1,
+    direction: str = "lr",
+    rng: np.random.Generator | None = None,
+) -> CrossingEstimate:
+    """Estimate ``P(at least min_disjoint open crossings exist)``.
+
+    For ``min_disjoint == 1`` a BFS decides each sample; otherwise a max-flow
+    computation counts disjoint crossings.
+    """
+    if trials <= 0:
+        raise ComputationError(f"trials must be positive, got {trials}")
+    rng = rng if rng is not None else np.random.default_rng()
+    successes = 0
+    for _ in range(trials):
+        open_vertices = sample_open_vertices(grid, p_closed, rng)
+        if min_disjoint <= 1:
+            if has_open_crossing(grid, open_vertices, direction=direction):
+                successes += 1
+        else:
+            count = count_disjoint_crossings(grid, open_vertices, direction=direction)
+            if count >= min_disjoint:
+                successes += 1
+    probability = successes / trials
+    std_error = float(np.sqrt(max(probability * (1 - probability), 1e-12) / trials))
+    return CrossingEstimate(probability=probability, std_error=std_error, trials=trials)

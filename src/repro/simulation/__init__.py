@@ -1,0 +1,31 @@
+"""Replicated-register simulation over masking quorum systems.
+
+This subpackage implements the protocol the paper's quorum systems exist to
+serve: the masking-quorum read/write register of [MR98a], with Byzantine and
+crash fault injection, a synchronous network, and a workload runner that
+measures empirical load and availability.
+"""
+
+from repro.simulation.client import OperationResult, QuorumClient
+from repro.simulation.faults import FaultInjector, FaultScenario
+from repro.simulation.messages import Timestamp, ValueTimestampPair
+from repro.simulation.network import SynchronousNetwork
+from repro.simulation.register import ReplicatedRegister
+from repro.simulation.runner import WorkloadResult, run_workload
+from repro.simulation.server import BYZANTINE_BEHAVIOURS, ByzantineReplicaServer, ReplicaServer
+
+__all__ = [
+    "BYZANTINE_BEHAVIOURS",
+    "ByzantineReplicaServer",
+    "FaultInjector",
+    "FaultScenario",
+    "OperationResult",
+    "QuorumClient",
+    "ReplicaServer",
+    "ReplicatedRegister",
+    "SynchronousNetwork",
+    "Timestamp",
+    "ValueTimestampPair",
+    "WorkloadResult",
+    "run_workload",
+]

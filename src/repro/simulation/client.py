@@ -1,0 +1,212 @@
+"""The masking-quorum client protocol of [MR98a].
+
+A client performs each operation at a single quorum of replicas:
+
+* **write(v)** — query a quorum for timestamps, pick a timestamp strictly
+  larger than every answer, then send ``(v, ts)`` to every member of a
+  quorum and wait for their acknowledgements.
+* **read()** — query a quorum for ``(value, timestamp)`` pairs, keep only the
+  pairs returned by at least ``b + 1`` replicas (so that at least one honest
+  replica vouches for each surviving pair), and return the value with the
+  highest surviving timestamp.
+
+Consistency relies exactly on the ``2b + 1`` intersection of masking quorum
+systems: the read quorum shares at least ``2b + 1`` replicas with the last
+complete write's quorum, of which at least ``b + 1`` are honest and report
+the written pair, while any value fabricated by the at most ``b`` Byzantine
+replicas is reported at most ``b`` times and filtered out.
+
+Crashed replicas never answer, so the client retries with different quorums
+(sampled from the system's access strategy) until it finds a fully
+responsive one — mirroring the availability question that ``Fp`` quantifies.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.quorum_system import QuorumSystem
+from repro.exceptions import SimulationError
+from repro.simulation.messages import (
+    ReadRequest,
+    Timestamp,
+    TimestampRequest,
+    ValueTimestampPair,
+    WriteRequest,
+)
+from repro.simulation.network import SynchronousNetwork
+
+__all__ = ["OperationResult", "QuorumClient"]
+
+
+@dataclass(frozen=True)
+class OperationResult:
+    """Outcome of a single client operation.
+
+    Attributes
+    ----------
+    success:
+        Whether a fully responsive quorum was found and the protocol
+        completed.
+    value:
+        For reads, the returned value (``None`` on failure or when no
+        sufficiently vouched pair exists).
+    timestamp:
+        For reads, the timestamp of the returned value; for writes, the
+        timestamp that was installed.
+    quorum:
+        The quorum used by the successful attempt (``None`` on failure).
+    attempts:
+        How many quorums were tried.
+    """
+
+    success: bool
+    value: object = None
+    timestamp: Timestamp | None = None
+    quorum: frozenset | None = None
+    attempts: int = 0
+
+
+class QuorumClient:
+    """A client of the replicated register.
+
+    Parameters
+    ----------
+    client_id:
+        Unique integer identity, embedded in timestamps for uniqueness.
+    system:
+        The quorum system governing which replica sets constitute a quorum.
+    network:
+        The message layer connecting to the replicas.
+    b:
+        The number of Byzantine failures the deployment is meant to mask;
+        reads require each accepted pair to be vouched by ``b + 1`` replicas.
+    max_attempts:
+        How many quorums to try before declaring an operation failed
+        (unavailability).
+    rng:
+        Randomness source for quorum sampling.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        system: QuorumSystem,
+        network: SynchronousNetwork,
+        *,
+        b: int,
+        max_attempts: int = 10,
+        rng: np.random.Generator | None = None,
+    ):
+        if b < 0:
+            raise SimulationError(f"masking parameter must be >= 0, got {b}")
+        if max_attempts < 1:
+            raise SimulationError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.client_id = client_id
+        self.system = system
+        self.network = network
+        self.b = b
+        self.max_attempts = max_attempts
+        self.rng = rng if rng is not None else np.random.default_rng()
+        #: The largest timestamp this client has observed or produced.
+        self.last_timestamp = Timestamp.zero()
+        #: Servers observed to be unresponsive; used as a simple failure
+        #: detector so that retries steer towards live quorums (this is what
+        #: makes the client achieve the system's resilience ``f`` instead of
+        #: blindly resampling quorums that contain known-dead servers).
+        self.suspected: set = set()
+
+    # ------------------------------------------------------------------
+    # Quorum probing.
+    # ------------------------------------------------------------------
+    def _collect_from_quorum(self, quorum: frozenset, request: object) -> dict | None:
+        """Send ``request`` to every member of ``quorum``.
+
+        Returns the replies keyed by server id, or ``None`` when some member
+        did not answer (the quorum is unavailable and another must be tried).
+        Unresponsive members are recorded in :attr:`suspected`.
+        """
+        replies = self.network.broadcast(quorum, request)
+        silent = {server_id for server_id, reply in replies.items() if reply is None}
+        if silent:
+            self.suspected |= silent
+            return None
+        return replies
+
+    def _choose_quorum(self) -> frozenset:
+        """Sample a quorum, preferring one that avoids all suspected servers."""
+        if not self.suspected:
+            return self.system.sample_quorum(self.rng)
+        return self.system.sample_quorum_avoiding(self.rng, frozenset(self.suspected))
+
+    def _probe(self, request_factory) -> tuple[frozenset, dict] | None:
+        """Try up to ``max_attempts`` quorums; return the first fully responsive one."""
+        for _ in range(self.max_attempts):
+            quorum = self._choose_quorum()
+            replies = self._collect_from_quorum(quorum, request_factory())
+            if replies is not None:
+                return quorum, replies
+        return None
+
+    # ------------------------------------------------------------------
+    # Protocol operations.
+    # ------------------------------------------------------------------
+    def write(self, value: object) -> OperationResult:
+        """Write ``value`` to the register (query timestamps, then install)."""
+        probed = self._probe(lambda: TimestampRequest(client_id=self.client_id))
+        if probed is None:
+            return OperationResult(success=False, attempts=self.max_attempts)
+        quorum, replies = probed
+
+        highest = self.last_timestamp
+        for reply in replies.values():
+            if reply.timestamp > highest:
+                highest = reply.timestamp
+        new_timestamp = highest.next_for(self.client_id)
+        pair = ValueTimestampPair(value=value, timestamp=new_timestamp)
+
+        write_replies = self._collect_from_quorum(
+            quorum, WriteRequest(client_id=self.client_id, pair=pair)
+        )
+        if write_replies is None:
+            # The quorum answered the timestamp query but lost a member before
+            # the write; retry the whole operation through fresh quorums.
+            probed = self._probe(lambda: WriteRequest(client_id=self.client_id, pair=pair))
+            if probed is None:
+                return OperationResult(success=False, attempts=2 * self.max_attempts)
+            quorum, write_replies = probed
+
+        self.last_timestamp = new_timestamp
+        return OperationResult(
+            success=True, value=value, timestamp=new_timestamp, quorum=quorum, attempts=1
+        )
+
+    def read(self) -> OperationResult:
+        """Read the register, masking up to ``b`` Byzantine replies."""
+        probed = self._probe(lambda: ReadRequest(client_id=self.client_id))
+        if probed is None:
+            return OperationResult(success=False, attempts=self.max_attempts)
+        quorum, replies = probed
+
+        # Count how many replicas vouch for each (value, timestamp) pair and
+        # keep the pairs vouched for by at least b + 1 replicas.
+        votes: Counter = Counter(reply.pair for reply in replies.values())
+        vouched = [pair for pair, count in votes.items() if count >= self.b + 1]
+        if not vouched:
+            # Possible only under concurrency or mis-configuration; report an
+            # unsuccessful read rather than returning an unvouched value.
+            return OperationResult(success=False, quorum=quorum, attempts=1)
+
+        best = max(vouched, key=lambda pair: pair.timestamp)
+        if best.timestamp > self.last_timestamp:
+            self.last_timestamp = best.timestamp
+        return OperationResult(
+            success=True,
+            value=best.value,
+            timestamp=best.timestamp,
+            quorum=quorum,
+            attempts=1,
+        )

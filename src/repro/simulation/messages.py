@@ -1,0 +1,111 @@
+"""Message types exchanged by the replicated-register protocol.
+
+The masking-quorum read/write protocol of [MR98a] (the protocol the paper's
+quorum systems are designed for) uses four message kinds: a timestamp query
+and its reply (used by writers to pick a fresh timestamp), and a read query
+and its reply (used by readers to collect candidate value/timestamp pairs).
+Write requests carry the new value and timestamp and are acknowledged.
+
+All messages are immutable dataclasses; timestamps are
+:class:`Timestamp` objects ordered lexicographically by ``(counter,
+client_id)`` so that two writers never produce the same timestamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Hashable
+
+__all__ = [
+    "Timestamp",
+    "ValueTimestampPair",
+    "TimestampRequest",
+    "TimestampReply",
+    "ReadRequest",
+    "ReadReply",
+    "WriteRequest",
+    "WriteAck",
+]
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Timestamp:
+    """A logical timestamp ``(counter, client_id)``.
+
+    Ordered first by counter, then by client identifier, so that concurrent
+    writers choosing the same counter are still totally ordered and a writer
+    can always generate a timestamp strictly larger than any it has seen.
+    """
+
+    counter: int
+    client_id: int
+
+    def __lt__(self, other: "Timestamp") -> bool:
+        if not isinstance(other, Timestamp):
+            return NotImplemented
+        return (self.counter, self.client_id) < (other.counter, other.client_id)
+
+    def next_for(self, client_id: int) -> "Timestamp":
+        """Return a timestamp strictly greater than this one, owned by ``client_id``."""
+        return Timestamp(self.counter + 1, client_id)
+
+    @staticmethod
+    def zero() -> "Timestamp":
+        """The initial timestamp carried by unwritten replicas."""
+        return Timestamp(0, -1)
+
+
+@dataclass(frozen=True)
+class ValueTimestampPair:
+    """A candidate ``(value, timestamp)`` pair returned by a replica."""
+
+    value: object
+    timestamp: Timestamp
+
+
+@dataclass(frozen=True)
+class TimestampRequest:
+    """Ask a replica for the timestamp of its current value."""
+
+    client_id: int
+
+
+@dataclass(frozen=True)
+class TimestampReply:
+    """A replica's current timestamp."""
+
+    server_id: Hashable
+    timestamp: Timestamp
+
+
+@dataclass(frozen=True)
+class ReadRequest:
+    """Ask a replica for its current value and timestamp."""
+
+    client_id: int
+
+
+@dataclass(frozen=True)
+class ReadReply:
+    """A replica's current ``(value, timestamp)`` pair."""
+
+    server_id: Hashable
+    pair: ValueTimestampPair
+
+
+@dataclass(frozen=True)
+class WriteRequest:
+    """Install ``pair`` at a replica if it is newer than what the replica holds."""
+
+    client_id: int
+    pair: ValueTimestampPair
+
+
+@dataclass(frozen=True)
+class WriteAck:
+    """Acknowledgement of a write request."""
+
+    server_id: Hashable
+    accepted: bool

@@ -1,0 +1,96 @@
+"""A synchronous message layer connecting clients to replicas.
+
+The paper's model is asynchronous-but-responsive: a client sends a request to
+every member of a quorum and waits for all of their answers (Byzantine
+replicas do answer — only crashed ones stay silent).  This layer models that
+with synchronous request/response calls: the response from a crashed replica
+is ``None``, everything else is delivered immediately.
+
+The network also keeps per-server delivery counters, which the experiment
+runner uses to measure the *empirical load* of an access strategy and compare
+it with the analytic ``L(Q)`` of Definition 3.8.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from repro.exceptions import SimulationError
+from repro.simulation.faults import FaultScenario
+from repro.simulation.server import ReplicaServer
+
+__all__ = ["SynchronousNetwork"]
+
+
+class SynchronousNetwork:
+    """Connects a set of replicas and applies the fault scenario to deliveries.
+
+    Parameters
+    ----------
+    servers:
+        The replica objects, keyed by their server id.
+    scenario:
+        Which servers are crashed (never answer).  Byzantine behaviour lives
+        in the replica objects themselves; the network only models silence.
+    """
+
+    def __init__(self, servers: dict[Hashable, ReplicaServer], scenario: FaultScenario):
+        if not servers:
+            raise SimulationError("a network needs at least one replica")
+        self._servers = dict(servers)
+        self.scenario = scenario
+        #: Number of requests delivered to each server (crashed ones included:
+        #: the request is sent even though no answer comes back).
+        self.delivery_counts: dict[Hashable, int] = {
+            server_id: 0 for server_id in self._servers
+        }
+
+    @property
+    def server_ids(self) -> frozenset:
+        """The identities of all replicas on the network."""
+        return frozenset(self._servers)
+
+    def server(self, server_id: Hashable) -> ReplicaServer:
+        """Return the replica object with the given id (test/inspection hook)."""
+        return self._servers[server_id]
+
+    def send(self, server_id: Hashable, request: object) -> object | None:
+        """Deliver ``request`` to one replica and return its response.
+
+        Returns ``None`` when the replica has crashed.  Unknown server ids
+        are a configuration error and raise.
+        """
+        server = self._servers.get(server_id)
+        if server is None:
+            raise SimulationError(f"no replica with id {server_id!r} on this network")
+        self.delivery_counts[server_id] += 1
+        if not self.scenario.is_responsive(server_id):
+            return None
+        if isinstance(request, type(None)):
+            raise SimulationError("cannot deliver an empty request")
+        # Dispatch on the request type using the replica's handlers.
+        handler_name = {
+            "TimestampRequest": "handle_timestamp",
+            "ReadRequest": "handle_read",
+            "WriteRequest": "handle_write",
+        }.get(type(request).__name__)
+        if handler_name is None:
+            raise SimulationError(f"unsupported request type {type(request).__name__}")
+        return getattr(server, handler_name)(request)
+
+    def broadcast(self, server_ids: Iterable[Hashable], request: object) -> dict[Hashable, object | None]:
+        """Deliver ``request`` to several replicas and collect their responses."""
+        return {server_id: self.send(server_id, request) for server_id in server_ids}
+
+    def empirical_loads(self, total_accesses: int) -> dict[Hashable, float]:
+        """Return per-server access frequencies relative to ``total_accesses``.
+
+        This is the empirical counterpart of the induced load ``l_w(u)``: the
+        fraction of client operations that touched each server.
+        """
+        if total_accesses <= 0:
+            raise SimulationError(f"total_accesses must be positive, got {total_accesses}")
+        return {
+            server_id: count / total_accesses
+            for server_id, count in self.delivery_counts.items()
+        }

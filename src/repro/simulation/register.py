@@ -1,0 +1,127 @@
+"""The replicated register service: replicas + network + clients, wired together.
+
+:class:`ReplicatedRegister` is the deployment-level object: given a quorum
+system, a masking parameter and a fault scenario it creates one replica per
+universe element (Byzantine replicas where the scenario says so), a
+synchronous network, and hands out clients.  It is the object the examples
+and the protocol-level integration tests interact with.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+import numpy as np
+
+from repro.core.quorum_system import QuorumSystem
+from repro.exceptions import SimulationError
+from repro.simulation.client import QuorumClient
+from repro.simulation.faults import FaultScenario
+from repro.simulation.network import SynchronousNetwork
+from repro.simulation.server import ByzantineReplicaServer, ReplicaServer
+
+__all__ = ["ReplicatedRegister"]
+
+
+class ReplicatedRegister:
+    """A shared read/write register replicated over a masking quorum system.
+
+    Parameters
+    ----------
+    system:
+        The quorum system; its universe defines the replica set.
+    b:
+        The number of Byzantine failures the deployment masks.  The
+        constructor refuses scenarios with more Byzantine servers than ``b``
+        unless ``allow_overload`` is set (useful for tests that demonstrate
+        what goes wrong beyond the masking bound).
+    scenario:
+        The fault scenario; fault-free by default.
+    byzantine_behaviour:
+        Behaviour of the Byzantine replicas (see
+        :class:`~repro.simulation.server.ByzantineReplicaServer`).
+    initial_value:
+        Value held by every replica before the first write.
+    rng:
+        Randomness source shared by Byzantine replicas and clients.
+    allow_overload:
+        Permit ``|byzantine| > b`` (for negative tests).
+    """
+
+    def __init__(
+        self,
+        system: QuorumSystem,
+        *,
+        b: int,
+        scenario: FaultScenario | None = None,
+        byzantine_behaviour: str = "fabricate-timestamp",
+        initial_value: object = None,
+        rng: np.random.Generator | None = None,
+        allow_overload: bool = False,
+    ):
+        scenario = scenario if scenario is not None else FaultScenario.fault_free()
+        if b < 0:
+            raise SimulationError(f"masking parameter must be >= 0, got {b}")
+        if not allow_overload and scenario.num_byzantine > b:
+            raise SimulationError(
+                f"scenario has {scenario.num_byzantine} Byzantine servers but the "
+                f"deployment only masks b={b}; pass allow_overload=True to force it"
+            )
+        unknown = (scenario.byzantine | scenario.crashed) - system.universe.as_frozenset()
+        if unknown:
+            raise SimulationError(
+                f"fault scenario mentions servers outside the universe: "
+                f"{sorted(unknown, key=repr)[:4]}"
+            )
+
+        self.system = system
+        self.b = b
+        self.scenario = scenario
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+        servers: dict[Hashable, ReplicaServer] = {}
+        for server_id in system.universe:
+            if server_id in scenario.byzantine:
+                servers[server_id] = ByzantineReplicaServer(
+                    server_id,
+                    behaviour=byzantine_behaviour,
+                    rng=self.rng,
+                    initial_value=initial_value,
+                )
+            else:
+                servers[server_id] = ReplicaServer(server_id, initial_value=initial_value)
+        self.servers = servers
+        self.network = SynchronousNetwork(servers, scenario)
+        self._next_client_id = 0
+
+    def client(self, *, max_attempts: int = 10) -> QuorumClient:
+        """Create a new client of this register."""
+        client = QuorumClient(
+            client_id=self._next_client_id,
+            system=self.system,
+            network=self.network,
+            b=self.b,
+            max_attempts=max_attempts,
+            rng=self.rng,
+        )
+        self._next_client_id += 1
+        return client
+
+    # ------------------------------------------------------------------
+    # Inspection helpers used by experiments and tests.
+    # ------------------------------------------------------------------
+    def correct_replica_pairs(self) -> dict[Hashable, object]:
+        """Return the ``(value, timestamp)`` pairs held by all correct replicas."""
+        return {
+            server_id: server.current_pair
+            for server_id, server in self.servers.items()
+            if self.scenario.is_correct(server_id)
+        }
+
+    def empirical_loads(self, total_operations: int) -> dict[Hashable, float]:
+        """Return per-server access frequency over ``total_operations`` client operations."""
+        return self.network.empirical_loads(total_operations)
+
+    def max_empirical_load(self, total_operations: int) -> float:
+        """Return the busiest server's empirical access frequency."""
+        return max(self.empirical_loads(total_operations).values())

@@ -1,0 +1,187 @@
+"""Workload runner: end-to-end experiments over the replicated register.
+
+The runner drives alternating writes and reads from a population of clients
+against a :class:`~repro.simulation.register.ReplicatedRegister`, checks the
+register's safety property (every successful read returns the last
+successfully written value — the regular-register semantics the masking
+protocol provides under non-concurrent access), and gathers the statistics
+the paper's measures talk about: per-server access frequency (empirical
+load) and operation availability under crash faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.quorum_system import QuorumSystem
+from repro.exceptions import SimulationError
+from repro.simulation.faults import FaultScenario
+from repro.simulation.register import ReplicatedRegister
+
+__all__ = ["WorkloadResult", "run_workload"]
+
+
+@dataclass
+class WorkloadResult:
+    """Aggregate statistics of one workload run.
+
+    Attributes
+    ----------
+    operations:
+        Total number of operations attempted (reads + writes).
+    successful_reads / successful_writes:
+        Operations that found a responsive quorum and completed.
+    failed_operations:
+        Operations that ran out of quorum attempts (unavailability).
+    consistency_violations:
+        Successful reads that returned something other than the latest
+        successfully written value.  Must be zero whenever the number of
+        Byzantine servers is at most ``b``.
+    stale_reads:
+        Reads that returned an older written value (possible only under
+        failures mid-write; counted separately from violations).
+    empirical_load:
+        The busiest server's access frequency: the fraction of successful
+        operations whose quorum contained that server.  This is the
+        empirical counterpart of ``L_w(Q)`` (Definition 3.8) for the access
+        strategy the clients actually used.
+    per_server_load:
+        Access frequency of every server (same normalisation).
+    per_server_messages:
+        Raw message deliveries per server (includes retries and the
+        two-phase writes, so it exceeds the quorum-access frequency).
+    """
+
+    operations: int
+    successful_reads: int
+    successful_writes: int
+    failed_operations: int
+    consistency_violations: int
+    stale_reads: int
+    empirical_load: float
+    per_server_load: dict = field(default_factory=dict)
+    per_server_messages: dict = field(default_factory=dict)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of operations that completed successfully."""
+        if self.operations == 0:
+            return 0.0
+        return (self.successful_reads + self.successful_writes) / self.operations
+
+    @property
+    def is_consistent(self) -> bool:
+        """Whether no read ever returned a fabricated or unwritten value."""
+        return self.consistency_violations == 0
+
+
+def run_workload(
+    system: QuorumSystem,
+    *,
+    b: int,
+    num_operations: int = 200,
+    num_clients: int = 4,
+    scenario: FaultScenario | None = None,
+    byzantine_behaviour: str = "fabricate-timestamp",
+    rng: np.random.Generator | None = None,
+    write_fraction: float = 0.5,
+    allow_overload: bool = False,
+) -> WorkloadResult:
+    """Run a read/write workload and collect consistency and load statistics.
+
+    Parameters
+    ----------
+    system:
+        The quorum system to deploy over.
+    b:
+        Masking parameter used by the read protocol.
+    num_operations:
+        Total operations across all clients.
+    num_clients:
+        Number of clients issuing operations round-robin.
+    scenario:
+        Fault scenario (fault-free by default).
+    byzantine_behaviour:
+        Lie told by Byzantine replicas.
+    write_fraction:
+        Probability that an operation is a write.
+    allow_overload:
+        Forwarded to :class:`ReplicatedRegister` (negative tests only).
+    """
+    if num_operations <= 0:
+        raise SimulationError(f"num_operations must be positive, got {num_operations}")
+    if not 0.0 <= write_fraction <= 1.0:
+        raise SimulationError(f"write_fraction must lie in [0, 1], got {write_fraction}")
+    rng = rng if rng is not None else np.random.default_rng()
+
+    register = ReplicatedRegister(
+        system,
+        b=b,
+        scenario=scenario,
+        byzantine_behaviour=byzantine_behaviour,
+        rng=rng,
+        allow_overload=allow_overload,
+    )
+    clients = [register.client() for _ in range(max(1, num_clients))]
+
+    written_values: list[object] = []
+    successful_reads = 0
+    successful_writes = 0
+    failed = 0
+    violations = 0
+    stale = 0
+    write_counter = 0
+    quorum_access_counts: dict = {server_id: 0 for server_id in system.universe}
+
+    def record_access(quorum: frozenset | None) -> None:
+        if quorum is None:
+            return
+        for server_id in quorum:
+            quorum_access_counts[server_id] += 1
+
+    for operation_index in range(num_operations):
+        client = clients[operation_index % len(clients)]
+        do_write = rng.random() < write_fraction or not written_values
+        if do_write:
+            value = ("payload", write_counter)
+            write_counter += 1
+            result = client.write(value)
+            record_access(result.quorum)
+            if result.success:
+                successful_writes += 1
+                written_values.append(value)
+            else:
+                failed += 1
+        else:
+            result = client.read()
+            record_access(result.quorum)
+            if not result.success:
+                failed += 1
+                continue
+            successful_reads += 1
+            if result.value == written_values[-1]:
+                continue
+            if result.value in written_values or (
+                result.value is None and not written_values
+            ):
+                stale += 1
+            else:
+                violations += 1
+
+    successful = max(1, successful_reads + successful_writes)
+    per_server_load = {
+        server_id: count / successful for server_id, count in quorum_access_counts.items()
+    }
+    return WorkloadResult(
+        operations=num_operations,
+        successful_reads=successful_reads,
+        successful_writes=successful_writes,
+        failed_operations=failed,
+        consistency_violations=violations,
+        stale_reads=stale,
+        empirical_load=max(per_server_load.values()),
+        per_server_load=per_server_load,
+        per_server_messages=register.empirical_loads(num_operations),
+    )

@@ -1,0 +1,161 @@
+"""Replica servers for the masking-quorum replicated register.
+
+A correct replica stores a single ``(value, timestamp)`` pair and serves
+three request types: timestamp queries, read queries and (conditional)
+writes.  Byzantine replicas answer the same requests but may lie; several
+canonical adversarial behaviours are provided, chosen to attack exactly the
+properties the masking quorum is supposed to protect (fabricated high
+timestamps, stale values, garbage values).  Crashed replicas never answer —
+the network layer models that by returning ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.simulation.messages import (
+    ReadReply,
+    ReadRequest,
+    Timestamp,
+    TimestampReply,
+    TimestampRequest,
+    ValueTimestampPair,
+    WriteAck,
+    WriteRequest,
+)
+
+__all__ = ["ReplicaServer", "ByzantineReplicaServer", "BYZANTINE_BEHAVIOURS"]
+
+
+class ReplicaServer:
+    """A correct replica of the shared register.
+
+    Parameters
+    ----------
+    server_id:
+        The identity of this replica (an element of the quorum system's
+        universe).
+    initial_value:
+        The value held before any write; paired with the zero timestamp.
+    """
+
+    def __init__(self, server_id: Hashable, initial_value: object = None):
+        self.server_id = server_id
+        self._pair = ValueTimestampPair(value=initial_value, timestamp=Timestamp.zero())
+        #: Number of requests served, used for empirical load measurements.
+        self.access_count = 0
+
+    @property
+    def current_pair(self) -> ValueTimestampPair:
+        """The replica's current ``(value, timestamp)`` pair."""
+        return self._pair
+
+    # ------------------------------------------------------------------
+    # Request handlers.
+    # ------------------------------------------------------------------
+    def handle_timestamp(self, request: TimestampRequest) -> TimestampReply:
+        """Return the timestamp of the currently stored value."""
+        self.access_count += 1
+        return TimestampReply(server_id=self.server_id, timestamp=self._pair.timestamp)
+
+    def handle_read(self, request: ReadRequest) -> ReadReply:
+        """Return the currently stored ``(value, timestamp)`` pair."""
+        self.access_count += 1
+        return ReadReply(server_id=self.server_id, pair=self._pair)
+
+    def handle_write(self, request: WriteRequest) -> WriteAck:
+        """Install the written pair if it is newer than the stored one."""
+        self.access_count += 1
+        if request.pair.timestamp > self._pair.timestamp:
+            self._pair = request.pair
+            return WriteAck(server_id=self.server_id, accepted=True)
+        return WriteAck(server_id=self.server_id, accepted=False)
+
+
+class ByzantineReplicaServer(ReplicaServer):
+    """A replica under adversarial control.
+
+    The behaviour parameter selects the lie told to readers:
+
+    * ``"fabricate-timestamp"`` — report a bogus value with an enormous
+      timestamp to *every* query, attempting to trick readers into returning
+      it.  The masking read rule (accept only pairs vouched for by ``b + 1``
+      servers) must defeat this as long as at most ``b`` replicas collude.
+    * ``"forge-on-read"`` — answer timestamp queries honestly (so writers do
+      not learn about the forgery and cannot outrun it) but forge read
+      replies.  This is the strongest read attack: with ``2b + 1`` colluders
+      it reliably corrupts reads, demonstrating that the masking bound is
+      tight.
+    * ``"stale"`` — always report the initial (outdated) pair, attempting to
+      make readers miss completed writes.
+    * ``"random-value"`` — report a random value with the current timestamp.
+    * ``"drop-writes"`` — behave correctly for reads but silently discard
+      writes (a correctness attack on the writer's quorum).
+
+    Colluding replicas share ``collusion_token`` so that their fabricated
+    answers agree with each other — the strongest version of the attack.
+    """
+
+    def __init__(
+        self,
+        server_id: Hashable,
+        behaviour: str = "fabricate-timestamp",
+        *,
+        rng: np.random.Generator | None = None,
+        collusion_token: object = "forged-value",
+        initial_value: object = None,
+    ):
+        super().__init__(server_id, initial_value=initial_value)
+        if behaviour not in BYZANTINE_BEHAVIOURS:
+            raise SimulationError(
+                f"unknown Byzantine behaviour {behaviour!r}; "
+                f"choose one of {sorted(BYZANTINE_BEHAVIOURS)}"
+            )
+        self.behaviour = behaviour
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.collusion_token = collusion_token
+        self._initial_pair = self._pair
+
+    def handle_timestamp(self, request: TimestampRequest) -> TimestampReply:
+        self.access_count += 1
+        if self.behaviour == "fabricate-timestamp":
+            return TimestampReply(
+                server_id=self.server_id, timestamp=Timestamp(10**9, int(1e6))
+            )
+        if self.behaviour == "stale":
+            return TimestampReply(
+                server_id=self.server_id, timestamp=self._initial_pair.timestamp
+            )
+        return super().handle_timestamp(request)
+
+    def handle_read(self, request: ReadRequest) -> ReadReply:
+        self.access_count += 1
+        if self.behaviour in ("fabricate-timestamp", "forge-on-read"):
+            forged = ValueTimestampPair(
+                value=self.collusion_token, timestamp=Timestamp(10**9, int(1e6))
+            )
+            return ReadReply(server_id=self.server_id, pair=forged)
+        if self.behaviour == "stale":
+            return ReadReply(server_id=self.server_id, pair=self._initial_pair)
+        if self.behaviour == "random-value":
+            forged = ValueTimestampPair(
+                value=("garbage", int(self.rng.integers(1_000_000))),
+                timestamp=self._pair.timestamp,
+            )
+            return ReadReply(server_id=self.server_id, pair=forged)
+        return super().handle_read(request)
+
+    def handle_write(self, request: WriteRequest) -> WriteAck:
+        self.access_count += 1
+        if self.behaviour == "drop-writes":
+            return WriteAck(server_id=self.server_id, accepted=True)  # lies about accepting
+        return super().handle_write(request)
+
+
+#: The recognised Byzantine behaviours.
+BYZANTINE_BEHAVIOURS = frozenset(
+    {"fabricate-timestamp", "forge-on-read", "stale", "random-value", "drop-writes"}
+)

@@ -1,0 +1,123 @@
+"""Shared fixtures for the test-suite.
+
+Fixtures build small, fully enumerable instances of every construction so
+that analytic values can be cross-checked against exhaustive computation, and
+a deterministic random generator so that Monte-Carlo assertions are stable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BoostedFPP,
+    ExplicitQuorumSystem,
+    FiniteProjectivePlane,
+    MGrid,
+    MPath,
+    MaskingGrid,
+    RecursiveThreshold,
+    RegularGrid,
+    ThresholdQuorumSystem,
+    majority,
+    masking_threshold,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator shared by stochastic tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def simple_system() -> ExplicitQuorumSystem:
+    """A tiny hand-written quorum system used by the core-model tests.
+
+    Universe {0..4}; quorums are the three 3-subsets {0,1,2}, {1,2,3},
+    {2,3,4} — every pair intersects (element 2 is in all of them).
+    """
+    return ExplicitQuorumSystem(
+        range(5),
+        [{0, 1, 2}, {1, 2, 3}, {2, 3, 4}],
+        name="simple",
+    )
+
+
+@pytest.fixture
+def singleton_system() -> ExplicitQuorumSystem:
+    """The degenerate system with a single one-element quorum."""
+    return ExplicitQuorumSystem([0, 1], [{0}], name="singleton")
+
+
+@pytest.fixture
+def majority_5() -> ThresholdQuorumSystem:
+    """Majority over five servers (3-of-5)."""
+    return majority(5)
+
+
+@pytest.fixture
+def threshold_9_7() -> ThresholdQuorumSystem:
+    """The 7-of-9 threshold system (a 2-masking threshold)."""
+    return ThresholdQuorumSystem(9, 7)
+
+
+@pytest.fixture
+def mr98_threshold() -> ThresholdQuorumSystem:
+    """The [MR98a] Threshold baseline over 13 servers masking b = 3."""
+    return masking_threshold(13, 3)
+
+
+@pytest.fixture
+def mgrid_7_3() -> MGrid:
+    """The Figure 1 instance: M-Grid over a 7x7 grid masking b = 3."""
+    return MGrid(7, 3)
+
+
+@pytest.fixture
+def masking_grid_9_2() -> MaskingGrid:
+    """The [MR98a] Grid baseline over a 9x9 grid masking b = 2."""
+    return MaskingGrid(9, 2)
+
+
+@pytest.fixture
+def regular_grid_4() -> RegularGrid:
+    """The Maekawa grid over a 4x4 universe."""
+    return RegularGrid(4)
+
+
+@pytest.fixture
+def rt_4_3_depth2() -> RecursiveThreshold:
+    """The Figure 2 instance: RT(4,3) of depth 2 (16 servers)."""
+    return RecursiveThreshold(4, 3, 2)
+
+
+@pytest.fixture
+def fpp_order2() -> FiniteProjectivePlane:
+    """The Fano plane (PG(2,2)) as a quorum system."""
+    return FiniteProjectivePlane(2)
+
+
+@pytest.fixture
+def fpp_order3() -> FiniteProjectivePlane:
+    """PG(2,3) as a quorum system (13 points)."""
+    return FiniteProjectivePlane(3)
+
+
+@pytest.fixture
+def boost_fpp_small() -> BoostedFPP:
+    """boostFPP(q=2, b=1): the Fano plane over 4-of-5 threshold blocks (35 servers)."""
+    return BoostedFPP(2, 1)
+
+
+@pytest.fixture
+def mpath_5_2() -> MPath:
+    """M-Path over a 5x5 triangulated grid masking b = 2."""
+    return MPath(5, 2)
+
+
+@pytest.fixture
+def mpath_9_4() -> MPath:
+    """The Figure 3 instance: M-Path over a 9x9 grid masking b = 4."""
+    return MPath(9, 4)

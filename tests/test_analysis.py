@@ -1,0 +1,150 @@
+"""Unit tests for the evaluation-level analysis: Section 8 comparison, Table 2, trade-offs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConstructionError, MGrid, MPath, RecursiveThreshold, masking_threshold
+from repro.analysis import (
+    TABLE2_SYSTEMS,
+    availability_trend,
+    profile_system,
+    section8_comparison,
+    table2,
+    tradeoff_point,
+    verify_tradeoff,
+)
+
+
+class TestProfileSystem:
+    def test_profile_of_rt_is_exact(self, rng):
+        system = RecursiveThreshold(4, 3, 3)
+        profile = profile_system(system, 0.1, rng=rng)
+        assert profile.crash_probability_kind == "exact"
+        assert profile.n == 64
+        assert profile.f == system.min_transversal_size() - 1
+        assert profile.load == pytest.approx(system.load())
+
+    def test_profile_of_mgrid_uses_lower_bound(self, rng):
+        profile = profile_system(MGrid(8, 3), 0.1, rng=rng)
+        assert profile.crash_probability_kind == "lower-bound"
+
+    def test_profile_of_mpath_uses_analytic_bound_for_small_p(self, rng):
+        profile = profile_system(MPath(8, 3), 0.1, rng=rng)
+        assert profile.crash_probability_kind == "upper-bound"
+
+    def test_profile_respects_explicit_b(self, rng):
+        profile = profile_system(masking_threshold(17, 4), 0.1, b=4, rng=rng)
+        assert profile.b == 4
+
+
+class TestSection8:
+    def test_comparison_at_small_scale(self, rng):
+        profiles = section8_comparison(n=256, p=0.125, rng=rng)
+        names = [profile.name for profile in profiles]
+        assert len(profiles) == 4
+        assert any("M-Grid" in name for name in names)
+        assert any("boostFPP" in name for name in names)
+        assert any("M-Path" in name for name in names)
+        assert any("RT(4,3)" in name for name in names)
+
+    def test_loads_are_comparable_across_systems(self, rng):
+        # The whole point of the exercise: every system is configured to a
+        # load of roughly the same magnitude.
+        profiles = section8_comparison(n=256, p=0.125, rng=rng)
+        loads = [profile.load for profile in profiles]
+        assert max(loads) <= 3.0 * min(loads)
+
+    def test_availability_ordering_matches_paper(self, rng):
+        # At p = 1/8 the paper's ordering is: M-Grid worst, then boostFPP,
+        # then M-Path and RT far better.
+        profiles = {p.name.split("(")[0]: p for p in section8_comparison(n=1024, p=0.125, rng=rng)}
+        mgrid = profiles["M-Grid"].crash_probability
+        boost = profiles["boostFPP"].crash_probability
+        rt = profiles["RT"].crash_probability
+        assert mgrid > 0.5
+        assert boost < mgrid
+        assert rt < 0.01
+
+    def test_non_square_n_rejected(self, rng):
+        with pytest.raises(ConstructionError):
+            section8_comparison(n=1000, p=0.1, rng=rng)
+
+    def test_baselines_can_be_included(self, rng):
+        profiles = section8_comparison(n=256, p=0.125, rng=rng, include_baselines=True)
+        assert len(profiles) == 6
+
+
+class TestTable2:
+    def test_all_six_systems_present(self, rng):
+        rows = table2(n=256, p=0.125, rng=rng)
+        assert [row.system for row in rows] == list(TABLE2_SYSTEMS)
+
+    def test_masking_and_resilience_columns(self, rng):
+        rows = {row.system: row for row in table2(n=256, p=0.125, rng=rng)}
+        # Threshold masks the most (b < n/4) and has the largest resilience.
+        assert rows["Threshold"].max_b == 63
+        assert rows["Threshold"].resilience >= rows["M-Grid"].resilience
+        # The grid-shaped systems mask O(sqrt(n)).
+        assert rows["M-Grid"].max_b <= 16
+        assert rows["M-Path"].max_b <= 16
+        # RT's masking at n = 256 (h = 4) is (2^4 - 1)/2 = 7.
+        assert rows["RT(4,3)"].max_b == 7
+
+    def test_load_column_marks_optimal_systems(self, rng):
+        rows = {row.system: row for row in table2(n=256, p=0.125, rng=rng)}
+        # Threshold's load is at least 1/2 while the load-optimal systems sit
+        # within a small factor of the lower bound.
+        assert rows["Threshold"].load >= 0.5
+        for name in ("M-Grid", "boostFPP", "M-Path"):
+            assert rows[name].load_optimal
+            assert rows[name].load <= 2.5 * rows[name].load_lower_bound
+
+    def test_availability_column_shape(self, rng):
+        rows = {row.system: row for row in table2(n=256, p=0.125, rng=rng)}
+        # Threshold and RT are (near) optimally available; Grid and M-Grid poor.
+        assert rows["Threshold"].crash_probability < 1e-6
+        assert rows["RT(4,3)"].crash_probability < 1e-3
+        assert rows["M-Grid"].crash_probability > 0.3
+        assert rows["Grid"].crash_probability > 0.3
+
+    def test_non_square_n_rejected(self, rng):
+        with pytest.raises(ConstructionError):
+            table2(n=200, p=0.1, rng=rng)
+
+
+class TestAvailabilityTrends:
+    def test_grid_like_systems_degrade(self, rng):
+        trend = availability_trend("M-Grid", [25, 81, 169], 0.2, rng=rng)
+        assert trend[-1] > trend[0]
+
+    def test_threshold_and_rt_improve(self, rng):
+        threshold_trend = availability_trend("Threshold", [25, 81, 169], 0.2, rng=rng)
+        assert threshold_trend[-1] < threshold_trend[0]
+        rt_trend = availability_trend("RT(4,3)", [16, 64, 256], 0.15, rng=rng)
+        assert rt_trend[-1] < rt_trend[0]
+
+    def test_unknown_system_rejected(self, rng):
+        with pytest.raises(ConstructionError):
+            availability_trend("Paxos", [16], 0.1, rng=rng)
+
+
+class TestTradeoff:
+    def test_every_construction_respects_f_le_nL(self, rng):
+        systems = [
+            masking_threshold(16, 3),
+            MGrid(7, 3),
+            RecursiveThreshold(4, 3, 3),
+            MPath(8, 3),
+        ]
+        for system in systems:
+            assert verify_tradeoff(system)
+            point = tradeoff_point(system)
+            assert point.slack >= -1e-9
+            assert point.resilience == system.min_transversal_size() - 1
+
+    def test_tradeoff_point_fields(self):
+        point = tradeoff_point(masking_threshold(16, 3))
+        assert point.n == 16
+        assert point.resilience_bound == pytest.approx(16 * point.load)

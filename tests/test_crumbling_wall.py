@@ -1,0 +1,77 @@
+"""Unit tests for the crumbling-wall regular quorum system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConstructionError, CrumblingWall, boost_masking, exact_load
+
+
+class TestConstruction:
+    def test_rejects_empty_or_invalid_rows(self):
+        with pytest.raises(ConstructionError):
+            CrumblingWall([])
+        with pytest.raises(ConstructionError):
+            CrumblingWall([2, 0, 1])
+
+    def test_universe_size(self):
+        wall = CrumblingWall([1, 2, 3])
+        assert wall.n == 6
+        assert wall.num_rows == 3
+
+    def test_quorum_count_formula(self):
+        # Row i contributes prod of widths below it.
+        wall = CrumblingWall([1, 2, 3, 4])
+        assert wall.num_quorums() == 2 * 3 * 4 + 3 * 4 + 4 + 1
+        assert wall.num_quorums() == len(wall.quorums())
+
+    def test_is_a_valid_quorum_system(self):
+        CrumblingWall([2, 3, 2]).to_explicit().validate()
+
+    def test_quorum_shape(self):
+        wall = CrumblingWall([1, 2])
+        quorums = set(wall.quorums())
+        assert frozenset({(0, 0), (1, 0)}) in quorums
+        assert frozenset({(0, 0), (1, 1)}) in quorums
+        assert frozenset({(1, 0), (1, 1)}) in quorums
+
+
+class TestMeasures:
+    def test_min_quorum_size(self):
+        wall = CrumblingWall([3, 1, 2])
+        # Best row: row 1 (width 1) plus one representative from row 2.
+        assert wall.min_quorum_size() == 2
+        assert wall.to_explicit().min_quorum_size() == 2
+
+    def test_min_transversal_bottom_row_of_width_one(self):
+        wall = CrumblingWall([3, 2, 1])
+        assert wall.min_transversal_size() == 1
+        assert wall.to_explicit().min_transversal_size() == 1
+
+    def test_min_transversal_general(self):
+        wall = CrumblingWall([1, 2, 3])
+        assert wall.min_transversal_size() == wall.to_explicit().min_transversal_size()
+
+    def test_regular_system_masks_nothing(self):
+        assert CrumblingWall([2, 2, 2]).masking_bound() == 0
+
+    def test_load_via_lp(self):
+        # The singleton top row is a bottleneck candidate but the LP can
+        # spread access across the lower courses.
+        wall = CrumblingWall([1, 2, 2])
+        result = exact_load(wall)
+        assert 0.0 < result.load <= 1.0
+
+    def test_sampling(self, rng):
+        wall = CrumblingWall([2, 3, 2])
+        quorums = set(wall.quorums())
+        for _ in range(5):
+            assert wall.sample_quorum(rng) in quorums
+
+
+class TestBoostingIntegration:
+    def test_boosted_wall_is_masking(self):
+        wall = CrumblingWall([1, 2, 3])
+        boosted = boost_masking(wall, 1)
+        assert boosted.is_b_masking(1)
+        assert boosted.n == 30

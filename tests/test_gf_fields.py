@@ -1,0 +1,164 @@
+"""Unit tests for GF(p), polynomial arithmetic, and GF(p^r)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FieldError
+from repro.gf import GaloisField, PrimeField, factor_prime_power, is_prime
+from repro.gf import polynomial as poly
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        assert [n for n in range(2, 20) if is_prime(n)] == [2, 3, 5, 7, 11, 13, 17, 19]
+
+    def test_non_primes(self):
+        for n in (-3, 0, 1, 4, 9, 15, 21, 25, 49):
+            assert not is_prime(n)
+
+    def test_factor_prime_power(self):
+        assert factor_prime_power(8) == (2, 3)
+        assert factor_prime_power(9) == (3, 2)
+        assert factor_prime_power(7) == (7, 1)
+
+    def test_factor_rejects_non_prime_powers(self):
+        for n in (1, 6, 12, 100):
+            with pytest.raises(FieldError):
+                factor_prime_power(n)
+
+
+class TestPrimeField:
+    def test_rejects_composite_modulus(self):
+        with pytest.raises(FieldError):
+            PrimeField(6)
+
+    def test_basic_arithmetic(self):
+        field = PrimeField(7)
+        assert field.add(5, 4) == 2
+        assert field.sub(2, 5) == 4
+        assert field.mul(3, 5) == 1
+        assert field.neg(3) == 4
+        assert field.div(1, 3) == 5
+        assert field.pow(3, 6) == 1  # Fermat
+
+    def test_inverse(self):
+        field = PrimeField(11)
+        for value in range(1, 11):
+            assert field.mul(value, field.inverse(value)) == 1
+
+    def test_inverse_of_zero_rejected(self):
+        with pytest.raises(FieldError):
+            PrimeField(5).inverse(0)
+
+    def test_negative_exponent(self):
+        field = PrimeField(7)
+        assert field.pow(3, -1) == field.inverse(3)
+
+    def test_equality_and_hash(self):
+        assert PrimeField(5) == PrimeField(5)
+        assert PrimeField(5) != PrimeField(7)
+        assert len({PrimeField(5), PrimeField(5)}) == 1
+
+
+class TestPolynomials:
+    field = PrimeField(3)
+
+    def test_trim(self):
+        assert poly.trim([1, 2, 0, 0]) == (1, 2)
+        assert poly.trim([0, 0]) == ()
+
+    def test_degree(self):
+        assert poly.degree((1, 0, 2)) == 2
+        assert poly.degree(()) == -1
+
+    def test_add_sub(self):
+        assert poly.add(self.field, (1, 2), (2, 1)) == ()
+        assert poly.sub(self.field, (1, 2), (1, 2)) == ()
+        assert poly.add(self.field, (1,), (0, 1)) == (1, 1)
+
+    def test_mul(self):
+        # (1 + x)(1 + 2x) = 1 + 3x + 2x^2 = 1 + 2x^2 over GF(3).
+        assert poly.mul(self.field, (1, 1), (1, 2)) == (1, 0, 2)
+        assert poly.mul(self.field, (), (1, 2)) == ()
+
+    def test_divmod(self):
+        dividend = poly.mul(self.field, (1, 1), (2, 1))
+        quotient, remainder = poly.divmod_poly(self.field, dividend, (1, 1))
+        assert remainder == ()
+        assert quotient == (2, 1)
+
+    def test_divmod_with_remainder(self):
+        quotient, remainder = poly.divmod_poly(self.field, (1, 0, 1), (0, 1))
+        assert quotient == (0, 1)
+        assert remainder == (1,)
+
+    def test_division_by_zero_rejected(self):
+        with pytest.raises(FieldError):
+            poly.divmod_poly(self.field, (1, 1), ())
+
+    def test_irreducibility(self):
+        field2 = PrimeField(2)
+        assert poly.is_irreducible(field2, (1, 1, 1))      # x^2 + x + 1
+        assert not poly.is_irreducible(field2, (1, 0, 1))  # x^2 + 1 = (x+1)^2
+        assert poly.is_irreducible(field2, (1, 1))         # linear
+        assert not poly.is_irreducible(field2, (1,))       # constant
+
+    def test_find_irreducible(self):
+        for p, r in ((2, 2), (2, 3), (3, 2), (5, 2)):
+            field = PrimeField(p)
+            found = poly.find_irreducible(field, r)
+            assert poly.degree(found) == r
+            assert poly.is_irreducible(field, found)
+
+    def test_find_irreducible_invalid_degree(self):
+        with pytest.raises(FieldError):
+            poly.find_irreducible(self.field, 0)
+
+
+class TestGaloisField:
+    def test_prime_case_delegates(self):
+        field = GaloisField(7)
+        assert field.mul(3, 5) == 1
+        assert field.extension_degree == 1
+
+    def test_rejects_non_prime_power(self):
+        with pytest.raises(FieldError):
+            GaloisField(12)
+
+    @pytest.mark.parametrize("order", [4, 8, 9, 16, 25])
+    def test_field_axioms(self, order):
+        field = GaloisField(order)
+        elements = list(field.elements())
+        # Multiplicative inverses exist and are correct for all non-zero elements.
+        for value in elements[1:]:
+            assert field.mul(value, field.inverse(value)) == 1
+        # Additive group: every element has an additive inverse.
+        for value in elements:
+            assert field.add(value, field.neg(value)) == 0
+        # Distributivity on a sample of triples.
+        sample = elements[: min(len(elements), 5)]
+        for a in sample:
+            for b in sample:
+                for c in sample:
+                    left = field.mul(a, field.add(b, c))
+                    right = field.add(field.mul(a, b), field.mul(a, c))
+                    assert left == right
+
+    def test_multiplicative_group_order(self):
+        field = GaloisField(8)
+        # Every non-zero element satisfies a^(q-1) = 1.
+        for value in range(1, 8):
+            assert field.pow(value, 7) == 1
+
+    def test_inverse_of_zero_rejected(self):
+        with pytest.raises(FieldError):
+            GaloisField(4).inverse(0)
+
+    def test_out_of_range_element_rejected(self):
+        with pytest.raises(FieldError):
+            GaloisField(4).mul(5, 1)
+
+    def test_equality(self):
+        assert GaloisField(4) == GaloisField(4)
+        assert GaloisField(4) != GaloisField(8)

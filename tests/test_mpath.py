@@ -1,0 +1,131 @@
+"""Unit tests for the M-Path construction (Section 7, Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ComputationError, ConstructionError, MPath, load_lower_bound
+
+
+class TestConstruction:
+    def test_figure3_instance(self, mpath_9_4):
+        # Figure 3: a 9x9 grid with b = 4 -> 3 LR and 3 TB paths per quorum.
+        assert mpath_9_4.n == 81
+        assert mpath_9_4.k == 3
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConstructionError):
+            MPath(1, 0)
+        with pytest.raises(ConstructionError):
+            MPath(5, -1)
+        with pytest.raises(ConstructionError):
+            MPath(3, 5)       # sqrt(2b+1) does not fit
+        with pytest.raises(ConstructionError):
+            MPath(5, 4)       # resilience 5-3 = 2 < b
+
+    def test_proposition_7_1_bound_on_b(self):
+        # b close to (1 - o(1)) sqrt(n) is achievable on larger grids.
+        system = MPath(16, 10)
+        assert system.masking_bound() >= 10
+
+
+class TestMeasures:
+    def test_proposition_7_1_parameters(self, mpath_9_4):
+        assert mpath_9_4.min_intersection_size() == 9       # k^2 >= 2b+1 = 9
+        assert mpath_9_4.min_transversal_size() == 9 - 3 + 1
+        assert mpath_9_4.min_quorum_size() <= 2 * (81 * 9) ** 0.5
+        assert mpath_9_4.masking_bound() == 4
+
+    def test_straight_line_quorums_match_mgrid_shape(self, mpath_5_2):
+        subsystem = mpath_5_2.straight_line_subsystem()
+        subsystem.validate()
+        assert subsystem.min_quorum_size() == mpath_5_2.min_quorum_size()
+        # Straight-line quorums of the sub-family already intersect in >= 2b+1.
+        assert subsystem.min_intersection_size() >= 2 * mpath_5_2.b + 1
+
+    def test_straight_line_intersection_dominates_analytic_bound(self, mpath_5_2):
+        # The analytic value k^2 is a lower bound valid for the full (bent
+        # path) family; the straight-line sub-family can only intersect more.
+        subsystem = mpath_5_2.straight_line_subsystem()
+        assert subsystem.min_intersection_size() >= mpath_5_2.min_intersection_size()
+
+    def test_full_enumeration_is_refused(self, mpath_5_2):
+        with pytest.raises(ComputationError):
+            mpath_5_2.quorums()
+
+    def test_proposition_7_2_load_is_optimal(self):
+        for side, b in [(8, 3), (12, 7), (16, 10)]:
+            system = MPath(side, b)
+            assert system.load() <= 2.1 * load_lower_bound(system.n, b)
+
+    def test_load_value(self, mpath_9_4):
+        fraction = 3 / 9
+        assert mpath_9_4.load() == pytest.approx(2 * fraction - fraction ** 2)
+
+    def test_sample_quorum_is_straight_line_quorum(self, mpath_5_2, rng):
+        quorums = set(mpath_5_2.straight_line_subsystem().quorums())
+        for _ in range(5):
+            assert mpath_5_2.sample_quorum(rng) in quorums
+
+
+class TestSurvival:
+    def test_fault_free_grid_survives(self, mpath_5_2):
+        assert mpath_5_2.survives(set())
+
+    def test_crashing_a_transversal_kills_the_system(self, mpath_5_2):
+        # Crash one vertex in each of side - k + 1 = 3 rows... actually crash
+        # whole columns: removing side - k + 1 columns leaves fewer than k
+        # possible disjoint TB paths' worth of columns? Use rows instead:
+        # crashing 3 full rows leaves only 2 rows, fewer than k = 3 disjoint
+        # LR paths cannot exist... they could use diagonal detours, so crash
+        # entire columns to block LR paths directly.
+        crashed = {(i, j) for i in (1, 2, 3) for j in range(1, 6)}
+        # Columns 1..3 fully crashed: at most 0 LR crossings remain.
+        assert not mpath_5_2.survives(crashed)
+
+    def test_partial_crashes_leave_quorums(self, mpath_5_2):
+        crashed = {(1, 1), (2, 2), (3, 3)}
+        assert mpath_5_2.survives(crashed)
+
+    def test_bent_paths_count_toward_survival(self):
+        # Crash part of a row so straight-line quorums die but bent paths survive.
+        system = MPath(5, 1)  # k = 2
+        # Crash three scattered vertices; with only 3/25 vertices down and
+        # k = 2, disjoint crossings still exist via detours.
+        crashed = {(3, 3), (2, 4), (4, 2)}
+        assert system.survives(crashed)
+
+
+class TestAvailability:
+    def test_crash_probability_extremes(self, mpath_5_2, rng):
+        assert mpath_5_2.crash_probability(0.0, trials=5, rng=rng) == 0.0
+        assert mpath_5_2.crash_probability(1.0, trials=5, rng=rng) == 1.0
+
+    def test_invalid_inputs_rejected(self, mpath_5_2, rng):
+        with pytest.raises(ComputationError):
+            mpath_5_2.crash_probability(1.5, trials=5, rng=rng)
+        with pytest.raises(ComputationError):
+            mpath_5_2.crash_probability(0.1, trials=0, rng=rng)
+
+    def test_fp_decreases_with_grid_size_below_threshold(self, rng):
+        # Proposition 7.3: for p < 1/2 the crash probability shrinks with n.
+        small = MPath(5, 1).crash_probability(0.3, trials=150, rng=rng)
+        large = MPath(11, 1).crash_probability(0.3, trials=150, rng=rng)
+        assert large <= small + 0.05
+
+    def test_analytic_upper_bound_dominates_monte_carlo(self, rng):
+        system = MPath(12, 2)
+        p = 0.05
+        bound = system.crash_probability_upper_bound(p)
+        estimate = system.crash_probability(p, trials=100, rng=rng)
+        assert estimate <= bound + 0.05
+
+    def test_upper_bound_requires_small_p(self, mpath_5_2):
+        with pytest.raises(ComputationError):
+            mpath_5_2.crash_probability_upper_bound(0.4)
+        with pytest.raises(ComputationError):
+            mpath_5_2.crash_probability_upper_bound(0.1, p_prime=0.05)
+
+    def test_upper_bound_decreases_with_grid_size(self):
+        values = [MPath(side, 2).crash_probability_upper_bound(0.05) for side in (8, 16, 24)]
+        assert values == sorted(values, reverse=True)

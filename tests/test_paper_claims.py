@@ -1,0 +1,174 @@
+"""Integration tests pinning the paper's concrete numerical claims.
+
+Each test quotes a specific statement from the paper (a table entry, a
+worked example, or an in-text calculation) and checks the library reproduces
+it.  These are the fast counterparts of the benchmark harness in
+``benchmarks/``; the benchmarks re-derive the same rows with timings and the
+full parameter sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    BoostedFPP,
+    MGrid,
+    MPath,
+    RecursiveThreshold,
+    load_lower_bound,
+    masking_threshold,
+)
+
+
+class TestSection5Claims:
+    def test_mgrid_masks_up_to_half_sqrt_n(self):
+        # Proposition 5.1: b <= (sqrt(n)-1)/2; at n = 49 that is b = 3.
+        MGrid(7, 3)
+        with pytest.raises(Exception):
+            MGrid(7, 4)
+
+    def test_mgrid_load_within_sqrt2_of_optimal(self):
+        # Remark after Proposition 5.2, evaluated at b ~ sqrt(n)/2 where the
+        # construction is pushed hardest (integrality makes it slightly
+        # worse than the asymptotic sqrt(2) factor on small grids).
+        system = MGrid(16, 7)
+        ratio = system.load() / load_lower_bound(system.n, 7)
+        assert ratio <= 1.5
+
+    def test_rt43_combinatorics_from_the_text(self):
+        # "for the whole system we get c = n^0.79, IS = MT = sqrt(n)".
+        for depth in (2, 3, 4):
+            system = RecursiveThreshold(4, 3, depth)
+            n = system.n
+            assert system.min_quorum_size() == pytest.approx(n ** math.log(3, 4), rel=1e-9)
+            assert system.min_intersection_size() == int(math.isqrt(n))
+            assert system.min_transversal_size() == int(math.isqrt(n))
+
+    def test_rt43_masks_half_sqrt_n(self):
+        # b = (sqrt(n) - 1)/2 for RT(4,3).
+        system = RecursiveThreshold(4, 3, 4)
+        assert system.masking_bound() == (math.isqrt(system.n) - 1) // 2
+
+    def test_rt43_block_polynomial_and_critical_point(self):
+        # "a direct calculation shows that g(p) = 6p^2 - 8p^3 + 3p^4 and
+        # pc = 0.2324".
+        system = RecursiveThreshold(4, 3, 5)
+        assert system.block_crash_function(0.3) == pytest.approx(
+            6 * 0.09 - 8 * 0.027 + 3 * 0.0081, abs=1e-12
+        )
+        assert system.critical_probability() == pytest.approx(0.2324, abs=5e-4)
+
+    def test_rt43_fast_decay_below_one_sixth(self):
+        # "when p < 1/6 ... Fp(RT(4,3)) < (6p)^sqrt(n)".
+        p = 0.1
+        for depth in (2, 3, 4, 5):
+            system = RecursiveThreshold(4, 3, depth)
+            assert system.crash_probability(p) < (6 * p) ** math.isqrt(system.n)
+
+
+class TestSection6Claims:
+    def test_proposition_6_1_parameters(self):
+        # n = (4b+1)(q^2+q+1), c = (3b+1)(q+1), IS = 2b+1, MT = (b+1)(q+1).
+        for q, b in [(2, 1), (3, 4), (4, 3)]:
+            system = BoostedFPP(q, b)
+            assert system.n == (4 * b + 1) * (q * q + q + 1)
+            assert system.min_quorum_size() == (3 * b + 1) * (q + 1)
+            assert system.min_intersection_size() == 2 * b + 1
+            assert system.min_transversal_size() == (b + 1) * (q + 1)
+            assert system.masking_bound() == b
+
+    def test_proposition_6_2_load_about_3_over_4q(self):
+        for q in (3, 5, 7):
+            system = BoostedFPP(q, 5)
+            assert system.load() == pytest.approx(3 / (4 * q), rel=0.2)
+
+    def test_scaling_policy_1_masks_more_at_constant_load(self):
+        # Section 6, policy 1: "Fix q and increase b; then the system can
+        # mask more failures when new servers are added, however the load on
+        # the servers does not decrease."  The masking exponent
+        # log_n(b) climbs towards the a/(a+2) -> 1 regime the paper derives.
+        systems = [BoostedFPP(3, b) for b in (3, 27, 243)]
+        masking = [system.masking_bound() for system in systems]
+        loads = [system.load() for system in systems]
+        exponents = [
+            math.log(system.masking_bound()) / math.log(system.n) for system in systems
+        ]
+        assert masking == sorted(masking)
+        assert max(loads) - min(loads) < 0.03
+        assert exponents == sorted(exponents)
+
+
+class TestSection8WorkedExample:
+    """The n ~ 1024, L ~ 1/4, p = 1/8 comparison at the end of the paper."""
+
+    P = 0.125
+
+    def test_mgrid_row(self):
+        # "an M-Grid system can tolerate b = 15 Byzantine failures and up to
+        # f = 28 benign failures, but has a failure probability Fp >= 0.638".
+        system = MGrid(32, 15)
+        assert system.n == 1024
+        assert system.masking_bound() >= 15
+        assert system.min_transversal_size() - 1 == 28
+        assert system.load() == pytest.approx(0.25, abs=0.02)
+        assert system.crash_probability_lower_bound(self.P) == pytest.approx(0.638, abs=0.01)
+
+    def test_boostfpp_row(self):
+        # "a boostFPP system (n = 1001, q = 3) can tolerate b = 19, up to
+        # f = 79 benign failures ... Fp <= 0.372".
+        system = BoostedFPP(3, 19)
+        assert system.n == 1001
+        assert system.masking_bound() == 19
+        assert system.min_transversal_size() - 1 == 79
+        assert system.load() == pytest.approx(0.25, abs=0.02)
+        assert system.crash_probability_chernoff_bound(self.P) == pytest.approx(0.372, abs=0.003)
+        # The tighter composed estimate is consistent with (well below) it.
+        assert system.crash_probability(self.P) <= 0.372
+
+    def test_mpath_row(self):
+        # "The M-Path construction, with 4 LR and 4 TB paths per quorum, has
+        # b = 7 here, and can tolerate up to f ~ 29 benign failures, but has
+        # a good crash probability: Fp <= 0.001".
+        system = MPath(32, 7)
+        assert system.k == 4
+        assert system.masking_bound() >= 7
+        # Integrality conventions put f at 28 (the paper rounds to 29).
+        assert system.min_transversal_size() - 1 in (28, 29)
+        assert system.load() == pytest.approx(0.25, abs=0.02)
+        assert system.crash_probability_upper_bound(self.P, p_prime=1 / 7) <= 0.001
+        assert system.crash_probability_upper_bound(self.P) <= 0.001
+
+    def test_rt_row(self):
+        # "the RT(4,3) construction, with depth h = 5, is the best, with
+        # b = 15, f = 31 and an excellent failure probability Fp <= 0.0001".
+        system = RecursiveThreshold(4, 3, 5)
+        assert system.n == 1024
+        assert system.masking_bound() == 15
+        assert system.min_transversal_size() - 1 == 31
+        assert system.load() == pytest.approx(0.24, abs=0.02)
+        assert system.crash_probability(self.P) <= 0.0001
+
+    def test_threshold_cannot_reach_load_one_quarter(self):
+        # Section 8: "Threshold suffers in load" — its load never drops
+        # below 1/2 no matter the masking level.
+        for b in (1, 15, 100):
+            assert masking_threshold(1024, b).load() >= 0.5
+
+
+class TestTradeoffClaim:
+    def test_f_at_most_n_times_load(self):
+        # "Since necessarily f <= c(Q), Theorem 4.1 implies that f <= n L(Q)".
+        systems = [
+            MGrid(32, 15),
+            BoostedFPP(3, 19),
+            MPath(32, 7),
+            RecursiveThreshold(4, 3, 5),
+            masking_threshold(1024, 255),
+        ]
+        for system in systems:
+            resilience = system.min_transversal_size() - 1
+            assert resilience <= system.n * system.load() + 1e-9

@@ -1,0 +1,169 @@
+"""Unit tests for the percolation substrate (lattice, crossings, critical point)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ComputationError, ConstructionError
+from repro.percolation import (
+    TriangularGrid,
+    count_disjoint_crossings,
+    estimate_critical_probability,
+    estimate_crossing_probability,
+    fixed_point_of_reliability,
+    has_open_crossing,
+    sample_open_vertices,
+)
+
+
+class TestTriangularGrid:
+    def test_vertex_count(self):
+        assert TriangularGrid(5).num_vertices == 25
+        assert len(list(TriangularGrid(4).vertices())) == 16
+
+    def test_side_too_small_rejected(self):
+        with pytest.raises(ConstructionError):
+            TriangularGrid(1)
+
+    def test_neighbour_structure_matches_paper_triangulation(self):
+        grid = TriangularGrid(4)
+        # Interior vertex has six neighbours: (i, j±1), (i±1, j), (i-1, j+1), (i+1, j-1).
+        assert set(grid.neighbours((2, 2))) == {
+            (2, 3), (2, 1), (3, 2), (1, 2), (1, 3), (3, 1),
+        }
+        # Corner vertices.
+        assert set(grid.neighbours((1, 1))) == {(1, 2), (2, 1)}
+        assert set(grid.neighbours((4, 4))) == {(4, 3), (3, 4)}
+
+    def test_adjacency_is_symmetric(self):
+        grid = TriangularGrid(4)
+        for vertex in grid.vertices():
+            for neighbour in grid.neighbours(vertex):
+                assert vertex in grid.neighbours(neighbour)
+
+    def test_boundaries(self):
+        grid = TriangularGrid(3)
+        assert grid.left_side() == [(1, 1), (1, 2), (1, 3)]
+        assert grid.right_side() == [(3, 1), (3, 2), (3, 3)]
+        assert grid.bottom_side() == [(1, 1), (2, 1), (3, 1)]
+        assert grid.top_side() == [(1, 3), (2, 3), (3, 3)]
+
+    def test_rows_and_columns_are_paths(self):
+        grid = TriangularGrid(5)
+        assert grid.is_lr_path(grid.row(2))
+        assert grid.is_tb_path(grid.column(3))
+        assert not grid.is_lr_path(grid.column(3))
+
+    def test_invalid_row_or_column_rejected(self):
+        grid = TriangularGrid(3)
+        with pytest.raises(ConstructionError):
+            grid.row(0)
+        with pytest.raises(ConstructionError):
+            grid.column(4)
+
+    def test_is_path_rejects_disconnected_or_repeated(self):
+        grid = TriangularGrid(4)
+        assert not grid._is_path([(1, 1), (3, 3)])
+        assert not grid._is_path([(1, 1), (2, 1), (1, 1)])
+        assert not grid._is_path([])
+
+
+class TestCrossings:
+    def test_fully_open_grid_crosses(self):
+        grid = TriangularGrid(4)
+        vertices = set(grid.vertices())
+        assert has_open_crossing(grid, vertices, direction="lr")
+        assert has_open_crossing(grid, vertices, direction="tb")
+        assert count_disjoint_crossings(grid, vertices, direction="lr") == 4
+
+    def test_fully_closed_grid_does_not_cross(self):
+        grid = TriangularGrid(4)
+        assert not has_open_crossing(grid, set(), direction="lr")
+        assert count_disjoint_crossings(grid, set(), direction="tb") == 0
+
+    def test_single_open_row_gives_one_crossing(self):
+        grid = TriangularGrid(5)
+        open_vertices = set(grid.row(3))
+        assert has_open_crossing(grid, open_vertices, direction="lr")
+        assert not has_open_crossing(grid, open_vertices, direction="tb")
+        assert count_disjoint_crossings(grid, open_vertices, direction="lr") == 1
+
+    def test_closed_column_blocks_lr_crossings(self):
+        grid = TriangularGrid(5)
+        open_vertices = {v for v in grid.vertices() if v[0] != 3}
+        assert not has_open_crossing(grid, open_vertices, direction="lr")
+        # TB crossings survive on either side of the closed column.
+        assert has_open_crossing(grid, open_vertices, direction="tb")
+
+    def test_diagonal_edge_enables_crossing(self):
+        # A staircase using the (i+1, j-1) diagonal: (1,2) -> (2,1) is an edge
+        # of the triangulation, so this two-vertex-per-column path crosses.
+        grid = TriangularGrid(3)
+        open_vertices = {(1, 2), (2, 1), (3, 1)}
+        assert has_open_crossing(grid, open_vertices, direction="lr")
+
+    def test_unknown_direction_rejected(self):
+        grid = TriangularGrid(3)
+        with pytest.raises(ComputationError):
+            has_open_crossing(grid, set(grid.vertices()), direction="diagonal")
+        with pytest.raises(ComputationError):
+            count_disjoint_crossings(grid, set(grid.vertices()), direction="diagonal")
+
+
+class TestSamplingAndEstimation:
+    def test_sample_extremes(self, rng):
+        grid = TriangularGrid(4)
+        assert sample_open_vertices(grid, 0.0, rng) == set(grid.vertices())
+        assert sample_open_vertices(grid, 1.0, rng) == set()
+
+    def test_sample_rejects_invalid_probability(self, rng):
+        with pytest.raises(ComputationError):
+            sample_open_vertices(TriangularGrid(3), 1.5, rng)
+
+    def test_crossing_probability_monotone_in_p(self, rng):
+        grid = TriangularGrid(7)
+        low = estimate_crossing_probability(grid, 0.1, trials=120, rng=rng).probability
+        high = estimate_crossing_probability(grid, 0.7, trials=120, rng=rng).probability
+        assert low > high
+
+    def test_multi_crossing_estimate(self, rng):
+        grid = TriangularGrid(6)
+        single = estimate_crossing_probability(
+            grid, 0.2, trials=80, min_disjoint=1, rng=rng
+        ).probability
+        triple = estimate_crossing_probability(
+            grid, 0.2, trials=80, min_disjoint=3, rng=rng
+        ).probability
+        assert triple <= single
+
+    def test_invalid_trials_rejected(self, rng):
+        with pytest.raises(ComputationError):
+            estimate_crossing_probability(TriangularGrid(4), 0.2, trials=0, rng=rng)
+
+
+class TestCriticalPoint:
+    def test_estimate_lands_near_one_half(self, rng):
+        estimate = estimate_critical_probability(
+            side=10, trials_per_point=80, iterations=7, rng=rng
+        )
+        assert 0.3 < estimate.critical_probability < 0.7
+
+    def test_rt_block_fixed_point_matches_paper(self):
+        # g(p) = 6p^2 - 8p^3 + 3p^4 has its non-trivial fixed point at 0.2324.
+        def g(p):
+            return 6 * p ** 2 - 8 * p ** 3 + 3 * p ** 4
+
+        assert fixed_point_of_reliability(g) == pytest.approx(0.2324, abs=5e-4)
+
+    def test_majority_block_fixed_point_is_one_half(self):
+        from scipy import stats
+
+        def g(p):
+            return float(stats.binom.sf(1, 3, p))  # 2-of-3 block
+
+        assert fixed_point_of_reliability(g) == pytest.approx(0.5, abs=1e-6)
+
+    def test_non_s_shaped_function_rejected(self):
+        with pytest.raises(ComputationError):
+            fixed_point_of_reliability(lambda p: p / 2 + 0.4)

@@ -1,0 +1,95 @@
+"""Unit tests for the fault model and protocol messages of the simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SimulationError, Universe
+from repro.simulation import FaultInjector, FaultScenario, Timestamp, ValueTimestampPair
+
+
+class TestTimestamps:
+    def test_total_order(self):
+        assert Timestamp(1, 0) < Timestamp(2, 0)
+        assert Timestamp(1, 0) < Timestamp(1, 1)
+        assert Timestamp(2, 0) > Timestamp(1, 9)
+
+    def test_next_for_is_strictly_greater(self):
+        current = Timestamp(5, 3)
+        successor = current.next_for(0)
+        assert successor > current
+        assert successor.client_id == 0
+
+    def test_zero_is_smallest_realistic_timestamp(self):
+        assert Timestamp.zero() < Timestamp(1, 0)
+        assert Timestamp.zero() < Timestamp.zero().next_for(7)
+
+    def test_equality_and_hash(self):
+        assert Timestamp(1, 2) == Timestamp(1, 2)
+        assert len({Timestamp(1, 2), Timestamp(1, 2)}) == 1
+
+    def test_pairs_are_value_objects(self):
+        pair = ValueTimestampPair("x", Timestamp(1, 0))
+        assert pair == ValueTimestampPair("x", Timestamp(1, 0))
+
+
+class TestFaultScenario:
+    def test_fault_free(self):
+        scenario = FaultScenario.fault_free()
+        assert scenario.num_byzantine == 0
+        assert scenario.num_crashed == 0
+        assert scenario.is_correct("anything")
+
+    def test_classification(self):
+        scenario = FaultScenario(byzantine=frozenset({1}), crashed=frozenset({2}))
+        assert not scenario.is_correct(1)
+        assert not scenario.is_correct(2)
+        assert scenario.is_correct(3)
+        assert scenario.is_responsive(1)
+        assert not scenario.is_responsive(2)
+
+    def test_overlapping_fault_sets_rejected(self):
+        with pytest.raises(SimulationError):
+            FaultScenario(byzantine=frozenset({1}), crashed=frozenset({1}))
+
+
+class TestFaultInjector:
+    def test_exact_counts(self, rng):
+        injector = FaultInjector(Universe.of_size(10), rng)
+        scenario = injector.exact(num_byzantine=2, num_crashed=3)
+        assert scenario.num_byzantine == 2
+        assert scenario.num_crashed == 3
+        assert not scenario.byzantine & scenario.crashed
+
+    def test_exact_rejects_oversubscription(self, rng):
+        injector = FaultInjector(Universe.of_size(4), rng)
+        with pytest.raises(SimulationError):
+            injector.exact(num_byzantine=3, num_crashed=3)
+
+    def test_exact_rejects_negative(self, rng):
+        injector = FaultInjector(Universe.of_size(4), rng)
+        with pytest.raises(SimulationError):
+            injector.exact(num_byzantine=-1)
+
+    def test_independent_crashes_extremes(self, rng):
+        injector = FaultInjector(Universe.of_size(20), rng)
+        assert injector.independent_crashes(0.0).num_crashed == 0
+        assert injector.independent_crashes(1.0).num_crashed == 20
+
+    def test_independent_crashes_skip_byzantine_servers(self, rng):
+        injector = FaultInjector(Universe.of_size(10), rng)
+        scenario = injector.independent_crashes(1.0, byzantine=[0, 1])
+        assert scenario.byzantine == frozenset({0, 1})
+        assert scenario.num_crashed == 8
+
+    def test_independent_crashes_rejects_bad_probability(self, rng):
+        injector = FaultInjector(Universe.of_size(5), rng)
+        with pytest.raises(SimulationError):
+            injector.independent_crashes(1.2)
+
+    def test_targeted_validates_membership(self, rng):
+        injector = FaultInjector(Universe.of_size(5), rng)
+        scenario = injector.targeted(byzantine=[0], crashed=[1, 2])
+        assert scenario.byzantine == frozenset({0})
+        with pytest.raises(Exception):
+            injector.targeted(byzantine=[99])

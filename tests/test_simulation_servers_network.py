@@ -1,0 +1,160 @@
+"""Unit tests for replicas (correct and Byzantine) and the synchronous network."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SimulationError
+from repro.simulation import (
+    BYZANTINE_BEHAVIOURS,
+    ByzantineReplicaServer,
+    FaultScenario,
+    ReplicaServer,
+    SynchronousNetwork,
+    Timestamp,
+    ValueTimestampPair,
+)
+from repro.simulation.messages import ReadRequest, TimestampRequest, WriteRequest
+
+
+def write_request(value, counter, client_id=0):
+    return WriteRequest(
+        client_id=client_id,
+        pair=ValueTimestampPair(value=value, timestamp=Timestamp(counter, client_id)),
+    )
+
+
+class TestCorrectReplica:
+    def test_initial_state(self):
+        server = ReplicaServer("s0", initial_value="init")
+        assert server.current_pair.value == "init"
+        assert server.current_pair.timestamp == Timestamp.zero()
+
+    def test_write_then_read(self):
+        server = ReplicaServer("s0")
+        ack = server.handle_write(write_request("v1", 1))
+        assert ack.accepted
+        reply = server.handle_read(ReadRequest(client_id=0))
+        assert reply.pair.value == "v1"
+
+    def test_stale_write_rejected(self):
+        server = ReplicaServer("s0")
+        server.handle_write(write_request("new", 5))
+        ack = server.handle_write(write_request("old", 2))
+        assert not ack.accepted
+        assert server.current_pair.value == "new"
+
+    def test_timestamp_query(self):
+        server = ReplicaServer("s0")
+        server.handle_write(write_request("v", 3))
+        reply = server.handle_timestamp(TimestampRequest(client_id=1))
+        assert reply.timestamp == Timestamp(3, 0)
+
+    def test_access_counting(self):
+        server = ReplicaServer("s0")
+        server.handle_read(ReadRequest(client_id=0))
+        server.handle_timestamp(TimestampRequest(client_id=0))
+        server.handle_write(write_request("v", 1))
+        assert server.access_count == 3
+
+
+class TestByzantineReplica:
+    def test_unknown_behaviour_rejected(self):
+        with pytest.raises(SimulationError):
+            ByzantineReplicaServer("s0", behaviour="explode")
+
+    def test_behaviour_catalogue_is_complete(self):
+        assert BYZANTINE_BEHAVIOURS == {
+            "fabricate-timestamp", "forge-on-read", "stale", "random-value", "drop-writes",
+        }
+
+    def test_forge_on_read_keeps_timestamp_queries_honest(self):
+        server = ByzantineReplicaServer("s0", behaviour="forge-on-read")
+        server.handle_write(write_request("real", 3))
+        assert server.handle_timestamp(TimestampRequest(client_id=0)).timestamp == Timestamp(3, 0)
+        assert server.handle_read(ReadRequest(client_id=0)).pair.timestamp > Timestamp(10**6, 0)
+
+    def test_fabricated_timestamps_are_enormous(self):
+        server = ByzantineReplicaServer("s0", behaviour="fabricate-timestamp")
+        reply = server.handle_read(ReadRequest(client_id=0))
+        assert reply.pair.timestamp > Timestamp(10**6, 0)
+        ts_reply = server.handle_timestamp(TimestampRequest(client_id=0))
+        assert ts_reply.timestamp > Timestamp(10**6, 0)
+
+    def test_colluders_agree_on_forged_value(self):
+        first = ByzantineReplicaServer("a", collusion_token="forged")
+        second = ByzantineReplicaServer("b", collusion_token="forged")
+        assert (
+            first.handle_read(ReadRequest(client_id=0)).pair
+            == second.handle_read(ReadRequest(client_id=0)).pair
+        )
+
+    def test_stale_replica_ignores_writes_in_replies(self):
+        server = ByzantineReplicaServer("s0", behaviour="stale", initial_value="old")
+        server.handle_write(write_request("new", 9))
+        assert server.handle_read(ReadRequest(client_id=0)).pair.value == "old"
+
+    def test_random_value_replica_keeps_real_timestamp(self, rng):
+        server = ByzantineReplicaServer("s0", behaviour="random-value", rng=rng)
+        server.handle_write(write_request("real", 2))
+        reply = server.handle_read(ReadRequest(client_id=0))
+        assert reply.pair.value != "real"
+        assert reply.pair.timestamp == Timestamp(2, 0)
+
+    def test_drop_writes_replica_lies_about_acceptance(self):
+        server = ByzantineReplicaServer("s0", behaviour="drop-writes", initial_value="init")
+        ack = server.handle_write(write_request("v", 1))
+        assert ack.accepted
+        assert server.current_pair.value == "init"
+
+
+class TestNetwork:
+    def make_network(self, crashed=frozenset()):
+        servers = {i: ReplicaServer(i) for i in range(3)}
+        scenario = FaultScenario(crashed=frozenset(crashed))
+        return SynchronousNetwork(servers, scenario), servers
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(SimulationError):
+            SynchronousNetwork({}, FaultScenario.fault_free())
+
+    def test_send_and_reply(self):
+        network, _ = self.make_network()
+        reply = network.send(0, ReadRequest(client_id=0))
+        assert reply.server_id == 0
+
+    def test_crashed_server_is_silent(self):
+        network, servers = self.make_network(crashed={1})
+        assert network.send(1, ReadRequest(client_id=0)) is None
+        # The request is still counted as delivered (the client sent it).
+        assert network.delivery_counts[1] == 1
+        # And the replica never processed it.
+        assert servers[1].access_count == 0
+
+    def test_unknown_server_rejected(self):
+        network, _ = self.make_network()
+        with pytest.raises(SimulationError):
+            network.send(99, ReadRequest(client_id=0))
+
+    def test_unknown_request_type_rejected(self):
+        network, _ = self.make_network()
+        with pytest.raises(SimulationError):
+            network.send(0, "not-a-request")
+
+    def test_broadcast_collects_all_replies(self):
+        network, _ = self.make_network(crashed={2})
+        replies = network.broadcast([0, 1, 2], ReadRequest(client_id=0))
+        assert replies[0] is not None and replies[1] is not None
+        assert replies[2] is None
+
+    def test_empirical_loads(self):
+        network, _ = self.make_network()
+        network.send(0, ReadRequest(client_id=0))
+        network.send(0, ReadRequest(client_id=0))
+        network.send(1, ReadRequest(client_id=0))
+        loads = network.empirical_loads(total_accesses=2)
+        assert loads[0] == pytest.approx(1.0)
+        assert loads[1] == pytest.approx(0.5)
+        with pytest.raises(SimulationError):
+            network.empirical_loads(0)

@@ -1,0 +1,115 @@
+"""Unit tests for access strategies (Definition 3.8, first half)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Strategy, StrategyError, Universe
+
+
+class TestConstruction:
+    def test_valid_distribution(self):
+        strategy = Strategy({frozenset({0, 1}): 0.25, frozenset({1, 2}): 0.75})
+        assert strategy.probability({0, 1}) == pytest.approx(0.25)
+        assert strategy.probability({1, 2}) == pytest.approx(0.75)
+
+    def test_unsupported_quorum_has_zero_probability(self):
+        strategy = Strategy({frozenset({0, 1}): 1.0})
+        assert strategy.probability({7, 8}) == 0.0
+
+    def test_rejects_negative_probability(self):
+        with pytest.raises(StrategyError):
+            Strategy({frozenset({0}): -0.2, frozenset({1}): 1.2})
+
+    def test_rejects_non_normalised_without_flag(self):
+        with pytest.raises(StrategyError):
+            Strategy({frozenset({0, 1}): 0.3})
+
+    def test_normalise_flag_rescales(self):
+        strategy = Strategy({frozenset({0}): 2.0, frozenset({0, 1}): 2.0}, normalise=True)
+        assert strategy.probability({0}) == pytest.approx(0.5)
+
+    def test_zero_weights_are_dropped(self):
+        strategy = Strategy({frozenset({0}): 1.0, frozenset({1}): 0.0})
+        assert len(strategy) == 1
+
+    def test_empty_strategy_rejected(self):
+        with pytest.raises(StrategyError):
+            Strategy({})
+
+    def test_duplicate_quorums_accumulate(self):
+        # Two distinct keys that normalise to the same frozenset accumulate.
+        strategy = Strategy({(0, 1): 0.5, (1, 0): 0.5})
+        assert strategy.probability({0, 1}) == pytest.approx(1.0)
+
+
+class TestUniform:
+    def test_uniform_over_quorums(self):
+        strategy = Strategy.uniform([{0, 1}, {1, 2}, {2, 0}])
+        assert all(p == pytest.approx(1 / 3) for _, p in strategy.items())
+
+    def test_uniform_over_system(self, simple_system):
+        strategy = Strategy.uniform_over_system(simple_system)
+        assert len(strategy) == simple_system.num_quorums()
+
+    def test_uniform_over_nothing_rejected(self):
+        with pytest.raises(StrategyError):
+            Strategy.uniform([])
+
+
+class TestInducedLoad:
+    def test_induced_loads_definition(self):
+        universe = Universe.of_size(3)
+        strategy = Strategy({frozenset({0, 1}): 0.5, frozenset({1, 2}): 0.5})
+        loads = strategy.induced_loads(universe)
+        assert loads[0] == pytest.approx(0.5)
+        assert loads[1] == pytest.approx(1.0)
+        assert loads[2] == pytest.approx(0.5)
+        assert strategy.induced_system_load(universe) == pytest.approx(1.0)
+
+    def test_induced_load_of_uniform_majority(self, majority_5):
+        strategy = Strategy.uniform_over_system(majority_5)
+        # Fair system: every server carries load c/n = 3/5.
+        loads = strategy.induced_loads(majority_5.universe)
+        assert all(value == pytest.approx(0.6) for value in loads.values())
+
+    def test_total_induced_load_equals_expected_quorum_size(self, simple_system):
+        strategy = Strategy.uniform_over_system(simple_system)
+        loads = strategy.induced_loads(simple_system.universe)
+        expected_size = sum(
+            len(quorum) * probability for quorum, probability in strategy.items()
+        )
+        assert sum(loads.values()) == pytest.approx(expected_size)
+
+
+class TestValidationAndSampling:
+    def test_validate_against_accepts_real_quorums(self, simple_system):
+        Strategy.uniform_over_system(simple_system).validate_against(simple_system)
+
+    def test_validate_against_rejects_foreign_sets(self, simple_system):
+        strategy = Strategy({frozenset({0, 4}): 1.0})
+        with pytest.raises(StrategyError):
+            strategy.validate_against(simple_system)
+
+    def test_from_vector(self, simple_system):
+        vector = np.array([1.0, 0.0, 1.0])
+        strategy = Strategy.from_vector(simple_system, vector)
+        assert len(strategy) == 2
+        assert strategy.probability(simple_system.quorums()[0]) == pytest.approx(0.5)
+
+    def test_from_vector_wrong_length_rejected(self, simple_system):
+        with pytest.raises(StrategyError):
+            Strategy.from_vector(simple_system, np.array([1.0]))
+
+    def test_sampling_follows_support(self, simple_system, rng):
+        strategy = Strategy({simple_system.quorums()[0]: 1.0})
+        for _ in range(5):
+            assert strategy.sample(rng) == simple_system.quorums()[0]
+
+    def test_sampling_respects_probabilities(self, rng):
+        heavy = frozenset({0})
+        light = frozenset({0, 1})
+        strategy = Strategy({heavy: 0.9, light: 0.1})
+        draws = [strategy.sample(rng) for _ in range(300)]
+        assert draws.count(heavy) > draws.count(light)

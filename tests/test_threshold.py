@@ -1,0 +1,118 @@
+"""Unit tests for threshold quorum systems (the [MR98a] baseline and the boosting block)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from scipy import stats
+
+from repro import (
+    ConstructionError,
+    ThresholdQuorumSystem,
+    boosting_block,
+    exact_failure_probability,
+    exact_load,
+    majority,
+    masking_threshold,
+)
+
+
+class TestConstruction:
+    def test_rejects_non_intersecting_threshold(self):
+        with pytest.raises(ConstructionError):
+            ThresholdQuorumSystem(6, 3)
+
+    def test_rejects_out_of_range_threshold(self):
+        with pytest.raises(ConstructionError):
+            ThresholdQuorumSystem(5, 0)
+        with pytest.raises(ConstructionError):
+            ThresholdQuorumSystem(5, 6)
+
+    def test_masking_threshold_size_formula(self):
+        system = masking_threshold(21, 5)
+        assert system.k == math.ceil((21 + 11) / 2)
+
+    def test_masking_threshold_requires_4b_lt_n(self):
+        with pytest.raises(ConstructionError):
+            masking_threshold(12, 3)
+
+    def test_boosting_block_shape(self):
+        block = boosting_block(2)
+        assert block.n == 9
+        assert block.k == 7
+        assert block.min_intersection_size() == 5
+        assert block.min_transversal_size() == 3
+        assert block.masking_bound() == 2
+
+    def test_majority_shape(self):
+        assert majority(7).k == 4
+        assert majority(8).k == 5
+
+
+class TestAnalyticVsEnumerated:
+    @pytest.mark.parametrize("n,k", [(5, 3), (5, 4), (7, 5), (9, 7), (9, 5)])
+    def test_parameters_match_enumeration(self, n, k):
+        system = ThresholdQuorumSystem(n, k)
+        explicit = system.to_explicit()
+        assert system.num_quorums() == math.comb(n, k) == explicit.num_quorums()
+        assert explicit.min_quorum_size() == k
+        assert explicit.min_intersection_size() == 2 * k - n
+        assert explicit.min_transversal_size() == n - k + 1
+        assert explicit.fairness() == system.fairness()
+
+    def test_masking_bound_formula(self):
+        # ceil((n+2b+1)/2)-of-n masks exactly b when sized tightly.
+        for n, b in [(13, 3), (17, 4), (21, 5), (9, 2)]:
+            system = masking_threshold(n, b)
+            assert system.masking_bound() >= b
+            assert system.min_intersection_size() >= 2 * b + 1
+            assert system.min_transversal_size() >= b + 1
+
+    def test_load_is_k_over_n(self):
+        system = ThresholdQuorumSystem(9, 7)
+        assert system.load() == pytest.approx(7 / 9)
+        assert exact_load(system).load == pytest.approx(7 / 9, abs=1e-6)
+
+    def test_table2_threshold_load_is_at_least_half(self):
+        # Table 2: the Threshold baseline's load is 1/2 + O(b/n).
+        for n, b in [(16, 3), (64, 15), (256, 63)]:
+            assert masking_threshold(n, b).load() >= 0.5
+
+
+class TestAvailability:
+    def test_crash_probability_is_binomial_tail(self):
+        system = ThresholdQuorumSystem(7, 5)
+        p = 0.2
+        expected = float(stats.binom.sf(2, 7, p))
+        assert system.crash_probability(p) == pytest.approx(expected)
+
+    def test_crash_probability_matches_enumeration(self):
+        system = ThresholdQuorumSystem(7, 5)
+        for p in (0.1, 0.3, 0.6):
+            exact = exact_failure_probability(system, p).value
+            assert system.crash_probability(p) == pytest.approx(exact, abs=1e-12)
+
+    def test_condorcet_behaviour_below_one_half(self):
+        # The MR98a threshold is Condorcet: Fp -> 0 for p < 1/2 as n grows.
+        values = [masking_threshold(n, 1).crash_probability(0.3) for n in (9, 17, 33, 65)]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] < 0.05
+
+    def test_chernoff_bound_dominates_exact(self):
+        block = boosting_block(10)  # 31-of-41
+        for p in (0.05, 0.1, 0.2):
+            assert block.crash_probability(p) <= block.chernoff_crash_bound(p) + 1e-12
+
+    def test_chernoff_bound_vacuous_above_threshold(self):
+        block = boosting_block(5)
+        assert block.chernoff_crash_bound(0.5) == 1.0
+
+
+class TestSampling:
+    def test_sample_quorum_has_right_size(self, rng):
+        system = ThresholdQuorumSystem(9, 7)
+        for _ in range(5):
+            quorum = system.sample_quorum(rng)
+            assert len(quorum) == 7
+            assert quorum <= system.universe.as_frozenset()

@@ -1,0 +1,103 @@
+"""Unit tests for :mod:`repro.core.universe`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import InvalidQuorumSystemError, Universe
+
+
+class TestConstruction:
+    def test_of_size_builds_integer_universe(self):
+        universe = Universe.of_size(5)
+        assert universe.size == 5
+        assert universe.elements == (0, 1, 2, 3, 4)
+
+    def test_preserves_declared_order(self):
+        universe = Universe(["c", "a", "b"])
+        assert universe.elements == ("c", "a", "b")
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(InvalidQuorumSystemError):
+            Universe([1, 2, 2])
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidQuorumSystemError):
+            Universe([])
+
+    def test_of_size_rejects_non_positive(self):
+        with pytest.raises(InvalidQuorumSystemError):
+            Universe.of_size(0)
+
+    def test_accepts_tuple_elements(self):
+        universe = Universe([(0, 0), (0, 1), (1, 0)])
+        assert (0, 1) in universe
+        assert universe.size == 3
+
+
+class TestLookups:
+    def test_index_roundtrip(self):
+        universe = Universe("abcde")
+        for position, element in enumerate(universe):
+            assert universe.index_of(element) == position
+            assert universe.element_at(position) == element
+
+    def test_index_of_unknown_element_raises(self):
+        universe = Universe.of_size(3)
+        with pytest.raises(InvalidQuorumSystemError):
+            universe.index_of(99)
+
+    def test_indices_of_preserves_order(self):
+        universe = Universe("abcd")
+        assert universe.indices_of(["d", "a"]) == (3, 0)
+
+    def test_contains(self):
+        universe = Universe.of_size(4)
+        assert 3 in universe
+        assert 4 not in universe
+
+    def test_subset_validates_membership(self):
+        universe = Universe.of_size(4)
+        assert universe.subset([1, 3]) == frozenset({1, 3})
+        with pytest.raises(InvalidQuorumSystemError):
+            universe.subset([1, 9])
+
+
+class TestEqualityAndRepr:
+    def test_equality_depends_on_order(self):
+        assert Universe([1, 2, 3]) == Universe([1, 2, 3])
+        assert Universe([1, 2, 3]) != Universe([3, 2, 1])
+
+    def test_hashable(self):
+        assert len({Universe.of_size(3), Universe.of_size(3)}) == 1
+
+    def test_repr_small_and_large(self):
+        assert "Universe" in repr(Universe.of_size(3))
+        assert "size=20" in repr(Universe.of_size(20))
+
+    def test_as_frozenset(self):
+        assert Universe.of_size(3).as_frozenset() == frozenset({0, 1, 2})
+
+
+class TestRelabelAndUnion:
+    def test_relabel_tags_every_element(self):
+        universe = Universe.of_size(3)
+        tagged = universe.relabel("copy-a")
+        assert tagged.elements == (("copy-a", 0), ("copy-a", 1), ("copy-a", 2))
+
+    def test_relabelled_copies_are_disjoint(self):
+        universe = Universe.of_size(2)
+        first = universe.relabel(0)
+        second = universe.relabel(1)
+        assert not first.as_frozenset() & second.as_frozenset()
+
+    def test_disjoint_union_concatenates(self):
+        first = Universe.of_size(2).relabel("x")
+        second = Universe.of_size(2).relabel("y")
+        union = Universe.disjoint_union([first, second])
+        assert union.size == 4
+        assert union.elements[:2] == first.elements
+
+    def test_disjoint_union_rejects_overlap(self):
+        with pytest.raises(InvalidQuorumSystemError):
+            Universe.disjoint_union([Universe.of_size(2), Universe.of_size(3)])
