@@ -1,0 +1,66 @@
+"""Benchmarks for the bitmask quorum engine (`repro.core.bitset`).
+
+Times the engine-backed hot paths on the largest systems the seed
+benchmarks exercise, and runs the engine-vs-frozenset ablation once per
+session: the vectorised popcount pairwise sweep must return exactly the
+value of the ``itertools.combinations`` reference.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from conftest import format_table
+
+from repro import MGrid, exact_failure_probability, masking_threshold
+from repro.constructions.grid import MaskingGrid
+
+
+def test_engine_min_intersection(benchmark):
+    """IS(Q) by vectorised popcount on M-Grid(7, b=3): 441 quorums, 97k pairs."""
+    system = MGrid(7, 3)
+    engine = system.bitset_engine()  # pay mask enumeration outside the loop
+
+    value = benchmark(engine.min_intersection_size)
+
+    reference = min(
+        len(a & b) for a, b in itertools.combinations(system.quorums(), 2)
+    )
+    assert value == reference == 2 * system.k * system.k
+
+
+def test_engine_survival_table(benchmark):
+    """The 2^n superset-closure survival table behind exact availability."""
+    system = masking_threshold(17, 3)  # 2^17 alive-sets, C(17, 12) quorums
+    engine = system.bitset_engine()
+
+    table = benchmark(engine.subset_survival_table)
+
+    # The all-alive set always survives; the empty set never does.
+    assert bool(table[-1]) and not bool(table[0])
+    # Spot-check the exact Fp built from this table against the analytic
+    # binomial tail of the threshold construction.
+    exact = exact_failure_probability(system, 0.2).value
+    assert abs(exact - system.crash_probability(0.2)) < 1e-12
+
+
+def test_engine_incidence_build(benchmark):
+    """One-off incidence construction for the Grid baseline (9x9, b=2)."""
+    system = MaskingGrid(9, 2)
+
+    def build():
+        # A fresh engine each round so the cached matrix is not reused.
+        from repro.core.bitset import BitsetEngine
+
+        engine = BitsetEngine(system.universe, system.quorum_masks())
+        return engine.incidence_matrix()
+
+    matrix = benchmark(build)
+    assert matrix.shape == (system.num_quorums(), system.n)
+    assert int(matrix.sum()) == sum(len(q) for q in system.quorums())
+
+    print("\nBitmask engine shapes:")
+    print(format_table(
+        ["system", "quorums", "n", "words/row"],
+        [[system.name, matrix.shape[0], matrix.shape[1], (system.n + 63) // 64]],
+    ))

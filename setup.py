@@ -1,9 +1,10 @@
 """Setuptools shim.
 
-The environment this library targets may lack the ``wheel`` package, which
-PEP 660 editable installs require; keeping a ``setup.py`` allows the legacy
-editable-install path (``pip install -e . --no-use-pep517``) to work offline.
-All project metadata lives in ``pyproject.toml``.
+All project metadata lives in ``pyproject.toml``.  This file exists for
+environments without the ``wheel`` package (which PEP 660 editable installs
+require): there, ``python setup.py develop`` still provides an offline
+editable install of the ``src/`` layout.  With ``wheel`` available, prefer
+``pip install -e .``.
 """
 
 from setuptools import setup

@@ -36,6 +36,7 @@ from repro.constructions import (
 )
 from repro.core import (
     AvailabilityResult,
+    BitsetEngine,
     ComposedQuorumSystem,
     ExplicitQuorumSystem,
     LoadResult,
@@ -75,6 +76,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AvailabilityResult",
+    "BitsetEngine",
     "BoostedFPP",
     "ComposedQuorumSystem",
     "ComputationError",

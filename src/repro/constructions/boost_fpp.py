@@ -17,6 +17,12 @@ The same composition applied to *any* regular quorum system is the boosting
 technique the paper highlights: :func:`boost_masking` turns a benign-fault
 quorum system into a ``b``-masking one over a universe ``4b + 1`` times
 larger.
+
+Quorum bitmasks come for free from the composition layer: each plane point's
+threshold copy occupies a contiguous bit range, so boosted quorums are ORs of
+shifted block masks (see
+:meth:`repro.core.composition.ComposedQuorumSystem.iter_quorum_masks`).
+See ``docs/notation.md`` for the notation glossary (boosting, b-masking).
 """
 
 from __future__ import annotations

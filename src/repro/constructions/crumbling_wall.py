@@ -19,6 +19,7 @@ from collections.abc import Iterator, Sequence
 
 import numpy as np
 
+from repro.core import bitset
 from repro.core.quorum_system import QuorumSystem
 from repro.core.universe import Universe
 from repro.exceptions import ConstructionError
@@ -62,11 +63,32 @@ class CrumblingWall(QuorumSystem):
         """The number of rows (courses) in the wall."""
         return len(self.row_widths)
 
-    def iter_quorums(self) -> Iterator[frozenset]:
+    def iter_quorum_masks(self) -> Iterator[int]:
+        # Rows are laid out consecutively in the universe, so the bit of
+        # element (row, position) is row_offset + position.
+        offsets = []
+        offset = 0
+        for width in self.row_widths:
+            offsets.append(offset)
+            offset += width
+        row_masks = [
+            ((1 << width) - 1) << offsets[row] for row, width in enumerate(self.row_widths)
+        ]
         for row_index in range(self.num_rows):
-            lower_rows = self._rows[row_index + 1:]
-            for representatives in itertools.product(*lower_rows):
-                yield frozenset(self._rows[row_index]) | frozenset(representatives)
+            lower_offsets = offsets[row_index + 1:]
+            lower_widths = self.row_widths[row_index + 1:]
+            base = row_masks[row_index]
+            for representatives in itertools.product(
+                *(range(width) for width in lower_widths)
+            ):
+                mask = base
+                for lower_offset, position in zip(lower_offsets, representatives):
+                    mask |= 1 << (lower_offset + position)
+                yield mask
+
+    def iter_quorums(self) -> Iterator[frozenset]:
+        for mask in self.iter_quorum_masks():
+            yield bitset.mask_to_frozenset(mask, self._universe)
 
     def num_quorums(self) -> int:
         total = 0

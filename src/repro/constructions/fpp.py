@@ -50,6 +50,15 @@ class FiniteProjectivePlane(QuorumSystem):
     def iter_quorums(self) -> Iterator[frozenset]:
         return iter(self._plane.lines)
 
+    def iter_quorum_masks(self) -> Iterator[int]:
+        # Points are the integers 0..q^2+q in universe order, so a line's
+        # bitmask is the sum of its point bits.
+        for line in self._plane.lines:
+            mask = 0
+            for point in line:
+                mask |= 1 << point
+            yield mask
+
     def num_quorums(self) -> int:
         return len(self._plane.lines)
 

@@ -22,6 +22,7 @@ from collections.abc import Iterator
 
 import numpy as np
 
+from repro.core import bitset
 from repro.core.quorum_system import QuorumSystem
 from repro.core.universe import Universe
 from repro.exceptions import ComputationError, ConstructionError
@@ -52,6 +53,19 @@ def _column(side: int, column_index: int) -> frozenset:
     return frozenset((row, column_index) for row in range(side))
 
 
+def _row_mask(side: int, row_index: int) -> int:
+    """Bitmask of one full row; element ``(r, c)`` sits at universe bit ``r*side + c``."""
+    return ((1 << side) - 1) << (row_index * side)
+
+
+def _column_mask(side: int, column_index: int) -> int:
+    """Bitmask of one full column (one bit every ``side`` positions)."""
+    mask = 0
+    for row in range(side):
+        mask |= 1 << (row * side + column_index)
+    return mask
+
+
 class RegularGrid(QuorumSystem):
     """The Maekawa grid: a quorum is one full row plus one full column.
 
@@ -74,10 +88,16 @@ class RegularGrid(QuorumSystem):
     def universe(self) -> Universe:
         return self._universe
 
-    def iter_quorums(self) -> Iterator[frozenset]:
+    def iter_quorum_masks(self) -> Iterator[int]:
+        column_masks = [_column_mask(self.side, column) for column in range(self.side)]
         for row in range(self.side):
+            row_mask = _row_mask(self.side, row)
             for column in range(self.side):
-                yield _row(self.side, row) | _column(self.side, column)
+                yield row_mask | column_masks[column]
+
+    def iter_quorums(self) -> Iterator[frozenset]:
+        for mask in self.iter_quorum_masks():
+            yield bitset.mask_to_frozenset(mask, self._universe)
 
     def num_quorums(self) -> int:
         return self.side * self.side
@@ -157,13 +177,18 @@ class MaskingGrid(QuorumSystem):
     def universe(self) -> Universe:
         return self._universe
 
-    def iter_quorums(self) -> Iterator[frozenset]:
+    def iter_quorum_masks(self) -> Iterator[int]:
         for column in range(self.side):
+            column_mask = _column_mask(self.side, column)
             for rows in itertools.combinations(range(self.side), 2 * self.b + 1):
-                quorum = set(_column(self.side, column))
+                mask = column_mask
                 for row in rows:
-                    quorum |= _row(self.side, row)
-                yield frozenset(quorum)
+                    mask |= _row_mask(self.side, row)
+                yield mask
+
+    def iter_quorums(self) -> Iterator[frozenset]:
+        for mask in self.iter_quorum_masks():
+            yield bitset.mask_to_frozenset(mask, self._universe)
 
     def num_quorums(self) -> int:
         return self.side * math.comb(self.side, 2 * self.b + 1)

@@ -16,8 +16,10 @@ from collections.abc import Iterator
 
 import numpy as np
 
+from repro.core import bitset
 from repro.core.quorum_system import QuorumSystem
 from repro.core.universe import Universe
+from repro.constructions.grid import _column_mask, _row_mask
 from repro.exceptions import ComputationError, ConstructionError
 
 __all__ = ["MGrid"]
@@ -79,10 +81,21 @@ class MGrid(QuorumSystem):
             cells.update((row, column) for row in range(self.side))
         return frozenset(cells)
 
-    def iter_quorums(self) -> Iterator[frozenset]:
+    def iter_quorum_masks(self) -> Iterator[int]:
+        column_masks = [_column_mask(self.side, column) for column in range(self.side)]
         for rows in itertools.combinations(range(self.side), self.k):
+            row_mask = 0
+            for row in rows:
+                row_mask |= _row_mask(self.side, row)
             for columns in itertools.combinations(range(self.side), self.k):
-                yield self._quorum_from(rows, columns)
+                mask = row_mask
+                for column in columns:
+                    mask |= column_masks[column]
+                yield mask
+
+    def iter_quorums(self) -> Iterator[frozenset]:
+        for mask in self.iter_quorum_masks():
+            yield bitset.mask_to_frozenset(mask, self._universe)
 
     def num_quorums(self) -> int:
         return math.comb(self.side, self.k) ** 2

@@ -28,6 +28,7 @@ from collections.abc import Iterator
 
 import numpy as np
 
+from repro.core import bitset
 from repro.core.quorum_system import ExplicitQuorumSystem, QuorumSystem
 from repro.core.universe import Universe
 from repro.exceptions import ComputationError, ConstructionError
@@ -87,13 +88,46 @@ class MPath(QuorumSystem):
     def universe(self) -> Universe:
         return self._universe
 
+    def _line_masks(self) -> tuple[dict[int, int], dict[int, int]]:
+        """Per-row and per-column vertex bitmasks over the universe (built once)."""
+        cached = getattr(self, "_line_mask_cache", None)
+        if cached is None:
+            row_masks = {
+                j: bitset.mask_of(self.grid.row(j), self._universe)
+                for j in range(1, self.side + 1)
+            }
+            column_masks = {
+                i: bitset.mask_of(self.grid.column(i), self._universe)
+                for i in range(1, self.side + 1)
+            }
+            cached = (row_masks, column_masks)
+            self._line_mask_cache = cached
+        return cached
+
     def _straight_quorum(self, rows: tuple[int, ...], columns: tuple[int, ...]) -> frozenset:
-        cells: set = set()
+        return bitset.mask_to_frozenset(self._straight_mask(rows, columns), self._universe)
+
+    def _straight_mask(self, rows: tuple[int, ...], columns: tuple[int, ...]) -> int:
+        row_masks, column_masks = self._line_masks()
+        mask = 0
         for j in rows:
-            cells.update(self.grid.row(j))
+            mask |= row_masks[j]
         for i in columns:
-            cells.update(self.grid.column(i))
-        return frozenset(cells)
+            mask |= column_masks[i]
+        return mask
+
+    def iter_quorum_masks(self) -> Iterator[int]:
+        row_masks, column_masks = self._line_masks()
+        indices = range(1, self.side + 1)
+        for rows in itertools.combinations(indices, self.k):
+            row_mask = 0
+            for j in rows:
+                row_mask |= row_masks[j]
+            for columns in itertools.combinations(indices, self.k):
+                mask = row_mask
+                for i in columns:
+                    mask |= column_masks[i]
+                yield mask
 
     def iter_quorums(self) -> Iterator[frozenset]:
         """Yield the *straight-line* quorums (k rows plus k columns).
@@ -103,10 +137,8 @@ class MPath(QuorumSystem):
         the load-optimal strategy of Proposition 7.2 draws from, and it is
         the family the simulator uses.
         """
-        indices = range(1, self.side + 1)
-        for rows in itertools.combinations(indices, self.k):
-            for columns in itertools.combinations(indices, self.k):
-                yield self._straight_quorum(rows, columns)
+        for mask in self.iter_quorum_masks():
+            yield bitset.mask_to_frozenset(mask, self._universe)
 
     def straight_line_subsystem(self, *, limit: int = 200_000) -> ExplicitQuorumSystem:
         """Return the straight-line quorums as an explicit quorum system."""

@@ -26,6 +26,7 @@ from collections.abc import Iterator
 import numpy as np
 from scipy import stats
 
+from repro.core import bitset
 from repro.core.quorum_system import QuorumSystem
 from repro.core.universe import Universe
 from repro.exceptions import ComputationError, ConstructionError
@@ -68,25 +69,34 @@ class RecursiveThreshold(QuorumSystem):
     def universe(self) -> Universe:
         return self._universe
 
-    def _subtree_quorums(self, root: int, level: int) -> Iterator[frozenset]:
-        """Yield the quorums of the subtree rooted at offset ``root`` with ``level`` levels."""
+    def _subtree_masks(self, root: int, level: int) -> Iterator[int]:
+        """Yield quorum bitmasks of the subtree rooted at offset ``root``.
+
+        Elements are the integers ``0 .. k^h - 1`` and the universe index of
+        element ``i`` is ``i`` itself, so a subtree quorum is the OR of its
+        chosen children's masks.
+        """
         if level == 0:
-            yield frozenset({root})
+            yield 1 << root
             return
         child_span = self.k ** (level - 1)
         children = [root + child * child_span for child in range(self.k)]
         for chosen in itertools.combinations(children, self.l):
-            child_quorum_lists = [
-                list(self._subtree_quorums(child, level - 1)) for child in chosen
+            child_mask_lists = [
+                list(self._subtree_masks(child, level - 1)) for child in chosen
             ]
-            for combination in itertools.product(*child_quorum_lists):
-                quorum: set[int] = set()
+            for combination in itertools.product(*child_mask_lists):
+                mask = 0
                 for part in combination:
-                    quorum |= part
-                yield frozenset(quorum)
+                    mask |= part
+                yield mask
+
+    def iter_quorum_masks(self) -> Iterator[int]:
+        return self._subtree_masks(0, self.depth)
 
     def iter_quorums(self) -> Iterator[frozenset]:
-        return self._subtree_quorums(0, self.depth)
+        for mask in self.iter_quorum_masks():
+            yield bitset.mask_to_frozenset(mask, self._universe)
 
     def num_quorums(self) -> int:
         count = 1

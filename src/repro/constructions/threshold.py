@@ -23,6 +23,7 @@ from collections.abc import Iterator
 import numpy as np
 from scipy import stats
 
+from repro.core import bitset
 from repro.core.quorum_system import QuorumSystem
 from repro.core.universe import Universe
 from repro.exceptions import ConstructionError
@@ -70,11 +71,18 @@ class ThresholdQuorumSystem(QuorumSystem):
     def universe(self) -> Universe:
         return self._universe
 
-    def iter_quorums(self) -> Iterator[frozenset]:
+    def iter_quorum_masks(self) -> Iterator[int]:
         import itertools
 
         for combination in itertools.combinations(range(self._n), self.k):
-            yield frozenset(combination)
+            mask = 0
+            for index in combination:
+                mask |= 1 << index
+            yield mask
+
+    def iter_quorums(self) -> Iterator[frozenset]:
+        for mask in self.iter_quorum_masks():
+            yield bitset.mask_to_frozenset(mask, self._universe)
 
     def num_quorums(self) -> int:
         return math.comb(self._n, self.k)

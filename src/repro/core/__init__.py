@@ -5,6 +5,7 @@ abstraction, the load and availability measures, the lower bounds on both,
 and quorum composition.
 """
 
+from repro.core.bitset import BitsetEngine, mask_of, mask_to_frozenset, masks_of
 from repro.core.availability import (
     AvailabilityResult,
     exact_failure_probability,
@@ -37,6 +38,7 @@ from repro.core.universe import Universe
 
 __all__ = [
     "AvailabilityResult",
+    "BitsetEngine",
     "ComposedQuorumSystem",
     "ExplicitQuorumSystem",
     "LoadResult",
@@ -60,7 +62,10 @@ __all__ = [
     "load_lower_bound_for_system",
     "load_of_strategy",
     "load_optimality_ratio",
+    "mask_of",
+    "mask_to_frozenset",
     "masking_report",
+    "masks_of",
     "minimal_transversal",
     "minimal_transversal_size",
     "monte_carlo_failure_probability",

@@ -20,6 +20,11 @@ M-Path):
 
 :func:`failure_probability` dispatches between them (and a construction's own
 ``crash_probability`` method) based on system size.
+
+The exact enumeration and the Monte-Carlo sampler both run on the bitmask
+engine (:mod:`repro.core.bitset`): the former asks it for the superset-closure
+survival table over all ``2^n`` alive-sets, the latter for the cached
+incidence matrix.  See ``docs/notation.md`` for the notation glossary.
 """
 
 from __future__ import annotations
@@ -98,19 +103,26 @@ def exact_failure_probability(
             f"exact enumeration over 2^{n} crash configurations refused "
             f"(limit n <= {max_universe}); use Monte-Carlo instead"
         )
-    universe_order = {element: i for i, element in enumerate(system.universe)}
-    quorum_masks = []
-    for quorum in system.quorums():
-        mask = 0
-        for element in quorum:
-            mask |= 1 << universe_order[element]
-        quorum_masks.append(mask)
-
+    engine = system.bitset_engine()
+    # The weight of an alive-set depends only on its cardinality; tabulating
+    # the n + 1 possible weights and accumulating them sequentially in
+    # alive-mask order reproduces the naive sum bit for bit.
+    weights = [(1.0 - p) ** alive_count * p ** (n - alive_count) for alive_count in range(n + 1)]
     survive_probability = 0.0
-    for alive_mask in range(1 << n):
-        if any(quorum_mask & alive_mask == quorum_mask for quorum_mask in quorum_masks):
-            alive_count = alive_mask.bit_count()
-            survive_probability += (1.0 - p) ** alive_count * p ** (n - alive_count)
+    if n <= 26:
+        # Survival of every alive-set at once: the superset-closure dynamic
+        # program replaces the per-mask "some quorum is a subset" scan.
+        survives = engine.subset_survival_table()
+        alive_counts = np.bitwise_count(np.arange(1 << n, dtype=np.uint64)).astype(np.int64)
+        for alive_count in alive_counts[survives].tolist():
+            survive_probability += weights[alive_count]
+    else:
+        # A caller who raised max_universe beyond the table's memory comfort
+        # zone gets the direct per-mask scan (same sum, same order).
+        quorum_masks = engine.masks
+        for alive_mask in range(1 << n):
+            if any(mask & alive_mask == mask for mask in quorum_masks):
+                survive_probability += weights[alive_mask.bit_count()]
     return AvailabilityResult(value=1.0 - survive_probability, method="exact")
 
 
@@ -125,17 +137,20 @@ def inclusion_exclusion_failure_probability(
     has few quorums over a large universe (e.g. a finite projective plane).
     """
     p = _validate_probability(p)
-    quorum_list = system.quorums()
-    if len(quorum_list) > max_quorums:
+    quorum_masks = system.quorum_masks()
+    if len(quorum_masks) > max_quorums:
         raise ComputationError(
-            f"inclusion-exclusion over 2^{len(quorum_list)} quorum subsets refused "
+            f"inclusion-exclusion over 2^{len(quorum_masks)} quorum subsets refused "
             f"(limit {max_quorums} quorums); use Monte-Carlo instead"
         )
     survive_probability = 0.0
-    for subset_size in range(1, len(quorum_list) + 1):
+    for subset_size in range(1, len(quorum_masks) + 1):
         sign = 1.0 if subset_size % 2 == 1 else -1.0
-        for subset in itertools.combinations(quorum_list, subset_size):
-            union_size = len(frozenset().union(*subset))
+        for subset in itertools.combinations(quorum_masks, subset_size):
+            union = 0
+            for mask in subset:
+                union |= mask
+            union_size = union.bit_count()
             survive_probability += sign * (1.0 - p) ** union_size
     return AvailabilityResult(value=1.0 - survive_probability, method="inclusion-exclusion")
 
@@ -158,18 +173,15 @@ def monte_carlo_failure_probability(
     if trials <= 0:
         raise ComputationError(f"trials must be positive, got {trials}")
     rng = rng if rng is not None else np.random.default_rng()
-    incidence = system.element_index_matrix()  # (m, n) boolean
-    quorum_sizes = incidence.sum(axis=1)
+    engine = system.bitset_engine()
 
     failures = 0
     remaining = trials
     while remaining > 0:
         batch = min(batch_size, remaining)
         crashed = rng.random((batch, system.n)) < p  # (batch, n)
-        # A quorum is alive when none of its members crashed: the count of
-        # alive members equals the quorum size.
-        alive_members = (~crashed).astype(np.int64) @ incidence.T.astype(np.int64)
-        some_quorum_alive = (alive_members == quorum_sizes[np.newaxis, :]).any(axis=1)
+        # A quorum is alive when none of its members crashed.
+        some_quorum_alive = engine.alive_quorum_exists(crashed)
         failures += int((~some_quorum_alive).sum())
         remaining -= batch
 

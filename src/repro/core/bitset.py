@@ -1,0 +1,290 @@
+"""Bitmask quorum engine: compact set encodings for the hot combinatorial paths.
+
+Every quorum over an indexed :class:`~repro.core.universe.Universe` of ``n``
+servers can be encoded as a Python ``int`` whose bit ``i`` is set exactly when
+the server at universe position ``i`` belongs to the quorum.  Subset tests,
+intersections and unions then become single machine-word operations (or a few
+of them), and a whole quorum list becomes either
+
+* a tuple of ``int`` bitmasks (arbitrary ``n``, exact arithmetic), or
+* a bit-packed ``numpy`` array of ``uint64`` words, ``shape (m, ceil(n/64))``,
+  on which pairwise intersections, popcounts and survival checks vectorise.
+
+:class:`BitsetEngine` bundles both encodings with the quorum/element incidence
+matrix, built **once per system** and cached; all the measure computations in
+:mod:`repro.core` (load LP assembly, exact and Monte-Carlo availability,
+masking verification, transversal search) go through it.  The frozenset API
+of :class:`~repro.core.quorum_system.QuorumSystem` remains the public surface
+— the engine is the representation underneath it.
+
+Paper notation for the quantities computed here is catalogued in
+``docs/notation.md``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.universe import Universe
+from repro.exceptions import ComputationError
+
+__all__ = [
+    "BitsetEngine",
+    "incidence_from_masks",
+    "iter_bit_indices",
+    "mask_of",
+    "mask_to_frozenset",
+    "masks_of",
+    "pack_masks",
+]
+
+#: Width of the numpy words the packed encoding uses.
+_WORD_BITS = 64
+_WORD_MASK = (1 << _WORD_BITS) - 1
+
+
+def mask_of(elements: Iterable[Hashable], universe: Universe) -> int:
+    """Return the bitmask of ``elements`` over ``universe``'s index order."""
+    mask = 0
+    for element in elements:
+        mask |= 1 << universe.index_of(element)
+    return mask
+
+
+def masks_of(quorums: Iterable[Iterable[Hashable]], universe: Universe) -> tuple[int, ...]:
+    """Return the bitmask of every quorum, preserving iteration order."""
+    return tuple(mask_of(quorum, universe) for quorum in quorums)
+
+
+def iter_bit_indices(mask: int) -> Iterator[int]:
+    """Yield the set-bit positions of ``mask`` in increasing order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def mask_to_frozenset(mask: int, universe: Universe) -> frozenset:
+    """Return the universe elements whose bits are set in ``mask``."""
+    return frozenset(universe.element_at(index) for index in iter_bit_indices(mask))
+
+
+def pack_masks(masks: Sequence[int], n: int) -> np.ndarray:
+    """Pack bitmasks into a ``(len(masks), ceil(n/64))`` array of ``uint64`` words.
+
+    Word ``j`` of row ``i`` holds bits ``64 j .. 64 j + 63`` of ``masks[i]``
+    (little-endian word order), so ``numpy.bitwise_count`` over a row sums to
+    the quorum size.
+    """
+    num_words = max(1, -(-n // _WORD_BITS))
+    packed = np.zeros((len(masks), num_words), dtype=np.uint64)
+    for row, mask in enumerate(masks):
+        word_index = 0
+        while mask:
+            packed[row, word_index] = mask & _WORD_MASK
+            mask >>= _WORD_BITS
+            word_index += 1
+    return packed
+
+
+def incidence_from_masks(masks: Sequence[int], n: int) -> np.ndarray:
+    """Return the boolean incidence matrix (rows: masks, columns: bit index)."""
+    packed = pack_masks(masks, n)
+    as_bytes = packed.view(np.uint8)
+    bits = np.unpackbits(as_bytes, axis=1, bitorder="little")
+    return bits[:, :n].astype(bool)
+
+
+class BitsetEngine:
+    """Cached bitmask/incidence views of one quorum list over one universe.
+
+    Parameters
+    ----------
+    universe:
+        The indexed universe the bit positions refer to.
+    masks:
+        One ``int`` bitmask per quorum, in enumeration order.  The order is
+        preserved everywhere so that results can be mapped back to the
+        system's ``quorums()`` tuple by position.
+    """
+
+    __slots__ = ("_universe", "_masks", "_packed", "_incidence", "_incidence_int", "_sizes")
+
+    def __init__(self, universe: Universe, masks: Sequence[int]):
+        limit = 1 << universe.size
+        for mask in masks:
+            if not 0 <= mask < limit:
+                raise ComputationError(
+                    f"bitmask {mask:#x} has bits outside the {universe.size}-element universe"
+                )
+        self._universe = universe
+        self._masks = tuple(masks)
+        self._packed: np.ndarray | None = None
+        self._incidence: np.ndarray | None = None
+        self._incidence_int: np.ndarray | None = None
+        self._sizes: np.ndarray | None = None
+
+    @classmethod
+    def from_quorums(
+        cls, universe: Universe, quorums: Iterable[Iterable[Hashable]]
+    ) -> "BitsetEngine":
+        """Build an engine from frozenset-style quorums (compatibility path)."""
+        return cls(universe, masks_of(quorums, universe))
+
+    # ------------------------------------------------------------------
+    # Structure.
+    # ------------------------------------------------------------------
+    @property
+    def universe(self) -> Universe:
+        return self._universe
+
+    @property
+    def masks(self) -> tuple[int, ...]:
+        """The quorums as ``int`` bitmasks, in enumeration order."""
+        return self._masks
+
+    @property
+    def n(self) -> int:
+        return self._universe.size
+
+    @property
+    def num_quorums(self) -> int:
+        return len(self._masks)
+
+    def frozensets(self) -> tuple[frozenset, ...]:
+        """The quorums as frozensets (the compatibility view)."""
+        return tuple(mask_to_frozenset(mask, self._universe) for mask in self._masks)
+
+    # ------------------------------------------------------------------
+    # Cached array views.
+    # ------------------------------------------------------------------
+    def packed(self) -> np.ndarray:
+        """The bit-packed ``(m, ceil(n/64))`` ``uint64`` view (built once)."""
+        if self._packed is None:
+            self._packed = pack_masks(self._masks, self.n)
+            self._packed.setflags(write=False)
+        return self._packed
+
+    def incidence_matrix(self) -> np.ndarray:
+        """The boolean quorum/element incidence matrix (built once, read-only).
+
+        Rows are quorums in enumeration order, columns universe positions.
+        """
+        if self._incidence is None:
+            self._incidence = incidence_from_masks(self._masks, self.n)
+            self._incidence.setflags(write=False)
+        return self._incidence
+
+    def quorum_sizes(self) -> np.ndarray:
+        """Per-quorum cardinalities ``|Q|`` as an int64 vector (built once)."""
+        if self._sizes is None:
+            sizes = np.bitwise_count(self.packed()).sum(axis=1, dtype=np.int64)
+            sizes.setflags(write=False)
+            self._sizes = sizes
+        return self._sizes
+
+    # ------------------------------------------------------------------
+    # Combinatorial measures.
+    # ------------------------------------------------------------------
+    def min_quorum_size(self) -> int:
+        return int(self.quorum_sizes().min())
+
+    def max_quorum_size(self) -> int:
+        return int(self.quorum_sizes().max())
+
+    def degrees(self) -> np.ndarray:
+        """Per-element quorum membership counts, indexed by universe position."""
+        return self.incidence_matrix().sum(axis=0, dtype=np.int64)
+
+    def first_pair_intersecting_below(self, required: int) -> tuple[int, int] | None:
+        """Return the first quorum pair (combinations order) meeting in < ``required``.
+
+        "First" follows ``itertools.combinations`` order over quorum indices:
+        smallest first index, then smallest second index.  Returns ``None``
+        when every pair intersects in at least ``required`` elements.
+        """
+        packed = self.packed()
+        for first in range(self.num_quorums - 1):
+            overlap = np.bitwise_count(packed[first] & packed[first + 1 :]).sum(
+                axis=1, dtype=np.int64
+            )
+            below = np.nonzero(overlap < required)[0]
+            if below.size:
+                return first, first + 1 + int(below[0])
+        return None
+
+    def min_intersection_size(self) -> int:
+        """Return ``IS``, the smallest pairwise intersection, by vectorised popcount.
+
+        For a single-quorum system this is the quorum size, mirroring the
+        convention of :meth:`QuorumSystem.min_intersection_size`.
+        """
+        if self.num_quorums == 1:
+            return int(self.quorum_sizes()[0])
+        packed = self.packed()
+        smallest: int | None = None
+        for first in range(self.num_quorums - 1):
+            overlap = np.bitwise_count(packed[first] & packed[first + 1 :]).sum(
+                axis=1, dtype=np.int64
+            )
+            candidate = int(overlap.min())
+            if smallest is None or candidate < smallest:
+                smallest = candidate
+                if smallest == 0:
+                    break
+        return int(smallest)
+
+    def all_pairs_intersect(self) -> bool:
+        """Return ``True`` when every two quorums share at least one element."""
+        return self.first_pair_intersecting_below(1) is None
+
+    # ------------------------------------------------------------------
+    # Survival checks (availability hot paths).
+    # ------------------------------------------------------------------
+    def subset_survival_table(self) -> np.ndarray:
+        """Return a boolean table over all ``2^n`` alive-sets: does a quorum survive?
+
+        Entry ``a`` is ``True`` exactly when some quorum is a subset of the
+        alive-set with bitmask ``a``.  Built by the superset-closure dynamic
+        program (one vectorised pass per bit), so the whole table costs
+        ``O(n 2^n)`` bit operations instead of ``O(m 2^n)`` subset tests.
+        """
+        n = self.n
+        if n > 26:
+            raise ComputationError(
+                f"refusing to materialise a survival table over 2^{n} alive-sets"
+            )
+        table = np.zeros(1 << n, dtype=bool)
+        table[list(self._masks)] = True
+        for bit in range(n):
+            step = 1 << bit
+            view = table.reshape(-1, 2, step)
+            view[:, 1, :] |= view[:, 0, :]
+        return table
+
+    def alive_quorum_exists(self, crashed: np.ndarray) -> np.ndarray:
+        """Vectorised survival check over a batch of crash configurations.
+
+        Parameters
+        ----------
+        crashed:
+            Boolean array of shape ``(batch, n)``; entry ``(t, i)`` says the
+            server at universe position ``i`` crashed in trial ``t``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Boolean vector of length ``batch``: some quorum has no crashed
+            member.
+        """
+        if self._incidence_int is None:
+            incidence_int = self.incidence_matrix().T.astype(np.int64)
+            incidence_int.setflags(write=False)
+            self._incidence_int = incidence_int
+        hit_counts = crashed.astype(np.int64) @ self._incidence_int
+        return (hit_counts == 0).any(axis=1)
+
+    def __repr__(self) -> str:
+        return f"BitsetEngine(n={self.n}, quorums={self.num_quorums})"

@@ -16,6 +16,8 @@ In addition it exposes the *resilience/load trade-off* noted in Section 8:
 All functions take plain numeric parameters so that they can be evaluated for
 systems that are too large to enumerate; convenience wrappers taking a
 :class:`~repro.core.quorum_system.QuorumSystem` are also provided.
+
+See ``docs/notation.md`` for the notation glossary.
 """
 
 from __future__ import annotations

@@ -19,7 +19,12 @@ load                   ``L(S∘R) = L(S) · L(R)``
 The composed system is exposed both lazily (:class:`ComposedQuorumSystem`
 enumerates quorums on demand and reports the Theorem 4.7 values without
 enumeration) and eagerly (:meth:`ComposedQuorumSystem.to_explicit` for small
-systems, used heavily by the test-suite to validate the theorem).
+systems, used heavily by the test-suite to validate the theorem).  Because
+copy ``i`` of the inner universe occupies a contiguous bit range of the
+composed universe, composed quorum bitmasks are ORs of shifted inner masks
+(see :meth:`ComposedQuorumSystem.iter_quorum_masks`).
+
+See ``docs/notation.md`` for the notation glossary.
 """
 
 from __future__ import annotations
@@ -74,15 +79,65 @@ class ComposedQuorumSystem(QuorumSystem):
     def _tag(copy_index: Hashable, inner_quorum: frozenset) -> frozenset:
         return frozenset((copy_index, element) for element in inner_quorum)
 
+    def _tagged_inner_quorums(self, copy_index: Hashable) -> tuple[frozenset, ...]:
+        """The inner system's quorums relabelled into copy ``copy_index`` (cached).
+
+        ``iter_quorums`` revisits every copy once per surrounding product
+        combination; tagging each copy's quorums once instead of per
+        combination removes the dominant cost of eager composition.
+        """
+        cache = getattr(self, "_tagged_cache", None)
+        if cache is None:
+            cache = {}
+            self._tagged_cache = cache
+        tagged = cache.get(copy_index)
+        if tagged is None:
+            tagged = tuple(
+                self._tag(copy_index, inner_quorum) for inner_quorum in self._inner.quorums()
+            )
+            cache[copy_index] = tagged
+        return tagged
+
     def iter_quorums(self) -> Iterator[frozenset]:
-        inner_quorums = self._inner.quorums()
         for outer_quorum in self._outer.quorums():
             members = sorted(outer_quorum, key=repr)
-            for choice in itertools.product(inner_quorums, repeat=len(members)):
+            tagged_lists = [self._tagged_inner_quorums(copy_index) for copy_index in members]
+            for choice in itertools.product(*tagged_lists):
                 combined: set = set()
-                for copy_index, inner_quorum in zip(members, choice):
-                    combined |= self._tag(copy_index, inner_quorum)
+                for tagged_quorum in choice:
+                    combined |= tagged_quorum
                 yield frozenset(combined)
+
+    def iter_quorum_masks(self) -> Iterator[int]:
+        """Yield composed quorums as bitmasks without building any frozensets.
+
+        Copy ``i`` (the ``i``-th outer element in universe order) occupies the
+        contiguous bit range ``[i * n_R, (i + 1) * n_R)`` of the composed
+        universe, so a tagged inner quorum is just the inner quorum's mask
+        shifted by the copy offset, and a composed quorum is the OR of one
+        shifted mask per chosen copy.
+        """
+        inner_size = self._inner.n
+        inner_masks = self._inner.quorum_masks()
+        outer_universe = self._outer.universe
+        shifted_cache: dict[Hashable, tuple[int, ...]] = {}
+
+        def shifted_masks(copy_index: Hashable) -> tuple[int, ...]:
+            shifted = shifted_cache.get(copy_index)
+            if shifted is None:
+                offset = outer_universe.index_of(copy_index) * inner_size
+                shifted = tuple(mask << offset for mask in inner_masks)
+                shifted_cache[copy_index] = shifted
+            return shifted
+
+        for outer_quorum in self._outer.quorums():
+            members = sorted(outer_quorum, key=repr)
+            shifted_lists = [shifted_masks(copy_index) for copy_index in members]
+            for choice in itertools.product(*shifted_lists):
+                combined_mask = 0
+                for shifted in choice:
+                    combined_mask |= shifted
+                yield combined_mask
 
     def num_quorums(self) -> int:
         """Return the number of quorums without enumerating them."""

@@ -16,7 +16,11 @@ This module offers three ways to obtain the load:
 
 The linear program is the standard one: variables are the strategy weights
 ``w_Q`` plus the load bound ``L``; minimise ``L`` subject to
-``sum_{Q ∋ u} w_Q <= L`` for every server ``u`` and ``sum_Q w_Q = 1``.
+``sum_{Q ∋ u} w_Q <= L`` for every server ``u`` and ``sum_Q w_Q = 1``.  The
+LP's incidence matrix comes from the bitmask engine
+(:mod:`repro.core.bitset`), built once per system and cached.
+
+See ``docs/notation.md`` for the full paper-notation glossary.
 """
 
 from __future__ import annotations
@@ -91,9 +95,25 @@ def exact_load(system: QuorumSystem, *, quorum_limit: int = 50_000) -> LoadResul
     -------
     LoadResult
         The optimal load and an optimal strategy realising it.
+
+    Notes
+    -----
+    Quorum systems are immutable and the LP is deterministic, so the result
+    is memoised on the system object (like the quorum list itself): repeated
+    load queries against the same system pay for one solve.  As with
+    ``QuorumSystem.quorums``, a cached result is returned without re-checking
+    ``quorum_limit``.
     """
-    quorum_list = system.quorums(limit=quorum_limit)
-    incidence = system.element_index_matrix().astype(float)  # shape (m, n)
+    cached = getattr(system, "_exact_load_cache", None)
+    if cached is not None:
+        return cached
+    # Prime the quorum and mask caches under the caller's limit so both the
+    # strategy construction and the engine build honour it, then reuse the
+    # engine's incidence matrix (built once per system); repeated load
+    # computations only pay for the LP itself.
+    system.quorums(limit=quorum_limit)
+    system.quorum_masks(limit=quorum_limit)
+    incidence = system.bitset_engine().incidence_matrix().astype(float)  # shape (m, n)
     num_quorums, num_elements = incidence.shape
 
     # Variables: [w_1, ..., w_m, L].  Minimise L.
@@ -126,7 +146,9 @@ def exact_load(system: QuorumSystem, *, quorum_limit: int = 50_000) -> LoadResul
     weights = np.clip(result.x[:num_quorums], 0.0, None)
     strategy = Strategy.from_vector(system, weights, normalise=True)
     load_value = float(result.x[-1])
-    return LoadResult(load=load_value, strategy=strategy, method="lp")
+    load_result = LoadResult(load=load_value, strategy=strategy, method="lp")
+    system._exact_load_cache = load_result
+    return load_result
 
 
 def best_known_load(system: QuorumSystem) -> LoadResult:

@@ -11,12 +11,14 @@ The fast way to establish the property is through ``MT`` and ``IS``
 (Lemma 3.6 and Corollary 3.7), which :class:`~repro.core.quorum_system.QuorumSystem`
 already exposes.  This module provides the *literal* checks, used by the
 test-suite to validate the fast path and by users who want an explicit
-certificate or counterexample.
+certificate or counterexample.  The pairwise-intersection sweep runs on the
+bit-packed quorum list of :mod:`repro.core.bitset` rather than on frozensets.
+
+See ``docs/notation.md`` for the notation glossary (b-masking, IS, MT, ...).
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 
 from repro.core.quorum_system import QuorumSystem
@@ -65,16 +67,22 @@ def check_consistency(system: QuorumSystem, b: int) -> tuple[frozenset, frozense
     """Return a pair of quorums violating ``|Q1 ∩ Q2| >= 2b+1``, or ``None``.
 
     This is the consistency requirement (1) of Definition 3.5, checked
-    exhaustively over all quorum pairs.
+    exhaustively over all quorum pairs by vectorised popcount on the
+    bit-packed quorum list; the witness pair (in enumeration order) is mapped
+    back to frozensets.
     """
     required = 2 * b + 1
+    engine = system.bitset_engine()
+    if engine.num_quorums == 1:
+        only = system.quorums()[0]
+        if len(only) < required:
+            return only, only
+        return None
+    pair = engine.first_pair_intersecting_below(required)
+    if pair is None:
+        return None
     quorum_list = system.quorums()
-    for first, second in itertools.combinations(quorum_list, 2):
-        if len(first & second) < required:
-            return first, second
-    if len(quorum_list) == 1 and len(quorum_list[0]) < required:
-        return quorum_list[0], quorum_list[0]
-    return None
+    return quorum_list[pair[0]], quorum_list[pair[1]]
 
 
 def check_resilience(system: QuorumSystem, b: int) -> frozenset | None:

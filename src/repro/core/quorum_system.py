@@ -22,17 +22,24 @@ Terminology follows Table 1 of the paper:
 ``f``        resilience, ``MT(Q) - 1``
 ``b``        number of Byzantine failures maskable by the system
 ===========  ===========================================================
+
+Underneath the frozenset API every system carries a cached bitmask engine
+(:meth:`QuorumSystem.bitset_engine`, see :mod:`repro.core.bitset`): quorums
+are ``int`` bitmasks over the universe's index order and the enumeration-based
+measures run vectorised on the bit-packed quorum list.  ``docs/notation.md``
+maps the paper's notation to the implementing functions.
 """
 
 from __future__ import annotations
 
-import itertools
 from abc import ABC, abstractmethod
 from collections.abc import Hashable, Iterable, Iterator
 
 import numpy as np
 
+from repro.core import bitset as bitset_mod
 from repro.core import transversal as transversal_mod
+from repro.core.bitset import BitsetEngine
 from repro.core.universe import Universe
 from repro.exceptions import ComputationError, InvalidQuorumSystemError
 
@@ -72,6 +79,57 @@ class QuorumSystem(ABC):
     @abstractmethod
     def iter_quorums(self) -> Iterator[frozenset]:
         """Yield the quorums of the system as frozensets of universe elements."""
+
+    # ------------------------------------------------------------------
+    # Bitmask engine (the representation the hot paths run on).
+    # ------------------------------------------------------------------
+    def iter_quorum_masks(self) -> Iterator[int]:
+        """Yield the quorums as ``int`` bitmasks over the universe's index order.
+
+        The default converts :meth:`iter_quorums`; constructions override it
+        to emit masks directly (precomputed row/column/subtree masks), which
+        is both their fast path and the source the frozenset view is derived
+        from.  Whichever method a subclass overrides, both views enumerate
+        the same quorums in the same order.
+        """
+        universe = self.universe
+        for quorum in self.iter_quorums():
+            yield bitset_mod.mask_of(quorum, universe)
+
+    def quorum_masks(self, *, limit: int | None = DEFAULT_ENUMERATION_LIMIT) -> tuple[int, ...]:
+        """Return the quorum bitmasks as a tuple (cached; mirrors :meth:`quorums`)."""
+        if not self.enumerates_all_quorums:
+            raise ComputationError(
+                f"{self.name} cannot enumerate its full quorum list; "
+                "use its analytic measures or sample_quorum instead"
+            )
+        cached = getattr(self, "_quorum_mask_cache", None)
+        if cached is not None:
+            return cached
+        collected: list[int] = []
+        for mask in self.iter_quorum_masks():
+            collected.append(mask)
+            if limit is not None and len(collected) > limit:
+                raise ComputationError(
+                    f"{self.name} has more than {limit} quorums; "
+                    "raise the limit explicitly if enumeration is really wanted"
+                )
+        mask_tuple = tuple(collected)
+        self._quorum_mask_cache = mask_tuple
+        return mask_tuple
+
+    def bitset_engine(self) -> BitsetEngine:
+        """Return the system's :class:`~repro.core.bitset.BitsetEngine` (built once).
+
+        The engine caches the bitmask list, the bit-packed ``uint64`` array
+        and the incidence matrix, so every measure that goes through it pays
+        the enumeration cost a single time per system.
+        """
+        cached = getattr(self, "_bitset_engine_cache", None)
+        if cached is None:
+            cached = BitsetEngine(self.universe, self.quorum_masks())
+            self._bitset_engine_cache = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Basic structure.
@@ -162,18 +220,12 @@ class QuorumSystem(ABC):
         return max(len(quorum) for quorum in self.quorums())
 
     def min_intersection_size(self) -> int:
-        """Return ``IS(Q)``, the smallest pairwise quorum intersection."""
-        quorum_list = self.quorums()
-        if len(quorum_list) == 1:
-            return len(quorum_list[0])
-        smallest = None
-        for first, second in itertools.combinations(quorum_list, 2):
-            size = len(first & second)
-            if smallest is None or size < smallest:
-                smallest = size
-                if smallest == 0:
-                    break
-        return int(smallest)
+        """Return ``IS(Q)``, the smallest pairwise quorum intersection.
+
+        Computed by vectorised popcount over the bit-packed quorum list
+        instead of pairwise frozenset intersections.
+        """
+        return self.bitset_engine().min_intersection_size()
 
     def min_transversal_size(self) -> int:
         """Return ``MT(Q)``, the size of the smallest transversal."""
@@ -188,16 +240,23 @@ class QuorumSystem(ABC):
         return self.min_transversal_size() - 1
 
     def degree(self, element: Hashable) -> int:
-        """Return ``deg(element)``, the number of quorums containing it."""
-        return sum(1 for quorum in self.quorums() if element in quorum)
+        """Return ``deg(element)``, the number of quorums containing it.
+
+        Elements outside the universe belong to no quorum, so their degree
+        is 0.
+        """
+        if element not in self.universe:
+            return 0
+        position = self.universe.index_of(element)
+        return int(self.bitset_engine().degrees()[position])
 
     def degrees(self) -> dict[Hashable, int]:
-        """Return the degree of every universe element."""
-        counts = {element: 0 for element in self.universe}
-        for quorum in self.quorums():
-            for element in quorum:
-                counts[element] += 1
-        return counts
+        """Return the degree of every universe element (one incidence-column sum)."""
+        counts = self.bitset_engine().degrees()
+        return {
+            element: int(counts[position])
+            for position, element in enumerate(self.universe)
+        }
 
     def is_fair(self) -> bool:
         """Return ``True`` when the system is ``(s, d)``-fair (Definition 3.2)."""
@@ -205,14 +264,14 @@ class QuorumSystem(ABC):
 
     def fairness(self) -> tuple[int, int] | None:
         """Return ``(s, d)`` if the system is ``(s, d)``-fair, else ``None``."""
-        quorum_list = self.quorums()
-        sizes = {len(quorum) for quorum in quorum_list}
-        if len(sizes) != 1:
+        engine = self.bitset_engine()
+        sizes = engine.quorum_sizes()
+        if int(sizes.min()) != int(sizes.max()):
             return None
-        degree_values = set(self.degrees().values())
-        if len(degree_values) != 1:
+        degree_values = engine.degrees()
+        if int(degree_values.min()) != int(degree_values.max()):
             return None
-        return sizes.pop(), degree_values.pop()
+        return int(sizes[0]), int(degree_values[0])
 
     # ------------------------------------------------------------------
     # Masking (Definitions 3.4, 3.5; Lemma 3.6; Corollary 3.7).
@@ -269,11 +328,13 @@ class QuorumSystem(ABC):
                 raise InvalidQuorumSystemError(
                     f"quorum contains elements outside the universe: {stray}"
                 )
-        for first, second in itertools.combinations(quorum_list, 2):
-            if not first & second:
-                raise InvalidQuorumSystemError(
-                    "two quorums do not intersect; this is not a quorum system"
-                )
+        # Pairwise intersection is the expensive half of Definition 3.1; the
+        # engine checks it by vectorised popcount instead of O(m^2) frozenset
+        # intersections.
+        if not self.bitset_engine().all_pairs_intersect():
+            raise InvalidQuorumSystemError(
+                "two quorums do not intersect; this is not a quorum system"
+            )
 
     def to_explicit(self) -> "ExplicitQuorumSystem":
         """Materialise the system as an :class:`ExplicitQuorumSystem`."""
@@ -284,14 +345,10 @@ class QuorumSystem(ABC):
 
         Rows are quorums (in enumeration order), columns are universe
         elements (in universe order).  Used by the LP load computation and by
-        the exact availability computation.
+        the Monte-Carlo availability computation.  The matrix is built once
+        by the bitmask engine and cached; a writable copy is returned.
         """
-        quorum_list = self.quorums()
-        matrix = np.zeros((len(quorum_list), self.n), dtype=bool)
-        for row, quorum in enumerate(quorum_list):
-            for element in quorum:
-                matrix[row, self.universe.index_of(element)] = True
-        return matrix
+        return self.bitset_engine().incidence_matrix().copy()
 
     # ------------------------------------------------------------------
     # Dunder helpers.
@@ -365,7 +422,14 @@ class ExplicitQuorumSystem(QuorumSystem):
         Definition 3.10).
         """
         down = frozenset(crashed)
-        alive = [quorum for quorum in self._quorums if not quorum & down]
+        down_mask = bitset_mod.mask_of(
+            (element for element in down if element in self._universe), self._universe
+        )
+        alive = [
+            quorum
+            for quorum, mask in zip(self._quorums, self.quorum_masks(limit=None))
+            if not mask & down_mask
+        ]
         if not alive:
             return None
         return ExplicitQuorumSystem(

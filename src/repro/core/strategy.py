@@ -6,6 +6,8 @@ element* ``u`` is ``l_w(u) = sum_{Q ∋ u} w(Q)``; the load induced on the
 system is the maximum over elements.  The system load (the paper's ``L(Q)``)
 is the minimum of the induced load over all strategies, computed in
 :mod:`repro.core.load`.
+
+See ``docs/notation.md`` for the notation glossary (w, l_w(u), L(Q)).
 """
 
 from __future__ import annotations

@@ -20,7 +20,10 @@ three procedures:
 
 All functions operate on plain collections of ``frozenset`` so that they can
 be reused by the percolation and simulation subsystems without importing the
-quorum-system abstraction.
+quorum-system abstraction; internally the reduction and the integer-program
+assembly run on local bitmasks (:mod:`repro.core.bitset` helpers).
+
+See ``docs/notation.md`` for the notation glossary (MT, transversal, f).
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ from collections.abc import Collection, Hashable, Iterable
 import numpy as np
 from scipy import optimize, sparse
 
+from repro.core import bitset as bitset_mod
 from repro.exceptions import ComputationError
 
 __all__ = [
@@ -66,13 +70,39 @@ def greedy_transversal(sets: Collection[frozenset]) -> frozenset:
     return frozenset(chosen)
 
 
+def _local_masks(groups: list[frozenset]) -> list[int]:
+    """Encode ``groups`` as bitmasks over a local first-seen element order.
+
+    The transversal routines accept bare collections of frozensets (no
+    universe attached), so a throwaway index is built on the fly; only
+    subset/intersection *relations* are read off the masks, never element
+    identities, so the order is irrelevant.
+    """
+    index: dict[Hashable, int] = {}
+    masks: list[int] = []
+    for group in groups:
+        mask = 0
+        for element in group:
+            position = index.setdefault(element, len(index))
+            mask |= 1 << position
+        masks.append(mask)
+    return masks
+
+
 def _reduce_sets(sets: Collection[frozenset]) -> list[frozenset]:
-    """Deduplicate and drop supersets (they never constrain the optimum)."""
+    """Deduplicate and drop supersets (they never constrain the optimum).
+
+    Subset tests run on local bitmasks (``small & big == small``) rather than
+    frozenset comparisons; the surviving groups and their order are the same.
+    """
     unique = sorted(set(sets), key=len)
+    masks = _local_masks(unique)
     reduced: list[frozenset] = []
-    for group in unique:
-        if not any(smaller <= group for smaller in reduced):
+    reduced_masks: list[int] = []
+    for group, mask in zip(unique, masks):
+        if not any(smaller & mask == smaller for smaller in reduced_masks):
             reduced.append(group)
+            reduced_masks.append(mask)
     return reduced
 
 
@@ -81,11 +111,14 @@ def _minimal_transversal_milp(reduced: list[frozenset]) -> frozenset:
     elements = sorted({element for group in reduced for element in group}, key=repr)
     index = {element: position for position, element in enumerate(elements)}
 
-    rows, columns = [], []
-    for row, group in enumerate(reduced):
-        for element in group:
-            rows.append(row)
-            columns.append(index[element])
+    # Assemble the coverage matrix through the bitmask incidence helper: one
+    # mask per set over the sorted element order, unpacked to rows/columns in
+    # a single vectorised pass.
+    masks = [
+        sum(1 << index[element] for element in group) for group in reduced
+    ]
+    incidence = bitset_mod.incidence_from_masks(masks, len(elements))
+    rows, columns = np.nonzero(incidence)
     coverage = sparse.csr_matrix(
         (np.ones(len(rows)), (rows, columns)), shape=(len(reduced), len(elements))
     )

@@ -7,7 +7,10 @@ the universe may be any hashable Python objects; the constructions in
 :class:`Universe` is an immutable, ordered view of a set of elements.  It
 offers index lookups in both directions (element to index and index to
 element), which the load and availability computations use to map servers to
-vector positions.
+vector positions, and which fixes the bit order of the quorum bitmasks in
+:mod:`repro.core.bitset`.
+
+See ``docs/notation.md`` for the notation glossary.
 """
 
 from __future__ import annotations

@@ -133,13 +133,15 @@ def run_workload(
     violations = 0
     stale = 0
     write_counter = 0
-    quorum_access_counts: dict = {server_id: 0 for server_id in system.universe}
+    universe = system.universe
+    # Per-server access tally, indexed by universe position so the final
+    # per-server report can be assembled in one pass over the universe order.
+    quorum_access_counts = np.zeros(system.n, dtype=np.int64)
 
     def record_access(quorum: frozenset | None) -> None:
         if quorum is None:
             return
-        for server_id in quorum:
-            quorum_access_counts[server_id] += 1
+        quorum_access_counts[list(universe.indices_of(quorum))] += 1
 
     for operation_index in range(num_operations):
         client = clients[operation_index % len(clients)]
@@ -172,7 +174,8 @@ def run_workload(
 
     successful = max(1, successful_reads + successful_writes)
     per_server_load = {
-        server_id: count / successful for server_id, count in quorum_access_counts.items()
+        server_id: int(quorum_access_counts[position]) / successful
+        for position, server_id in enumerate(universe)
     }
     return WorkloadResult(
         operations=num_operations,

@@ -1,0 +1,273 @@
+"""Agreement tests: the bitmask engine against the frozenset reference paths.
+
+The :mod:`repro.core.bitset` engine is the representation the hot paths run
+on; its contract is that every measure it powers — load, failure probability,
+masking verification, transversals, and the combinatorial parameters they
+build on — is *identical* to what the plain frozenset enumeration would
+produce.  These tests re-implement the pre-engine reference computations in
+terms of frozensets and ``itertools`` and assert exact agreement on small
+instances of all eight quorum-enumerating constructions, plus random explicit
+systems via hypothesis.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BoostedFPP,
+    CrumblingWall,
+    ExplicitQuorumSystem,
+    FiniteProjectivePlane,
+    MGrid,
+    MPath,
+    MaskingGrid,
+    RecursiveThreshold,
+    exact_failure_probability,
+    exact_load,
+    masking_report,
+    masking_threshold,
+)
+from repro.core import bitset
+from repro.core.transversal import is_transversal, minimal_transversal
+
+
+def _small_systems():
+    """One small, fully enumerable instance of every construction.
+
+    M-Path only enumerates its straight-line sub-family, so its explicit
+    snapshot is used wherever a full quorum list is required; the raw object
+    is still exercised by the mask-generator test below.
+    """
+    return [
+        masking_threshold(9, 1),
+        MaskingGrid(4, 1),
+        MGrid(4, 1),
+        MPath(3, 1).straight_line_subsystem(),
+        RecursiveThreshold(3, 2, 2),
+        CrumblingWall([1, 2, 3]),
+        BoostedFPP(2, 1),
+        FiniteProjectivePlane(2),
+    ]
+
+
+SYSTEM_IDS = [
+    "threshold",
+    "grid",
+    "mgrid",
+    "mpath",
+    "recursive-threshold",
+    "crumbling-wall",
+    "boost-fpp",
+    "fpp",
+]
+
+
+@pytest.fixture(params=range(len(SYSTEM_IDS)), ids=SYSTEM_IDS)
+def system(request):
+    return _small_systems()[request.param]
+
+
+# ----------------------------------------------------------------------------
+# Reference (frozenset) implementations of the measures the engine replaced.
+# ----------------------------------------------------------------------------
+
+def reference_incidence(system) -> np.ndarray:
+    quorum_list = system.quorums()
+    matrix = np.zeros((len(quorum_list), system.n), dtype=bool)
+    for row, quorum in enumerate(quorum_list):
+        for element in quorum:
+            matrix[row, system.universe.index_of(element)] = True
+    return matrix
+
+
+def reference_min_intersection(system) -> int:
+    quorum_list = system.quorums()
+    if len(quorum_list) == 1:
+        return len(quorum_list[0])
+    return min(
+        len(first & second)
+        for first, second in itertools.combinations(quorum_list, 2)
+    )
+
+
+def reference_degrees(system) -> dict:
+    counts = {element: 0 for element in system.universe}
+    for quorum in system.quorums():
+        for element in quorum:
+            counts[element] += 1
+    return counts
+
+
+def reference_exact_failure_probability(system, p: float) -> float:
+    """The seed implementation: a Python loop over all 2^n alive-sets."""
+    n = system.n
+    universe_order = {element: i for i, element in enumerate(system.universe)}
+    quorum_masks = []
+    for quorum in system.quorums():
+        mask = 0
+        for element in quorum:
+            mask |= 1 << universe_order[element]
+        quorum_masks.append(mask)
+    survive = 0.0
+    for alive_mask in range(1 << n):
+        if any(mask & alive_mask == mask for mask in quorum_masks):
+            alive_count = alive_mask.bit_count()
+            survive += (1.0 - p) ** alive_count * p ** (n - alive_count)
+    return 1.0 - survive
+
+
+def reference_consistency_holds(system, b: int) -> bool:
+    required = 2 * b + 1
+    quorum_list = system.quorums()
+    if len(quorum_list) == 1:
+        return len(quorum_list[0]) >= required
+    return all(
+        len(first & second) >= required
+        for first, second in itertools.combinations(quorum_list, 2)
+    )
+
+
+# ----------------------------------------------------------------------------
+# Mask generators and cached array views.
+# ----------------------------------------------------------------------------
+
+class TestMaskGeneration:
+    def test_masks_align_with_frozensets(self, system):
+        universe = system.universe
+        masks = list(system.iter_quorum_masks())
+        quorums = list(system.iter_quorums())
+        assert len(masks) == len(quorums)
+        for mask, quorum in zip(masks, quorums):
+            assert bitset.mask_to_frozenset(mask, universe) == quorum
+            assert bitset.mask_of(quorum, universe) == mask
+
+    def test_mpath_raw_masks_align(self):
+        # The raw M-Path object cannot materialise quorums(), but its mask
+        # and frozenset generators must still describe the same sub-family.
+        mpath = MPath(3, 1)
+        for mask, quorum in zip(mpath.iter_quorum_masks(), mpath.iter_quorums()):
+            assert bitset.mask_to_frozenset(mask, mpath.universe) == quorum
+
+    def test_incidence_matrix_matches_reference(self, system):
+        engine = system.bitset_engine()
+        np.testing.assert_array_equal(
+            engine.incidence_matrix(), reference_incidence(system)
+        )
+
+    def test_quorum_sizes_match(self, system):
+        engine = system.bitset_engine()
+        expected = [len(quorum) for quorum in system.quorums()]
+        assert engine.quorum_sizes().tolist() == expected
+
+
+# ----------------------------------------------------------------------------
+# Combinatorial measures.
+# ----------------------------------------------------------------------------
+
+class TestMeasures:
+    def test_min_intersection_matches_reference(self, system):
+        assert system.min_intersection_size() == reference_min_intersection(system)
+
+    def test_degrees_match_reference(self, system):
+        assert system.degrees() == reference_degrees(system)
+
+    def test_masking_reports_match_reference(self, system):
+        for b in range(0, system.masking_bound() + 2):
+            report = masking_report(system, b)
+            assert report.consistent == reference_consistency_holds(system, b)
+            assert report.is_masking == (
+                report.consistent and report.resilient
+            )
+            assert masking_report(system, b).is_masking == system.is_b_masking(b)
+
+
+# ----------------------------------------------------------------------------
+# Load, availability, transversals.
+# ----------------------------------------------------------------------------
+
+class TestLoadAndAvailability:
+    def test_exact_load_matches_reference_incidence(self, system):
+        # The LP must see exactly the matrix the frozenset path would have
+        # assembled; with identical inputs HiGHS is deterministic, so the
+        # optimal load from the engine-built incidence is the same number.
+        from scipy import optimize
+
+        incidence = reference_incidence(system).astype(float)
+        num_quorums, num_elements = incidence.shape
+        objective = np.zeros(num_quorums + 1)
+        objective[-1] = 1.0
+        upper_matrix = np.hstack([incidence.T, -np.ones((num_elements, 1))])
+        equality_matrix = np.zeros((1, num_quorums + 1))
+        equality_matrix[0, :num_quorums] = 1.0
+        result = optimize.linprog(
+            objective,
+            A_ub=upper_matrix,
+            b_ub=np.zeros(num_elements),
+            A_eq=equality_matrix,
+            b_eq=np.array([1.0]),
+            bounds=[(0.0, None)] * num_quorums + [(0.0, 1.0)],
+            method="highs",
+        )
+        assert result.success
+        assert exact_load(system).load == float(result.x[-1])
+
+    @pytest.mark.parametrize("p", [0.2, 0.8])
+    def test_exact_failure_probability_matches_reference(self, system, p):
+        if system.n > 16 or system.num_quorums() > 20:
+            pytest.skip("reference enumeration too slow for this instance")
+        engine_value = exact_failure_probability(system, p).value
+        assert engine_value == reference_exact_failure_probability(system, p)
+
+    def test_transversal_engines_agree(self, system):
+        quorums = system.quorums()
+        milp = minimal_transversal(quorums, engine="milp")
+        assert is_transversal(milp, quorums)
+        assert len(milp) == system.to_explicit().min_transversal_size()
+        if len(quorums) <= 100:
+            bnb = minimal_transversal(quorums, engine="branch-and-bound")
+            assert len(milp) == len(bnb)
+
+
+# ----------------------------------------------------------------------------
+# Random explicit systems.
+# ----------------------------------------------------------------------------
+
+@st.composite
+def random_explicit_systems(draw):
+    """Random quorum sets sharing a core element (so Definition 3.1 holds)."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    core = draw(st.integers(min_value=0, max_value=n - 1))
+    num_quorums = draw(st.integers(min_value=1, max_value=6))
+    quorums = []
+    for _ in range(num_quorums):
+        members = draw(
+            st.sets(st.integers(min_value=0, max_value=n - 1), min_size=1, max_size=n)
+        )
+        quorums.append(frozenset(members | {core}))
+    return ExplicitQuorumSystem(range(n), quorums, name="random")
+
+
+class TestRandomSystems:
+    @given(random_explicit_systems())
+    @settings(max_examples=30, deadline=None)
+    def test_engine_measures_agree(self, system):
+        assert system.min_intersection_size() == reference_min_intersection(system)
+        assert system.degrees() == reference_degrees(system)
+        engine = system.bitset_engine()
+        np.testing.assert_array_equal(
+            engine.incidence_matrix(), reference_incidence(system)
+        )
+
+    @given(random_explicit_systems(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_exact_failure_probability_agrees(self, system, p):
+        assert (
+            exact_failure_probability(system, p).value
+            == reference_exact_failure_probability(system, p)
+        )
