@@ -1,11 +1,21 @@
-"""Evaluation-level analysis: Table 2, the Section 8 comparison, and trade-offs."""
+"""Evaluation-level analysis: Table 2, the Section 8 comparison, trade-offs,
+and the empirical-vs-analytic closing of the loop (measured ``L_w`` and
+availability against the LP load and exact ``Fp``)."""
 
 from repro.analysis.comparison import SystemProfile, profile_system, section8_comparison
+from repro.analysis.empirical import (
+    EmpiricalAvailabilityComparison,
+    EmpiricalLoadComparison,
+    empirical_availability_comparison,
+    empirical_load_comparison,
+)
 from repro.analysis.tables import TABLE2_SYSTEMS, Table2Row, availability_trend, table2
 from repro.analysis.selector import Recommendation, candidate_constructions, recommend_construction
 from repro.analysis.tradeoffs import TradeoffPoint, tradeoff_point, verify_tradeoff
 
 __all__ = [
+    "EmpiricalAvailabilityComparison",
+    "EmpiricalLoadComparison",
     "Recommendation",
     "TABLE2_SYSTEMS",
     "SystemProfile",
@@ -13,6 +23,8 @@ __all__ = [
     "TradeoffPoint",
     "availability_trend",
     "candidate_constructions",
+    "empirical_availability_comparison",
+    "empirical_load_comparison",
     "profile_system",
     "recommend_construction",
     "section8_comparison",

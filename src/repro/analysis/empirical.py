@@ -1,0 +1,188 @@
+"""Empirical-vs-analytic comparison of the paper's measures.
+
+The analytic side of the reproduction computes ``L(Q)`` by linear program
+(Definition 3.8, :func:`repro.core.load.exact_load`) and ``Fp(Q)`` by exact
+enumeration (Definition 3.10,
+:func:`repro.core.availability.exact_failure_probability`).  This module
+closes the loop with the *empirical* side: it runs the vectorised scenario
+engine and checks that
+
+* the measured busiest-server access frequency matches the induced load
+  ``L_w(Q)`` of the strategy the clients used — and, when the clients use
+  the LP's optimal strategy, matches ``L(Q)`` itself; and
+* the measured operation availability under independent crashes matches
+  ``1 - Fp(Q)``.
+
+Both comparisons return structured results with the analytic value, the
+expected value of the estimator, the measurement and the gaps, so tests and
+benchmarks can assert tolerances and tables can print them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.availability import exact_failure_probability
+from repro.core.load import exact_load
+from repro.core.quorum_system import QuorumSystem
+from repro.core.strategy import Strategy
+from repro.exceptions import ComputationError
+from repro.simulation.engine import resolve_strategy, run_scenario
+from repro.simulation.faults import FaultInjector
+from repro.simulation.scenarios import WorkloadScenario
+
+__all__ = [
+    "EmpiricalAvailabilityComparison",
+    "EmpiricalLoadComparison",
+    "empirical_availability_comparison",
+    "empirical_load_comparison",
+]
+
+
+@dataclass(frozen=True)
+class EmpiricalLoadComparison:
+    """Measured ``L_w`` against the strategy's induced load and the LP's ``L(Q)``.
+
+    Attributes
+    ----------
+    analytic_load:
+        ``L(Q)`` from the exact linear program — the best any strategy can do.
+    strategy_load:
+        ``L_w(Q)``, the induced load of the strategy the workload actually
+        used (equals ``analytic_load`` when that strategy is the LP optimum).
+    empirical_load:
+        The busiest server's measured access frequency over successful
+        operations.
+    operations:
+        Number of operations in the measurement.
+    """
+
+    analytic_load: float
+    strategy_load: float
+    empirical_load: float
+    operations: int
+
+    @property
+    def sampling_gap(self) -> float:
+        """|measured − expected|: pure sampling noise of the estimator."""
+        return abs(self.empirical_load - self.strategy_load)
+
+    @property
+    def optimality_gap(self) -> float:
+        """``L_w(Q) − L(Q)`` ≥ 0: the price of the strategy used."""
+        return self.strategy_load - self.analytic_load
+
+
+@dataclass(frozen=True)
+class EmpiricalAvailabilityComparison:
+    """Measured availability against the exact crash probability ``Fp``.
+
+    Attributes
+    ----------
+    analytic_failure_probability:
+        ``Fp(Q)`` from exact enumeration.
+    empirical_failure_rate:
+        Fraction of operations that failed across all sampled crash
+        configurations.
+    trials:
+        Number of independently-drawn crash configurations.
+    operations_per_trial:
+        Operations run under each configuration.
+    """
+
+    analytic_failure_probability: float
+    empirical_failure_rate: float
+    trials: int
+    operations_per_trial: int
+
+    @property
+    def gap(self) -> float:
+        """|measured − exact| failure probability."""
+        return abs(self.empirical_failure_rate - self.analytic_failure_probability)
+
+
+def empirical_load_comparison(
+    system: QuorumSystem,
+    *,
+    b: int,
+    num_operations: int = 2000,
+    rng: np.random.Generator | None = None,
+    strategy: Strategy | str | None = "optimal",
+) -> EmpiricalLoadComparison:
+    """Measure ``L_w`` on a fault-free workload and compare it with the LP.
+
+    With the default ``strategy="optimal"`` the clients are driven by the LP's
+    optimal strategy, so the measured busiest-server frequency estimates
+    ``L(Q)`` itself; with ``"uniform"`` it estimates the uniform strategy's
+    induced load, and ``optimality_gap`` quantifies what ignoring ``L(Q)``
+    costs.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    resolved = resolve_strategy(system, strategy)
+    analytic = exact_load(system).load
+    expected = resolved.induced_system_load(system.universe)
+    result = run_scenario(
+        system,
+        b=b,
+        num_operations=num_operations,
+        strategy=resolved,
+        rng=rng,
+    )
+    return EmpiricalLoadComparison(
+        analytic_load=float(analytic),
+        strategy_load=float(expected),
+        empirical_load=float(result.empirical_load),
+        operations=num_operations,
+    )
+
+
+def empirical_availability_comparison(
+    system: QuorumSystem,
+    p: float,
+    *,
+    b: int,
+    trials: int = 200,
+    operations_per_trial: int = 20,
+    rng: np.random.Generator | None = None,
+    strategy: Strategy | str | None = None,
+) -> EmpiricalAvailabilityComparison:
+    """Measure availability under iid crashes and compare it with exact ``Fp``.
+
+    Each trial draws one crash configuration from the independent-crash model
+    of Definition 3.10 and runs a short workload under it; the aggregated
+    failure rate estimates ``Fp(Q)`` because the engine's steering retry makes
+    an operation fail exactly when every supported quorum is hit — the event
+    ``crash(Q)`` whose probability ``Fp`` is.
+
+    Note the estimator matches ``Fp`` only when the strategy supports every
+    quorum (the default); a strategy with restricted support can only reach
+    its own quorums, so its failure rate dominates ``Fp``.
+    """
+    if trials <= 0:
+        raise ComputationError(f"trials must be positive, got {trials}")
+    rng = rng if rng is not None else np.random.default_rng()
+    resolved = resolve_strategy(system, strategy)
+    analytic = exact_failure_probability(system, p).value
+    injector = FaultInjector(system.universe, rng)
+    failed = 0
+    total = 0
+    for _ in range(trials):
+        configuration = injector.independent_crashes(p)
+        result = run_scenario(
+            system,
+            b=b,
+            num_operations=operations_per_trial,
+            scenario=WorkloadScenario.from_fault_scenario(configuration, name="iid-crash"),
+            strategy=resolved,
+            rng=rng,
+        )
+        failed += result.failed_operations
+        total += result.operations
+    return EmpiricalAvailabilityComparison(
+        analytic_failure_probability=float(analytic),
+        empirical_failure_rate=failed / total,
+        trials=trials,
+        operations_per_trial=operations_per_trial,
+    )

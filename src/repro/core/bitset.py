@@ -37,6 +37,7 @@ __all__ = [
     "mask_of",
     "mask_to_frozenset",
     "masks_of",
+    "pack_mask",
     "pack_masks",
 ]
 
@@ -87,6 +88,11 @@ def pack_masks(masks: Sequence[int], n: int) -> np.ndarray:
             mask >>= _WORD_BITS
             word_index += 1
     return packed
+
+
+def pack_mask(mask: int, n: int) -> np.ndarray:
+    """Pack a single bitmask into a ``(ceil(n/64),)`` array of ``uint64`` words."""
+    return pack_masks((mask,), n)[0]
 
 
 def incidence_from_masks(masks: Sequence[int], n: int) -> np.ndarray:
@@ -264,6 +270,34 @@ class BitsetEngine:
             view[:, 1, :] |= view[:, 0, :]
         return table
 
+    def _incidence_int_matrix(self) -> np.ndarray:
+        """The ``(n, m)`` int64 transpose of the incidence matrix (built once)."""
+        if self._incidence_int is None:
+            incidence_int = self.incidence_matrix().T.astype(np.int64)
+            incidence_int.setflags(write=False)
+            self._incidence_int = incidence_int
+        return self._incidence_int
+
+    def quorums_alive(self, crashed: np.ndarray) -> np.ndarray:
+        """Per-quorum survival over a batch of crash configurations.
+
+        Parameters
+        ----------
+        crashed:
+            Boolean array of shape ``(batch, n)``; entry ``(t, i)`` says the
+            server at universe position ``i`` crashed in configuration ``t``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Boolean array of shape ``(batch, num_quorums)``: entry ``(t, q)``
+            is ``True`` when quorum ``q`` contains no crashed member of
+            configuration ``t``.  This is the per-phase quorum-responsiveness
+            matrix the workload scenario engine runs on.
+        """
+        hit_counts = np.atleast_2d(crashed).astype(np.int64) @ self._incidence_int_matrix()
+        return hit_counts == 0
+
     def alive_quorum_exists(self, crashed: np.ndarray) -> np.ndarray:
         """Vectorised survival check over a batch of crash configurations.
 
@@ -279,12 +313,38 @@ class BitsetEngine:
             Boolean vector of length ``batch``: some quorum has no crashed
             member.
         """
-        if self._incidence_int is None:
-            incidence_int = self.incidence_matrix().T.astype(np.int64)
-            incidence_int.setflags(write=False)
-            self._incidence_int = incidence_int
-        hit_counts = crashed.astype(np.int64) @ self._incidence_int
+        hit_counts = crashed.astype(np.int64) @ self._incidence_int_matrix()
         return (hit_counts == 0).any(axis=1)
+
+    def intersection_counts(
+        self,
+        rows_a: np.ndarray,
+        rows_b: np.ndarray,
+        restrict_words: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Pairwise ``|Q_a ∩ Q_b (∩ R)|`` for aligned batches of quorum indices.
+
+        Parameters
+        ----------
+        rows_a, rows_b:
+            Integer index arrays of equal shape, selecting quorums by
+            enumeration order.
+        restrict_words:
+            Optional packed ``uint64`` filter (one row of :func:`pack_masks`
+            per entry, broadcastable against the selected rows) intersected
+            into every pair — e.g. the correct-server set when counting how
+            many honest replicas vouch for a value.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``int64`` popcounts, one per index pair.
+        """
+        packed = self.packed()
+        words = packed[rows_a] & packed[rows_b]
+        if restrict_words is not None:
+            words = words & restrict_words
+        return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
 
     def __repr__(self) -> str:
         return f"BitsetEngine(n={self.n}, quorums={self.num_quorums})"

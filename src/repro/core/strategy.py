@@ -16,6 +16,7 @@ from collections.abc import Hashable, Iterable, Mapping
 
 import numpy as np
 
+from repro.core import bitset as bitset_mod
 from repro.core.quorum_system import QuorumSystem
 from repro.core.universe import Universe
 from repro.exceptions import StrategyError
@@ -66,9 +67,25 @@ class Strategy:
         total = sum(cleaned.values())
         if normalise:
             cleaned = {quorum: weight / total for quorum, weight in cleaned.items()}
-        elif abs(total - 1.0) > 1e-6:
+        elif abs(total - 1.0) > _PROBABILITY_TOLERANCE:
             raise StrategyError(f"strategy probabilities sum to {total}, expected 1")
         self._weights = cleaned
+        # Sampling arrays, built once: the support as a tuple, the probability
+        # vector over it, and its cumulative sums.  ``sample`` and
+        # ``sample_many`` draw uniforms and invert the cumulative distribution,
+        # so one scalar draw and one vectorised draw read the same stream.
+        self._support_tuple: tuple[frozenset, ...] = tuple(cleaned)
+        probabilities = np.fromiter(cleaned.values(), dtype=float, count=len(cleaned))
+        probabilities /= probabilities.sum()
+        probabilities.setflags(write=False)
+        self._probabilities = probabilities
+        cumulative = np.cumsum(probabilities)
+        cumulative.setflags(write=False)
+        self._cumulative = cumulative
+        #: Per-universe caches of the mask-native views of the support
+        #: (bitmask tuples and :class:`~repro.core.bitset.BitsetEngine`).
+        self._mask_cache: dict[Universe, tuple[int, ...]] = {}
+        self._engine_cache: dict[Universe, bitset_mod.BitsetEngine] = {}
 
     # ------------------------------------------------------------------
     # Constructors.
@@ -91,18 +108,34 @@ class Strategy:
     def from_vector(
         cls, system: QuorumSystem, vector: np.ndarray, *, normalise: bool = True
     ) -> "Strategy":
-        """Build a strategy from a weight vector aligned with ``system.quorums()``."""
+        """Build a strategy from a weight vector aligned with ``system.quorums()``.
+
+        When ``normalise`` is set the vector is rescaled by its *full* total
+        before non-positive entries are dropped, and the surviving weights are
+        then required to sum to one.  Truncating exact zeros therefore changes
+        nothing, while a vector carrying meaningful negative mass is rejected
+        (previously the negatives were silently dropped and their mass
+        redistributed over the remaining quorums).
+        """
         quorum_list = system.quorums()
-        if len(vector) != len(quorum_list):
+        vector = np.asarray(vector, dtype=float)
+        if vector.ndim != 1 or len(vector) != len(quorum_list):
             raise StrategyError(
                 f"weight vector has length {len(vector)}, expected {len(quorum_list)}"
             )
+        if normalise:
+            total = float(vector.sum())
+            if total <= 0.0:
+                raise StrategyError(
+                    f"weight vector sums to {total}; cannot normalise a non-positive total"
+                )
+            vector = vector / total
         weights = {
             quorum: float(weight)
             for quorum, weight in zip(quorum_list, vector)
             if weight > 0.0
         }
-        return cls(weights, normalise=normalise)
+        return cls(weights, normalise=False)
 
     # ------------------------------------------------------------------
     # Queries.
@@ -110,7 +143,7 @@ class Strategy:
     @property
     def support(self) -> tuple[frozenset, ...]:
         """The quorums that receive positive probability."""
-        return tuple(self._weights)
+        return self._support_tuple
 
     def probability(self, quorum: Iterable[Hashable]) -> float:
         """Return the probability assigned to ``quorum`` (0 if unsupported)."""
@@ -140,25 +173,93 @@ class Strategy:
     # Induced load (Definition 3.8).
     # ------------------------------------------------------------------
     def induced_loads(self, universe: Universe) -> dict[Hashable, float]:
-        """Return ``l_w(u)`` for every element ``u`` of ``universe``."""
+        """Return ``l_w(u)`` for every element ``u`` of ``universe``.
+
+        Raises
+        ------
+        StrategyError
+            If some supported quorum contains an element outside ``universe``
+            — a strategy/universe mismatch that would otherwise silently
+            under-report the induced load.
+        """
         loads = {element: 0.0 for element in universe}
         for quorum, weight in self._weights.items():
             for element in quorum:
-                if element in loads:
-                    loads[element] += weight
+                if element not in loads:
+                    raise StrategyError(
+                        f"strategy supports a quorum containing {element!r}, "
+                        f"which is not part of the given universe"
+                    )
+                loads[element] += weight
         return loads
 
     def induced_system_load(self, universe: Universe) -> float:
         """Return ``L_w(Q) = max_u l_w(u)``, the load induced by this strategy."""
         return max(self.induced_loads(universe).values())
 
+    # ------------------------------------------------------------------
+    # Sampling (cached inverse-CDF arrays, shared by all sampling paths).
+    # ------------------------------------------------------------------
+    @property
+    def probabilities(self) -> np.ndarray:
+        """The probability vector over :attr:`support` (read-only, sums to 1)."""
+        return self._probabilities
+
+    def sample_index(self, rng: np.random.Generator) -> int:
+        """Draw one support index according to the strategy (one uniform draw)."""
+        draw = rng.random()
+        index = np.searchsorted(
+            self._cumulative, draw * self._cumulative[-1], side="right"
+        )
+        return min(int(index), len(self._support_tuple) - 1)
+
     def sample(self, rng: np.random.Generator) -> frozenset:
         """Draw one quorum according to the strategy."""
-        quorums = list(self._weights)
-        probabilities = np.fromiter(self._weights.values(), dtype=float)
-        probabilities = probabilities / probabilities.sum()
-        index = int(rng.choice(len(quorums), p=probabilities))
-        return quorums[index]
+        return self._support_tuple[self.sample_index(rng)]
+
+    def sample_many(self, rng: np.random.Generator, size) -> np.ndarray:
+        """Draw a batch of support indices according to the strategy.
+
+        Parameters
+        ----------
+        rng:
+            Randomness source; consumes ``np.prod(size)`` uniform draws, the
+            same stream a loop of :meth:`sample_index` calls would consume.
+        size:
+            Output shape (an int or a shape tuple).
+
+        Returns
+        -------
+        numpy.ndarray
+            Integer indices into :attr:`support`, of the requested shape.
+            Combine with :meth:`support_engine` to resolve them into bitmasks
+            or incidence rows without building any frozensets.
+        """
+        draws = rng.random(size)
+        indices = np.searchsorted(
+            self._cumulative, draws * self._cumulative[-1], side="right"
+        ).astype(np.int64)
+        return np.minimum(indices, len(self._support_tuple) - 1)
+
+    def support_masks(self, universe: Universe) -> tuple[int, ...]:
+        """The support quorums as ``int`` bitmasks over ``universe`` (cached)."""
+        cached = self._mask_cache.get(universe)
+        if cached is None:
+            cached = bitset_mod.masks_of(self._support_tuple, universe)
+            self._mask_cache[universe] = cached
+        return cached
+
+    def support_engine(self, universe: Universe) -> bitset_mod.BitsetEngine:
+        """A :class:`~repro.core.bitset.BitsetEngine` over the support (cached).
+
+        Rows are support quorums in :attr:`support` order, so indices from
+        :meth:`sample_many` index directly into its packed and incidence views.
+        """
+        cached = self._engine_cache.get(universe)
+        if cached is None:
+            cached = bitset_mod.BitsetEngine(universe, self.support_masks(universe))
+            self._engine_cache[universe] = cached
+        return cached
 
     def __len__(self) -> int:
         return len(self._weights)

@@ -4,18 +4,43 @@ This subpackage implements the protocol the paper's quorum systems exist to
 serve: the masking-quorum read/write register of [MR98a], with Byzantine and
 crash fault injection, a synchronous network, and a workload runner that
 measures empirical load and availability.
+
+Two layers are provided:
+
+* the **message-level** simulator (:class:`ReplicatedRegister`,
+  :class:`QuorumClient`, :class:`SynchronousNetwork`, the replica servers) —
+  one request object per delivery, used by the protocol-step tests and
+  examples; and
+* the **vectorised scenario engine** (:mod:`repro.simulation.engine`,
+  :mod:`repro.simulation.scenarios`) — batched array execution of whole
+  workloads over the bitmask incidence machinery, behind
+  :func:`run_workload`.  See ``docs/simulation.md``.
 """
 
 from repro.simulation.client import OperationResult, QuorumClient
+from repro.simulation.engine import WorkloadResult, resolve_strategy, run_scenario
 from repro.simulation.faults import FaultInjector, FaultScenario
 from repro.simulation.messages import Timestamp, ValueTimestampPair
 from repro.simulation.network import SynchronousNetwork
 from repro.simulation.register import ReplicatedRegister
-from repro.simulation.runner import WorkloadResult, run_workload
+from repro.simulation.runner import run_workload
+from repro.simulation.scenarios import (
+    BYZANTINE_MODELS,
+    WorkloadScenario,
+    byzantine_scenario,
+    churn_scenario,
+    correlated_failure_scenario,
+    crash_scenario,
+    fault_free_scenario,
+    partition_scenario,
+    random_crash_scenario,
+    scenario_suite,
+)
 from repro.simulation.server import BYZANTINE_BEHAVIOURS, ByzantineReplicaServer, ReplicaServer
 
 __all__ = [
     "BYZANTINE_BEHAVIOURS",
+    "BYZANTINE_MODELS",
     "ByzantineReplicaServer",
     "FaultInjector",
     "FaultScenario",
@@ -27,5 +52,16 @@ __all__ = [
     "Timestamp",
     "ValueTimestampPair",
     "WorkloadResult",
+    "WorkloadScenario",
+    "byzantine_scenario",
+    "churn_scenario",
+    "correlated_failure_scenario",
+    "crash_scenario",
+    "fault_free_scenario",
+    "partition_scenario",
+    "random_crash_scenario",
+    "resolve_strategy",
+    "run_scenario",
     "run_workload",
+    "scenario_suite",
 ]

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.quorum_system import QuorumSystem
+from repro.core.strategy import Strategy
 from repro.exceptions import SimulationError
 from repro.simulation.messages import (
     ReadRequest,
@@ -89,6 +90,12 @@ class QuorumClient:
         (unavailability).
     rng:
         Randomness source for quorum sampling.
+    strategy:
+        Optional access strategy (Definition 3.8) to sample quorums from —
+        e.g. the load-optimal strategy of :func:`~repro.core.load.exact_load`,
+        so clients access the system at its actual ``L(Q)`` instead of the
+        construction's default sampling.  When omitted, quorums come from
+        ``system.sample_quorum`` as before.
     """
 
     def __init__(
@@ -100,6 +107,7 @@ class QuorumClient:
         b: int,
         max_attempts: int = 10,
         rng: np.random.Generator | None = None,
+        strategy: Strategy | None = None,
     ):
         if b < 0:
             raise SimulationError(f"masking parameter must be >= 0, got {b}")
@@ -111,6 +119,7 @@ class QuorumClient:
         self.b = b
         self.max_attempts = max_attempts
         self.rng = rng if rng is not None else np.random.default_rng()
+        self.strategy = strategy
         #: The largest timestamp this client has observed or produced.
         self.last_timestamp = Timestamp.zero()
         #: Servers observed to be unresponsive; used as a simple failure
@@ -138,9 +147,27 @@ class QuorumClient:
 
     def _choose_quorum(self) -> frozenset:
         """Sample a quorum, preferring one that avoids all suspected servers."""
+        if self.strategy is not None:
+            return self._choose_from_strategy()
         if not self.suspected:
             return self.system.sample_quorum(self.rng)
         return self.system.sample_quorum_avoiding(self.rng, frozenset(self.suspected))
+
+    def _choose_from_strategy(self, *, attempts: int = 50) -> frozenset:
+        """Sample the access strategy, steering away from suspected servers.
+
+        Mirrors ``QuorumSystem.sample_quorum_avoiding``: resample the strategy
+        until a quorum avoids every suspected server, falling back to the last
+        sample when avoidance keeps failing.
+        """
+        quorum = self.strategy.sample(self.rng)
+        if not self.suspected:
+            return quorum
+        for _ in range(attempts):
+            if not quorum & self.suspected:
+                return quorum
+            quorum = self.strategy.sample(self.rng)
+        return quorum
 
     def _probe(self, request_factory) -> tuple[frozenset, dict] | None:
         """Try up to ``max_attempts`` quorums; return the first fully responsive one."""

@@ -14,6 +14,7 @@ from collections.abc import Hashable
 import numpy as np
 
 from repro.core.quorum_system import QuorumSystem
+from repro.core.strategy import Strategy
 from repro.exceptions import SimulationError
 from repro.simulation.client import QuorumClient
 from repro.simulation.faults import FaultScenario
@@ -46,6 +47,10 @@ class ReplicatedRegister:
         Randomness source shared by Byzantine replicas and clients.
     allow_overload:
         Permit ``|byzantine| > b`` (for negative tests).
+    strategy:
+        Default access strategy handed to every client (e.g. the
+        load-optimal strategy from :func:`~repro.core.load.exact_load`);
+        individual clients can still override it.
     """
 
     def __init__(
@@ -58,6 +63,7 @@ class ReplicatedRegister:
         initial_value: object = None,
         rng: np.random.Generator | None = None,
         allow_overload: bool = False,
+        strategy: Strategy | None = None,
     ):
         scenario = scenario if scenario is not None else FaultScenario.fault_free()
         if b < 0:
@@ -78,6 +84,7 @@ class ReplicatedRegister:
         self.b = b
         self.scenario = scenario
         self.rng = rng if rng is not None else np.random.default_rng()
+        self.strategy = strategy
 
         servers: dict[Hashable, ReplicaServer] = {}
         for server_id in system.universe:
@@ -94,8 +101,15 @@ class ReplicatedRegister:
         self.network = SynchronousNetwork(servers, scenario)
         self._next_client_id = 0
 
-    def client(self, *, max_attempts: int = 10) -> QuorumClient:
-        """Create a new client of this register."""
+    def client(
+        self, *, max_attempts: int = 10, strategy: Strategy | None = None
+    ) -> QuorumClient:
+        """Create a new client of this register.
+
+        The client samples quorums from ``strategy`` when given, falling back
+        to the register's default strategy and finally to the system's own
+        ``sample_quorum``.
+        """
         client = QuorumClient(
             client_id=self._next_client_id,
             system=self.system,
@@ -103,6 +117,7 @@ class ReplicatedRegister:
             b=self.b,
             max_attempts=max_attempts,
             rng=self.rng,
+            strategy=strategy if strategy is not None else self.strategy,
         )
         self._next_client_id += 1
         return client

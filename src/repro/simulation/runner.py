@@ -1,80 +1,56 @@
 """Workload runner: end-to-end experiments over the replicated register.
 
-The runner drives alternating writes and reads from a population of clients
-against a :class:`~repro.simulation.register.ReplicatedRegister`, checks the
-register's safety property (every successful read returns the last
-successfully written value — the regular-register semantics the masking
-protocol provides under non-concurrent access), and gathers the statistics
-the paper's measures talk about: per-server access frequency (empirical
-load) and operation availability under crash faults.
+This module is the stable entry point for workload experiments; since the
+vectorised scenario engine landed, :func:`run_workload` is a thin
+compatibility wrapper over :func:`repro.simulation.engine.run_scenario`.  The
+engine executes batches of operations as array computations over the bitmask
+incidence machinery (see :mod:`repro.simulation.engine` for the execution
+semantics and ``docs/simulation.md`` for the measurement model); the
+message-level protocol objects (:class:`~repro.simulation.client.QuorumClient`,
+:class:`~repro.simulation.register.ReplicatedRegister`) remain available for
+protocol-step tests and examples.
+
+Accounting note (the Definition 3.8 fix): ``empirical_load`` and
+``per_server_load`` count quorum accesses of *successful* operations only and
+normalise by the successful-operation count, so they are genuine access
+frequencies — the empirical counterpart of the induced load ``l_w(u)``.
+Probes made by failed operations are reported separately in
+``per_server_attempted`` (the quantity the pre-fix runner conflated with the
+load, which could exceed 1 under heavy faults).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
 from repro.core.quorum_system import QuorumSystem
+from repro.core.strategy import Strategy
 from repro.exceptions import SimulationError
+from repro.simulation.engine import WorkloadResult, run_scenario
 from repro.simulation.faults import FaultScenario
-from repro.simulation.register import ReplicatedRegister
+from repro.simulation.scenarios import BYZANTINE_MODELS, WorkloadScenario
+from repro.simulation.server import BYZANTINE_BEHAVIOURS
 
 __all__ = ["WorkloadResult", "run_workload"]
 
 
-@dataclass
-class WorkloadResult:
-    """Aggregate statistics of one workload run.
+def _byzantine_model_for(behaviour: str) -> str:
+    """Map a replica-level Byzantine behaviour onto the engine's vouch model.
 
-    Attributes
-    ----------
-    operations:
-        Total number of operations attempted (reads + writes).
-    successful_reads / successful_writes:
-        Operations that found a responsive quorum and completed.
-    failed_operations:
-        Operations that ran out of quorum attempts (unavailability).
-    consistency_violations:
-        Successful reads that returned something other than the latest
-        successfully written value.  Must be zero whenever the number of
-        Byzantine servers is at most ``b``.
-    stale_reads:
-        Reads that returned an older written value (possible only under
-        failures mid-write; counted separately from violations).
-    empirical_load:
-        The busiest server's access frequency: the fraction of successful
-        operations whose quorum contained that server.  This is the
-        empirical counterpart of ``L_w(Q)`` (Definition 3.8) for the access
-        strategy the clients actually used.
-    per_server_load:
-        Access frequency of every server (same normalisation).
-    per_server_messages:
-        Raw message deliveries per server (includes retries and the
-        two-phase writes, so it exceeds the quorum-access frequency).
+    All the message-level lies of
+    :class:`~repro.simulation.server.ByzantineReplicaServer` put the whole
+    Byzantine set behind a single forged candidate, so they map to the
+    ``"fabricate"`` camp model; ``"equivocate"`` (a scenario-engine model with
+    two conflicting camps) is also accepted directly.
     """
-
-    operations: int
-    successful_reads: int
-    successful_writes: int
-    failed_operations: int
-    consistency_violations: int
-    stale_reads: int
-    empirical_load: float
-    per_server_load: dict = field(default_factory=dict)
-    per_server_messages: dict = field(default_factory=dict)
-
-    @property
-    def availability(self) -> float:
-        """Fraction of operations that completed successfully."""
-        if self.operations == 0:
-            return 0.0
-        return (self.successful_reads + self.successful_writes) / self.operations
-
-    @property
-    def is_consistent(self) -> bool:
-        """Whether no read ever returned a fabricated or unwritten value."""
-        return self.consistency_violations == 0
+    if behaviour in BYZANTINE_MODELS:
+        return behaviour
+    if behaviour not in BYZANTINE_BEHAVIOURS:
+        raise SimulationError(
+            f"unknown Byzantine behaviour {behaviour!r}; choose one of "
+            f"{sorted(BYZANTINE_BEHAVIOURS | BYZANTINE_MODELS)}"
+        )
+    return "fabricate"
 
 
 def run_workload(
@@ -83,11 +59,14 @@ def run_workload(
     b: int,
     num_operations: int = 200,
     num_clients: int = 4,
-    scenario: FaultScenario | None = None,
+    scenario: FaultScenario | WorkloadScenario | None = None,
     byzantine_behaviour: str = "fabricate-timestamp",
     rng: np.random.Generator | None = None,
     write_fraction: float = 0.5,
     allow_overload: bool = False,
+    strategy: Strategy | str | None = None,
+    max_attempts: int = 10,
+    engine: str = "vectorised",
 ) -> WorkloadResult:
     """Run a read/write workload and collect consistency and load statistics.
 
@@ -100,91 +79,46 @@ def run_workload(
     num_operations:
         Total operations across all clients.
     num_clients:
-        Number of clients issuing operations round-robin.
+        Accepted and ignored for API compatibility (the legacy runner's
+        ``max(1, num_clients)`` tolerance included); the engine's accounting
+        is client-count independent.
     scenario:
-        Fault scenario (fault-free by default).
+        Fault scenario — static or phased (fault-free by default).
     byzantine_behaviour:
-        Lie told by Byzantine replicas.
+        Lie told by Byzantine replicas; mapped onto the engine's vouching
+        model (see :func:`_byzantine_model_for`).  When a phased
+        :class:`~repro.simulation.scenarios.WorkloadScenario` is passed, its
+        own ``byzantine_model`` wins and this argument is ignored.
     write_fraction:
         Probability that an operation is a write.
     allow_overload:
-        Forwarded to :class:`ReplicatedRegister` (negative tests only).
+        Permit more Byzantine servers than ``b`` (negative tests only).
+    strategy:
+        Access strategy: ``None``/``"uniform"`` for the legacy uniform
+        behaviour, ``"optimal"`` for the load-optimal LP strategy of
+        :func:`~repro.core.load.exact_load`, or an explicit
+        :class:`~repro.core.strategy.Strategy`.
+    max_attempts:
+        Probe budget charged to unavailable operations.
+    engine:
+        ``"vectorised"`` (default) or ``"sequential"`` — the per-operation
+        reference path with identical semantics and, for a given rng state,
+        bit-for-bit identical results.
     """
-    if num_operations <= 0:
-        raise SimulationError(f"num_operations must be positive, got {num_operations}")
-    if not 0.0 <= write_fraction <= 1.0:
-        raise SimulationError(f"write_fraction must lie in [0, 1], got {write_fraction}")
-    rng = rng if rng is not None else np.random.default_rng()
-
-    register = ReplicatedRegister(
+    del num_clients  # legacy parameter; the engine's accounting is client-agnostic
+    byzantine_model: str | None = None
+    if not isinstance(scenario, WorkloadScenario):
+        byzantine_model = _byzantine_model_for(byzantine_behaviour)
+    return run_scenario(
         system,
         b=b,
+        num_operations=num_operations,
         scenario=scenario,
-        byzantine_behaviour=byzantine_behaviour,
+        strategy=strategy,
         rng=rng,
+        write_fraction=write_fraction,
+        max_attempts=max_attempts,
         allow_overload=allow_overload,
-    )
-    clients = [register.client() for _ in range(max(1, num_clients))]
-
-    written_values: list[object] = []
-    successful_reads = 0
-    successful_writes = 0
-    failed = 0
-    violations = 0
-    stale = 0
-    write_counter = 0
-    universe = system.universe
-    # Per-server access tally, indexed by universe position so the final
-    # per-server report can be assembled in one pass over the universe order.
-    quorum_access_counts = np.zeros(system.n, dtype=np.int64)
-
-    def record_access(quorum: frozenset | None) -> None:
-        if quorum is None:
-            return
-        quorum_access_counts[list(universe.indices_of(quorum))] += 1
-
-    for operation_index in range(num_operations):
-        client = clients[operation_index % len(clients)]
-        do_write = rng.random() < write_fraction or not written_values
-        if do_write:
-            value = ("payload", write_counter)
-            write_counter += 1
-            result = client.write(value)
-            record_access(result.quorum)
-            if result.success:
-                successful_writes += 1
-                written_values.append(value)
-            else:
-                failed += 1
-        else:
-            result = client.read()
-            record_access(result.quorum)
-            if not result.success:
-                failed += 1
-                continue
-            successful_reads += 1
-            if result.value == written_values[-1]:
-                continue
-            if result.value in written_values or (
-                result.value is None and not written_values
-            ):
-                stale += 1
-            else:
-                violations += 1
-
-    successful = max(1, successful_reads + successful_writes)
-    per_server_load = {
-        server_id: int(quorum_access_counts[position]) / successful
-        for position, server_id in enumerate(universe)
-    }
-    return WorkloadResult(
-        operations=num_operations,
-        successful_reads=successful_reads,
-        successful_writes=successful_writes,
-        failed_operations=failed,
-        consistency_violations=violations,
-        stale_reads=stale,
-        empirical_load=max(per_server_load.values()),
-        per_server_load=per_server_load,
-        per_server_messages=register.empirical_loads(num_operations),
+        byzantine_model=byzantine_model,
+        mode=engine,
     )

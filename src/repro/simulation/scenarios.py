@@ -1,0 +1,351 @@
+"""Parameterised workload scenarios for the vectorised simulation engine.
+
+A :class:`WorkloadScenario` is a *phased* fault schedule: a sequence of
+:class:`~repro.simulation.faults.FaultScenario` states, each active for a
+fraction of the workload, plus the lie the Byzantine servers tell
+(``"fabricate"`` — all colluders vouch for one forged pair — or
+``"equivocate"`` — they split into two camps vouching for conflicting pairs).
+A single static :class:`FaultScenario` is the one-phase special case.
+
+The factory functions below build the scenario classes the evaluation cares
+about:
+
+* :func:`crash_scenario` / :func:`random_crash_scenario` — static crashes,
+  chosen explicitly or by the independent-crash model of Definition 3.10;
+* :func:`byzantine_scenario` — up to ``b`` (or more, for negative tests)
+  lying servers;
+* :func:`correlated_failure_scenario` — whole failure domains (racks) crash
+  together;
+* :func:`partition_scenario` — the client side of a network partition only
+  reaches one block of servers, the rest look crashed;
+* :func:`churn_scenario` — time-varying crashes: a different crash set per
+  phase;
+* :func:`scenario_suite` — one representative instance of each, used by the
+  example and the scenario benchmarks.
+
+See ``docs/simulation.md`` for how the engine executes these schedules.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.universe import Universe
+from repro.exceptions import SimulationError
+from repro.simulation.faults import FaultInjector, FaultScenario
+
+__all__ = [
+    "BYZANTINE_MODELS",
+    "WorkloadScenario",
+    "byzantine_scenario",
+    "churn_scenario",
+    "correlated_failure_scenario",
+    "crash_scenario",
+    "fault_free_scenario",
+    "partition_scenario",
+    "random_crash_scenario",
+    "scenario_suite",
+]
+
+#: Byzantine vouching models understood by the scenario engine.
+BYZANTINE_MODELS = frozenset({"fabricate", "equivocate"})
+
+
+@dataclass(frozen=True)
+class WorkloadScenario:
+    """A phased fault schedule plus the Byzantine vouching model.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label used in tables and reports.
+    phases:
+        The fault state active during each phase, in order.
+    phase_fractions:
+        Fraction of the workload's operations spent in each phase; must be
+        positive and sum to 1.
+    byzantine_model:
+        ``"fabricate"`` (all Byzantine servers vouch for one forged pair) or
+        ``"equivocate"`` (they split into two camps with conflicting forged
+        pairs).  Irrelevant when no phase has Byzantine servers.
+    """
+
+    name: str
+    phases: tuple[FaultScenario, ...]
+    phase_fractions: tuple[float, ...] = ()
+    byzantine_model: str = "fabricate"
+
+    def __post_init__(self):
+        if not self.phases:
+            raise SimulationError("a workload scenario needs at least one phase")
+        fractions = self.phase_fractions
+        if not fractions:
+            fractions = tuple(1.0 / len(self.phases) for _ in self.phases)
+            object.__setattr__(self, "phase_fractions", fractions)
+        if len(fractions) != len(self.phases):
+            raise SimulationError(
+                f"{len(self.phases)} phases but {len(fractions)} phase fractions"
+            )
+        if any(fraction <= 0.0 for fraction in fractions):
+            raise SimulationError("phase fractions must be positive")
+        if abs(sum(fractions) - 1.0) > 1e-9:
+            raise SimulationError(f"phase fractions sum to {sum(fractions)}, expected 1")
+        if self.byzantine_model not in BYZANTINE_MODELS:
+            raise SimulationError(
+                f"unknown Byzantine model {self.byzantine_model!r}; "
+                f"choose one of {sorted(BYZANTINE_MODELS)}"
+            )
+
+    @classmethod
+    def from_fault_scenario(
+        cls,
+        scenario: FaultScenario,
+        *,
+        name: str = "static",
+        byzantine_model: str = "fabricate",
+    ) -> "WorkloadScenario":
+        """Wrap a static :class:`FaultScenario` as a one-phase schedule."""
+        return cls(
+            name=name,
+            phases=(scenario,),
+            phase_fractions=(1.0,),
+            byzantine_model=byzantine_model,
+        )
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.phases)
+
+    @property
+    def max_byzantine(self) -> int:
+        """The largest Byzantine count over all phases (checked against ``b``)."""
+        return max(phase.num_byzantine for phase in self.phases)
+
+    def validate_against(self, universe: Universe) -> None:
+        """Check that every phase only mentions servers of ``universe``."""
+        universe_set = universe.as_frozenset()
+        for index, phase in enumerate(self.phases):
+            unknown = (phase.byzantine | phase.crashed) - universe_set
+            if unknown:
+                raise SimulationError(
+                    f"phase {index} of scenario {self.name!r} mentions servers "
+                    f"outside the universe: {sorted(unknown, key=repr)[:4]}"
+                )
+
+    def phase_of_operations(self, num_operations: int) -> np.ndarray:
+        """Map operation indices ``0..num_operations-1`` to phase indices.
+
+        Phase boundaries are the cumulative phase fractions rounded down to
+        operation counts; every phase is guaranteed at least the operations
+        its fraction rounds to, and the final phase absorbs the remainder.
+        """
+        if num_operations <= 0:
+            raise SimulationError(
+                f"num_operations must be positive, got {num_operations}"
+            )
+        boundaries = np.floor(
+            np.cumsum(self.phase_fractions) * num_operations
+        ).astype(np.int64)
+        boundaries[-1] = num_operations
+        return np.searchsorted(boundaries, np.arange(num_operations), side="right")
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkloadScenario(name={self.name!r}, phases={self.num_phases}, "
+            f"byzantine_model={self.byzantine_model!r})"
+        )
+
+
+def fault_free_scenario() -> WorkloadScenario:
+    """The scenario with no faults at all."""
+    return WorkloadScenario.from_fault_scenario(
+        FaultScenario.fault_free(), name="fault-free"
+    )
+
+
+def crash_scenario(
+    universe: Universe, crashed: Iterable[Hashable], *, name: str = "crash"
+) -> WorkloadScenario:
+    """A static scenario in which the given servers are crashed throughout."""
+    crashed_set = universe.subset(crashed)
+    return WorkloadScenario.from_fault_scenario(
+        FaultScenario(crashed=crashed_set), name=name
+    )
+
+
+def random_crash_scenario(
+    universe: Universe,
+    p: float,
+    rng: np.random.Generator,
+    *,
+    byzantine: Iterable[Hashable] = (),
+    name: str = "iid-crash",
+) -> WorkloadScenario:
+    """Each server crashed independently with probability ``p`` (Definition 3.10)."""
+    injector = FaultInjector(universe, rng)
+    return WorkloadScenario.from_fault_scenario(
+        injector.independent_crashes(p, byzantine=byzantine), name=name
+    )
+
+
+def byzantine_scenario(
+    universe: Universe,
+    byzantine: Iterable[Hashable],
+    *,
+    model: str = "fabricate",
+    crashed: Iterable[Hashable] = (),
+    name: str | None = None,
+) -> WorkloadScenario:
+    """A static scenario with lying servers (and optionally some crashed ones)."""
+    byzantine_set = universe.subset(byzantine)
+    crashed_set = universe.subset(crashed)
+    return WorkloadScenario.from_fault_scenario(
+        FaultScenario(byzantine=byzantine_set, crashed=crashed_set),
+        name=name if name is not None else f"byzantine-{model}",
+        byzantine_model=model,
+    )
+
+
+def correlated_failure_scenario(
+    universe: Universe,
+    groups: Sequence[Iterable[Hashable]],
+    failed_groups: Iterable[int],
+    *,
+    name: str = "correlated",
+) -> WorkloadScenario:
+    """Whole failure domains crash together.
+
+    Parameters
+    ----------
+    groups:
+        A partition (or any covering) of the universe into failure domains —
+        racks, availability zones, switches.
+    failed_groups:
+        Indices into ``groups``; every server of each selected group crashes.
+    """
+    failed = set()
+    group_list = [universe.subset(group) for group in groups]
+    for index in failed_groups:
+        if not 0 <= index < len(group_list):
+            raise SimulationError(
+                f"failed group index {index} out of range for {len(group_list)} groups"
+            )
+        failed |= group_list[index]
+    return WorkloadScenario.from_fault_scenario(
+        FaultScenario(crashed=frozenset(failed)), name=name
+    )
+
+
+def partition_scenario(
+    universe: Universe, reachable: Iterable[Hashable], *, name: str = "partition"
+) -> WorkloadScenario:
+    """Clients can only reach one side of a network partition.
+
+    Servers outside ``reachable`` are unreachable from the clients'
+    partition, which the synchronous model cannot distinguish from a crash;
+    quorums fully inside the reachable block keep the service alive.
+    """
+    reachable_set = universe.subset(reachable)
+    if not reachable_set:
+        raise SimulationError("the clients' partition must reach at least one server")
+    unreachable = universe.as_frozenset() - reachable_set
+    return WorkloadScenario.from_fault_scenario(
+        FaultScenario(crashed=unreachable), name=name
+    )
+
+
+def churn_scenario(
+    universe: Universe,
+    crash_sets: Sequence[Iterable[Hashable]],
+    *,
+    phase_fractions: Sequence[float] | None = None,
+    byzantine: Iterable[Hashable] = (),
+    name: str = "churn",
+) -> WorkloadScenario:
+    """Time-varying crashes: a different crash set in each phase.
+
+    Servers come and go between phases (rolling restarts, flapping links)
+    while an optional fixed Byzantine set keeps lying throughout.
+    """
+    if not crash_sets:
+        raise SimulationError("churn needs at least one phase of crashes")
+    byzantine_set = universe.subset(byzantine)
+    phases = tuple(
+        FaultScenario(byzantine=byzantine_set, crashed=universe.subset(crashed))
+        for crashed in crash_sets
+    )
+    fractions = tuple(phase_fractions) if phase_fractions is not None else ()
+    return WorkloadScenario(name=name, phases=phases, phase_fractions=fractions)
+
+
+def _failure_domains(universe: Universe) -> list[tuple[Hashable, ...]]:
+    """Group the universe into failure domains for the default suite.
+
+    Grid-style universes of ``(row, column)`` tuples are grouped by row;
+    anything else is chopped into ``~sqrt(n)`` contiguous chunks in universe
+    order.
+    """
+    elements = universe.elements
+    if all(isinstance(element, tuple) and len(element) == 2 for element in elements):
+        rows: dict[Hashable, list[Hashable]] = {}
+        for element in elements:
+            rows.setdefault(element[0], []).append(element)
+        return [tuple(group) for group in rows.values()]
+    chunk = max(1, int(round(len(elements) ** 0.5)))
+    return [tuple(elements[start : start + chunk]) for start in range(0, len(elements), chunk)]
+
+
+def scenario_suite(
+    universe: Universe,
+    *,
+    b: int,
+    rng: np.random.Generator,
+    crash_probability: float = 0.1,
+) -> list[WorkloadScenario]:
+    """One representative instance of every scenario class.
+
+    Parameters
+    ----------
+    universe:
+        The servers of the deployment.
+    b:
+        The masking parameter; Byzantine scenarios use exactly ``b`` liars so
+        the suite stays within the deployment's masking bound.
+    rng:
+        Randomness for the crash draws and fault placements.
+    crash_probability:
+        Per-server crash probability of the iid-crash scenario.
+    """
+    injector = FaultInjector(universe, rng)
+    elements = universe.elements
+    n = universe.size
+    domains = _failure_domains(universe)
+
+    suite = [fault_free_scenario()]
+    suite.append(
+        WorkloadScenario.from_fault_scenario(
+            injector.independent_crashes(crash_probability), name="iid-crash"
+        )
+    )
+    if b > 0:
+        byz = injector.exact(num_byzantine=b).byzantine
+        suite.append(byzantine_scenario(universe, byz, model="fabricate"))
+        suite.append(byzantine_scenario(universe, byz, model="equivocate"))
+    suite.append(
+        correlated_failure_scenario(universe, domains, [0], name="rack-failure")
+    )
+    suite.append(
+        partition_scenario(universe, elements[: max(1, (3 * n) // 4)], name="partition")
+    )
+    third = max(1, n // 3)
+    suite.append(
+        churn_scenario(
+            universe,
+            [elements[:third], elements[third : 2 * third], elements[2 * third : 2 * third + third]],
+            name="churn",
+        )
+    )
+    return suite

@@ -148,3 +148,42 @@ class TestTradeoff:
         point = tradeoff_point(masking_threshold(16, 3))
         assert point.n == 16
         assert point.resilience_bound == pytest.approx(16 * point.load)
+
+
+class TestEmpiricalComparison:
+    def test_load_measurement_matches_the_lp(self, rng):
+        from repro.analysis import empirical_load_comparison
+
+        comparison = empirical_load_comparison(MGrid(4, 1), b=1, rng=rng)
+        assert comparison.optimality_gap == pytest.approx(0.0, abs=1e-9)
+        assert comparison.sampling_gap < 0.05
+        assert comparison.empirical_load == pytest.approx(
+            comparison.analytic_load, abs=0.05
+        )
+
+    def test_uniform_strategy_reports_its_own_induced_load(self, rng):
+        from repro import ExplicitQuorumSystem
+        from repro.analysis import empirical_load_comparison
+
+        triangle = ExplicitQuorumSystem(
+            range(3), [{0, 1}, {1, 2}, {0, 2}, {0, 1, 2}], name="triangle"
+        )
+        comparison = empirical_load_comparison(
+            triangle, b=0, rng=rng, strategy="uniform"
+        )
+        assert comparison.analytic_load == pytest.approx(2 / 3)
+        assert comparison.strategy_load == pytest.approx(0.75)
+        assert comparison.optimality_gap == pytest.approx(0.75 - 2 / 3)
+
+    def test_availability_measurement_matches_exact_fp(self, rng):
+        from repro import ThresholdQuorumSystem, exact_failure_probability
+        from repro.analysis import empirical_availability_comparison
+
+        system = ThresholdQuorumSystem(5, 4)
+        comparison = empirical_availability_comparison(
+            system, 0.2, b=0, trials=250, operations_per_trial=8, rng=rng
+        )
+        assert comparison.analytic_failure_probability == pytest.approx(
+            exact_failure_probability(system, 0.2).value
+        )
+        assert comparison.gap < 0.06

@@ -1,0 +1,410 @@
+"""Tests for the vectorised scenario engine and the workload scenario suite.
+
+Covers the three properties the engine is built around:
+
+* **seeded determinism** — a run is a pure function of the rng state;
+* **mode agreement** — the vectorised path and the per-operation sequential
+  reference produce bit-for-bit identical :class:`WorkloadResult` objects
+  for the same seed, across scenario classes;
+* **honest accounting** — the empirical load counts successful operations
+  only (the Definition 3.8 fix), with failed probes reported separately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ExplicitQuorumSystem,
+    MGrid,
+    SimulationError,
+    Strategy,
+    ThresholdQuorumSystem,
+    exact_load,
+)
+from repro.simulation import (
+    FaultScenario,
+    WorkloadScenario,
+    byzantine_scenario,
+    churn_scenario,
+    correlated_failure_scenario,
+    crash_scenario,
+    fault_free_scenario,
+    partition_scenario,
+    random_crash_scenario,
+    run_scenario,
+    run_workload,
+    scenario_suite,
+)
+
+
+@pytest.fixture
+def grid_system():
+    """A small grid system whose runs are fast but non-trivial (16 servers)."""
+    return MGrid(4, 1)
+
+
+def _grid_scenarios(system, rng):
+    """Three-plus scenario classes over the grid universe, for agreement runs."""
+    universe = system.universe
+    elements = universe.elements
+    return [
+        fault_free_scenario(),
+        crash_scenario(universe, [elements[0], elements[5]]),
+        byzantine_scenario(universe, [elements[3]], model="fabricate"),
+        churn_scenario(
+            universe,
+            [elements[:2], elements[2:4], ()],
+            name="churn",
+        ),
+        partition_scenario(universe, elements[: (3 * len(elements)) // 4]),
+    ]
+
+
+class TestSeededDeterminism:
+    def test_same_seed_same_result(self, grid_system):
+        results = [
+            run_scenario(
+                grid_system,
+                b=1,
+                num_operations=250,
+                rng=np.random.default_rng(99),
+            )
+            for _ in range(2)
+        ]
+        assert results[0] == results[1]
+
+    def test_different_seeds_differ(self, grid_system):
+        first = run_scenario(
+            grid_system, b=1, num_operations=250, rng=np.random.default_rng(1)
+        )
+        second = run_scenario(
+            grid_system, b=1, num_operations=250, rng=np.random.default_rng(2)
+        )
+        assert first != second
+
+
+class TestEngineLegacyAgreement:
+    @pytest.mark.parametrize("seed", [7, 8, 9])
+    def test_vectorised_matches_sequential_across_scenarios(self, grid_system, seed):
+        """Same rng seed => identical WorkloadResult from both execution paths."""
+        scenarios = _grid_scenarios(grid_system, np.random.default_rng(0))
+        assert len(scenarios) >= 3
+        for scenario in scenarios:
+            vectorised = run_workload(
+                grid_system,
+                b=1,
+                num_operations=300,
+                scenario=scenario,
+                rng=np.random.default_rng(seed),
+            )
+            sequential = run_workload(
+                grid_system,
+                b=1,
+                num_operations=300,
+                scenario=scenario,
+                rng=np.random.default_rng(seed),
+                engine="sequential",
+            )
+            assert vectorised == sequential, scenario.name
+
+    def test_agreement_under_optimal_strategy(self, grid_system):
+        scenario = crash_scenario(grid_system.universe, [grid_system.universe.elements[0]])
+        vectorised = run_workload(
+            grid_system,
+            b=1,
+            num_operations=200,
+            scenario=scenario,
+            strategy="optimal",
+            rng=np.random.default_rng(21),
+        )
+        sequential = run_workload(
+            grid_system,
+            b=1,
+            num_operations=200,
+            scenario=scenario,
+            strategy="optimal",
+            rng=np.random.default_rng(21),
+            engine="sequential",
+        )
+        assert vectorised == sequential
+
+    def test_agreement_beyond_masking_bound(self, grid_system):
+        """Violation counting agrees too (equivocating camps over the bound)."""
+        elements = grid_system.universe.elements
+        scenario = byzantine_scenario(
+            grid_system.universe, elements[:6], model="equivocate"
+        )
+        kwargs = dict(
+            b=1, num_operations=300, scenario=scenario, allow_overload=True
+        )
+        vectorised = run_workload(
+            grid_system, rng=np.random.default_rng(31), **kwargs
+        )
+        sequential = run_workload(
+            grid_system, rng=np.random.default_rng(31), engine="sequential", **kwargs
+        )
+        assert vectorised == sequential
+        assert vectorised.consistency_violations > 0
+
+
+class TestEmpiricalLoadAccounting:
+    def test_crash_heavy_scenario_keeps_load_a_frequency(self):
+        """Regression: failed probes must not inflate the empirical load.
+
+        Phase 1 is fault-free, phase 2 kills a transversal, so half the
+        operations fail after a full probe budget.  The pre-fix accounting
+        tallied those probes but normalised by successful operations only,
+        pushing ``empirical_load`` above the true access frequency (and
+        potentially above 1); the fixed accounting keeps it a frequency.
+        """
+        system = ThresholdQuorumSystem(5, 4)
+        scenario = churn_scenario(
+            system.universe, [(), (0, 1)], name="half-dead"
+        )
+        result = run_workload(
+            system,
+            b=0,
+            num_operations=400,
+            scenario=scenario,
+            rng=np.random.default_rng(5),
+        )
+        assert result.failed_operations > 100
+        assert 0.0 < result.empirical_load <= 1.0
+        assert all(0.0 <= value <= 1.0 for value in result.per_server_load.values())
+        # The diagnostic tally still sees the failed probes.
+        assert max(result.per_server_attempted.values()) > result.empirical_load
+
+    def test_total_outage_reports_zero_load_and_nonzero_attempts(self):
+        system = ThresholdQuorumSystem(5, 4)
+        scenario = crash_scenario(system.universe, [0, 1])
+        result = run_workload(
+            system,
+            b=0,
+            num_operations=50,
+            scenario=scenario,
+            rng=np.random.default_rng(6),
+        )
+        assert result.availability == 0.0
+        assert result.empirical_load == 0.0
+        assert max(result.per_server_attempted.values()) > 0.0
+        assert max(result.per_server_messages.values()) > 0.0
+
+    def test_fault_free_per_server_load_sums_to_quorum_size(self, grid_system):
+        result = run_workload(
+            grid_system, b=1, num_operations=300, rng=np.random.default_rng(11)
+        )
+        total = sum(result.per_server_load.values())
+        assert total == pytest.approx(grid_system.min_quorum_size())
+
+    def test_messages_exceed_quorum_accesses(self, grid_system):
+        """Writes broadcast twice, so message frequency dominates access frequency."""
+        result = run_workload(
+            grid_system, b=1, num_operations=300, rng=np.random.default_rng(12)
+        )
+        assert max(result.per_server_messages.values()) > result.empirical_load
+
+
+class TestResilienceSemantics:
+    def test_crashes_below_resilience_cost_no_availability(self, grid_system):
+        f = grid_system.resilience()
+        assert f >= 1
+        crashed = grid_system.universe.elements[:f]
+        result = run_workload(
+            grid_system,
+            b=1,
+            num_operations=150,
+            scenario=crash_scenario(grid_system.universe, crashed),
+            rng=np.random.default_rng(13),
+        )
+        assert result.availability == pytest.approx(1.0)
+
+    def test_violations_zero_within_masking_bound(self, grid_system):
+        elements = grid_system.universe.elements
+        for model in ("fabricate", "equivocate"):
+            scenario = byzantine_scenario(
+                grid_system.universe, [elements[7]], model=model
+            )
+            result = run_workload(
+                grid_system,
+                b=1,
+                num_operations=250,
+                scenario=scenario,
+                rng=np.random.default_rng(14),
+            )
+            assert result.consistency_violations == 0
+            assert result.stale_reads == 0
+
+
+class TestStrategyWiring:
+    def test_optimal_strategy_reaches_the_lp_load(self):
+        """Wiring exact_load's strategy into the clients realises L(Q)."""
+        system = ExplicitQuorumSystem(
+            range(3),
+            [{0, 1}, {1, 2}, {0, 2}, {0, 1, 2}],
+            name="triangle",
+        )
+        analytic = exact_load(system).load
+        assert analytic == pytest.approx(2 / 3)
+        optimal = run_workload(
+            system,
+            b=0,
+            num_operations=3000,
+            strategy="optimal",
+            rng=np.random.default_rng(15),
+        )
+        uniform = run_workload(
+            system,
+            b=0,
+            num_operations=3000,
+            strategy="uniform",
+            rng=np.random.default_rng(15),
+        )
+        assert optimal.empirical_load == pytest.approx(analytic, abs=0.04)
+        assert uniform.empirical_load == pytest.approx(0.75, abs=0.04)
+        assert optimal.empirical_load < uniform.empirical_load
+
+    def test_explicit_strategy_instance_is_used(self, grid_system):
+        quorum = grid_system.quorums()[0]
+        strategy = Strategy({quorum: 1.0})
+        result = run_workload(
+            grid_system,
+            b=1,
+            num_operations=100,
+            strategy=strategy,
+            rng=np.random.default_rng(16),
+        )
+        expected = {
+            server: (1.0 if server in quorum else 0.0)
+            for server in grid_system.universe
+        }
+        assert result.per_server_load == expected
+
+    def test_unknown_strategy_specification_rejected(self, grid_system):
+        with pytest.raises(SimulationError):
+            run_workload(grid_system, b=1, num_operations=10, strategy="fastest")
+
+
+class TestScenarioSuite:
+    def test_factories_validate_inputs(self, grid_system):
+        universe = grid_system.universe
+        with pytest.raises(SimulationError):
+            partition_scenario(universe, [])
+        with pytest.raises(SimulationError):
+            correlated_failure_scenario(universe, [universe.elements[:4]], [3])
+        with pytest.raises(SimulationError):
+            churn_scenario(universe, [])
+        with pytest.raises(SimulationError):
+            WorkloadScenario(
+                name="bad",
+                phases=(FaultScenario.fault_free(),),
+                phase_fractions=(0.5,),
+            )
+        with pytest.raises(SimulationError):
+            WorkloadScenario(
+                name="bad-model",
+                phases=(FaultScenario.fault_free(),),
+                byzantine_model="gossip",
+            )
+
+    def test_phase_mapping_covers_all_operations(self):
+        scenario = WorkloadScenario(
+            name="three",
+            phases=(
+                FaultScenario.fault_free(),
+                FaultScenario(crashed=frozenset({0})),
+                FaultScenario.fault_free(),
+            ),
+            phase_fractions=(0.5, 0.25, 0.25),
+        )
+        phases = scenario.phase_of_operations(100)
+        assert len(phases) == 100
+        assert list(np.bincount(phases)) == [50, 25, 25]
+
+    def test_suite_runs_under_both_strategies(self, grid_system, rng):
+        suite = scenario_suite(grid_system.universe, b=1, rng=rng)
+        names = {scenario.name for scenario in suite}
+        assert {
+            "fault-free",
+            "iid-crash",
+            "byzantine-fabricate",
+            "byzantine-equivocate",
+            "rack-failure",
+            "partition",
+            "churn",
+        } <= names
+        for scenario in suite:
+            for strategy in ("uniform", "optimal"):
+                result = run_workload(
+                    grid_system,
+                    b=1,
+                    num_operations=60,
+                    scenario=scenario,
+                    strategy=strategy,
+                    rng=np.random.default_rng(17),
+                )
+                assert result.operations == 60
+                assert result.empirical_load <= 1.0
+
+    def test_random_crash_scenario_draws_from_the_model(self, grid_system, rng):
+        scenario = random_crash_scenario(grid_system.universe, 0.5, rng)
+        assert scenario.num_phases == 1
+
+    def test_scenario_mentioning_unknown_servers_rejected(self, grid_system):
+        scenario = WorkloadScenario.from_fault_scenario(
+            FaultScenario(crashed=frozenset({"nonexistent"}))
+        )
+        with pytest.raises(SimulationError):
+            run_workload(grid_system, b=1, num_operations=10, scenario=scenario)
+
+    def test_overload_requires_flag(self, grid_system):
+        elements = grid_system.universe.elements
+        scenario = byzantine_scenario(grid_system.universe, elements[:5])
+        with pytest.raises(SimulationError):
+            run_workload(grid_system, b=1, num_operations=10, scenario=scenario)
+
+
+class TestRunnerCompatibility:
+    def test_unknown_byzantine_behaviour_rejected(self, grid_system):
+        with pytest.raises(SimulationError):
+            run_workload(
+                grid_system, b=1, num_operations=10, byzantine_behaviour="confuse"
+            )
+
+    def test_workload_scenario_model_wins_over_behaviour(self, grid_system):
+        """A phased scenario's own vouching model is not overridden."""
+        elements = grid_system.universe.elements
+        scenario = byzantine_scenario(
+            grid_system.universe, elements[:6], model="equivocate"
+        )
+        direct = run_scenario(
+            grid_system,
+            b=1,
+            num_operations=200,
+            scenario=scenario,
+            allow_overload=True,
+            rng=np.random.default_rng(18),
+        )
+        via_runner = run_workload(
+            grid_system,
+            b=1,
+            num_operations=200,
+            scenario=scenario,
+            allow_overload=True,
+            rng=np.random.default_rng(18),
+        )
+        assert direct == via_runner
+
+    def test_invalid_arguments_rejected(self, grid_system):
+        with pytest.raises(SimulationError):
+            run_workload(grid_system, b=1, num_operations=0)
+        with pytest.raises(SimulationError):
+            run_workload(grid_system, b=1, num_operations=10, write_fraction=1.5)
+        with pytest.raises(SimulationError):
+            run_scenario(grid_system, b=1, num_operations=10, mode="telepathic")
+
+    def test_num_clients_remains_tolerated(self, grid_system):
+        # The legacy runner accepted any num_clients via max(1, num_clients).
+        result = run_workload(grid_system, b=1, num_operations=10, num_clients=0)
+        assert result.operations == 10

@@ -113,3 +113,80 @@ class TestValidationAndSampling:
         strategy = Strategy({heavy: 0.9, light: 0.1})
         draws = [strategy.sample(rng) for _ in range(300)]
         assert draws.count(heavy) > draws.count(light)
+
+
+class TestToleranceReconciliation:
+    def test_sum_check_uses_the_declared_tolerance(self):
+        # 1 + 5e-7 used to slip through the hard-coded 1e-6 slack even though
+        # the module declares a 1e-9 tolerance; the checks now agree.
+        with pytest.raises(StrategyError):
+            Strategy({frozenset({0}): 1.0 + 5e-7})
+
+    def test_float_noise_within_tolerance_accepted(self):
+        thirds = {frozenset({i}): 1.0 / 3.0 for i in range(3)}
+        Strategy(thirds)
+
+
+class TestInducedLoadMismatch:
+    def test_quorum_element_outside_universe_raises(self):
+        universe = Universe.of_size(2)
+        strategy = Strategy({frozenset({0, 5}): 1.0})
+        with pytest.raises(StrategyError):
+            strategy.induced_loads(universe)
+
+    def test_matching_universe_still_works(self):
+        universe = Universe.of_size(3)
+        strategy = Strategy({frozenset({0, 1}): 1.0})
+        assert strategy.induced_system_load(universe) == pytest.approx(1.0)
+
+
+class TestFromVectorNormalisation:
+    def test_normalises_before_dropping_nonpositive_entries(self, simple_system):
+        # The truncated entries are scaled away with the rest of the vector,
+        # so the surviving quorums keep their relative weights 2:1.
+        vector = np.array([2.0, 1.0, 0.0])
+        strategy = Strategy.from_vector(simple_system, vector)
+        assert strategy.probability(simple_system.quorums()[0]) == pytest.approx(2 / 3)
+        assert strategy.probability(simple_system.quorums()[1]) == pytest.approx(1 / 3)
+        assert strategy.probability(simple_system.quorums()[2]) == 0.0
+
+    def test_non_positive_total_rejected(self, simple_system):
+        with pytest.raises(StrategyError):
+            Strategy.from_vector(simple_system, np.zeros(3))
+
+    def test_meaningful_negative_mass_rejected(self, simple_system):
+        # Pre-fix, the negative entry was silently dropped and its mass
+        # redistributed over the surviving quorums; it is now an error.
+        with pytest.raises(StrategyError):
+            Strategy.from_vector(simple_system, np.array([2.0, 1.0, -1.0]))
+
+
+class TestVectorisedSampling:
+    def test_sample_many_matches_sequential_sample_stream(self, simple_system):
+        strategy = Strategy.uniform_over_system(simple_system)
+        batched = strategy.sample_many(np.random.default_rng(42), 50)
+        rng = np.random.default_rng(42)
+        sequential = np.array([strategy.sample_index(rng) for _ in range(50)])
+        assert np.array_equal(batched, sequential)
+
+    def test_sample_many_shape_and_range(self, simple_system):
+        strategy = Strategy.uniform_over_system(simple_system)
+        indices = strategy.sample_many(np.random.default_rng(0), (20, 4))
+        assert indices.shape == (20, 4)
+        assert indices.min() >= 0
+        assert indices.max() < len(strategy)
+
+    def test_sample_many_follows_probabilities(self):
+        strategy = Strategy({frozenset({0}): 0.9, frozenset({1}): 0.1})
+        indices = strategy.sample_many(np.random.default_rng(1), 2000)
+        heavy_index = strategy.support.index(frozenset({0}))
+        assert np.count_nonzero(indices == heavy_index) > 1500
+
+    def test_support_masks_and_engine_are_cached(self, simple_system):
+        strategy = Strategy.uniform_over_system(simple_system)
+        universe = simple_system.universe
+        assert strategy.support_masks(universe) is strategy.support_masks(universe)
+        engine = strategy.support_engine(universe)
+        assert engine is strategy.support_engine(universe)
+        assert engine.num_quorums == len(strategy)
+        assert engine.frozensets() == strategy.support
