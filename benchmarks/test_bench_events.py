@@ -1,0 +1,110 @@
+"""Benchmark for the event-driven concurrent core: latency percentiles.
+
+Where the engine benchmark measures *throughput* (operations per wall-clock
+second), this one measures what only the event-driven layer can express:
+**operation latency distributions** in simulated time, across the timing
+scenario suite — fault-free, slow servers, flaky links, a mid-run
+crash/recover window and slow-plus-Byzantine — with p50/p90/p99 per
+scenario, plus the scheduler's own event throughput (events per wall-clock
+second).
+
+Every run doubles as a correctness pass: the concurrent-history checker must
+accept every history (all scenarios stay within the masking bound), which
+exercises the acceptance demo — eight interleaved clients under latency,
+loss, duplication and timing faults.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from conftest import format_table
+
+from repro import ThresholdQuorumSystem
+from repro.simulation import LatencyModel, run_event_workload, timing_scenario_suite
+
+NUM_CLIENTS = 8
+OPERATIONS_PER_CLIENT = 40
+MASKING_B = 2
+
+
+def test_latency_percentiles_across_timing_scenarios(benchmark, rng):
+    """p50/p90/p99 operation latency per timing scenario, 8 interleaved clients."""
+    system = ThresholdQuorumSystem(9, 7)
+    suite = timing_scenario_suite(
+        system.universe, b=MASKING_B, rng=rng, latency=LatencyModel.uniform(1.0, 0.5)
+    )
+
+    def run_suite():
+        runs = []
+        for scenario in suite:
+            started = time.perf_counter()
+            result = run_event_workload(
+                system,
+                b=MASKING_B,
+                num_clients=NUM_CLIENTS,
+                operations_per_client=OPERATIONS_PER_CLIENT,
+                scenario=scenario,
+                rng=np.random.default_rng(20240614),
+            )
+            elapsed = time.perf_counter() - started
+            runs.append((scenario.name, result, elapsed))
+        return runs
+
+    runs = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    rows = []
+    for name, result, elapsed in runs:
+        # Safety holds in every timing scenario: histories check clean and
+        # loads stay genuine frequencies.
+        assert result.check.ok, (name, result.check.violations)
+        assert result.check.concurrent_pairs > 0, f"{name}: no concurrency exercised"
+        assert result.empirical_load <= 1.0
+        rows.append(
+            [
+                name,
+                f"{result.availability:.3f}",
+                f"{result.latency_p50:.2f}",
+                f"{result.latency_p90:.2f}",
+                f"{result.latency_p99:.2f}",
+                result.timeouts,
+                f"{result.events_processed / elapsed:,.0f}",
+            ]
+        )
+    print(
+        f"\nEvent-driven workloads on Threshold(9, 7), {NUM_CLIENTS} clients x "
+        f"{OPERATIONS_PER_CLIENT} ops (simulated-time latency units):"
+    )
+    print(
+        format_table(
+            ["scenario", "avail", "p50", "p90", "p99", "timeouts", "events/sec"], rows
+        )
+    )
+
+
+def test_scheduler_event_throughput(benchmark):
+    """Raw scheduler cost: a fault-free concurrent run's events per second."""
+    system = ThresholdQuorumSystem(9, 7)
+
+    def run_fault_free():
+        started = time.perf_counter()
+        result = run_event_workload(
+            system,
+            b=MASKING_B,
+            num_clients=NUM_CLIENTS,
+            operations_per_client=100,
+            latency=LatencyModel.uniform(1.0, 1.0),
+            retry_unvouched_reads=True,
+            rng=np.random.default_rng(99),
+        )
+        return result, time.perf_counter() - started
+
+    result, elapsed = benchmark.pedantic(run_fault_free, rounds=1, iterations=1)
+    assert result.check.ok
+    assert result.availability == 1.0
+    print(
+        f"\nScheduler throughput: {result.events_processed:,} events in "
+        f"{elapsed:.3f}s = {result.events_processed / elapsed:,.0f} events/sec "
+        f"({result.operations / elapsed:,.0f} protocol ops/sec)"
+    )

@@ -16,6 +16,13 @@ engine and checks that
 Both comparisons return structured results with the analytic value, the
 expected value of the estimator, the measurement and the gaps, so tests and
 benchmarks can assert tolerances and tables can print them.
+
+A third cross-check closes the loop between the two *protocol* paths:
+:func:`synchronous_event_agreement` drives the same operation script through
+the blocking synchronous client and through the event-driven state-machine
+client at zero latency, and verifies they agree **operation for operation**
+(success, value, timestamp, quorum and the real probe count) — the
+synchronous layer really is the zero-latency special case of the event core.
 """
 
 from __future__ import annotations
@@ -29,15 +36,21 @@ from repro.core.load import exact_load
 from repro.core.quorum_system import QuorumSystem
 from repro.core.strategy import Strategy
 from repro.exceptions import ComputationError
+from repro.simulation.client import AsyncQuorumClient, QuorumClient, RetryPolicy
 from repro.simulation.engine import resolve_strategy, run_scenario
-from repro.simulation.faults import FaultInjector
+from repro.simulation.events import EventNetwork, EventScheduler
+from repro.simulation.faults import FaultInjector, FaultScenario
+from repro.simulation.network import SynchronousNetwork
+from repro.simulation.runner import build_replicas
 from repro.simulation.scenarios import WorkloadScenario
 
 __all__ = [
     "EmpiricalAvailabilityComparison",
     "EmpiricalLoadComparison",
+    "ProtocolAgreement",
     "empirical_availability_comparison",
     "empirical_load_comparison",
+    "synchronous_event_agreement",
 ]
 
 
@@ -101,6 +114,145 @@ class EmpiricalAvailabilityComparison:
     def gap(self) -> float:
         """|measured − exact| failure probability."""
         return abs(self.empirical_failure_rate - self.analytic_failure_probability)
+
+
+@dataclass(frozen=True)
+class ProtocolAgreement:
+    """Operation-for-operation comparison of the two protocol paths.
+
+    Attributes
+    ----------
+    operations:
+        Length of the operation script both layers executed.
+    mismatches:
+        ``(index, field, synchronous_value, event_value)`` tuples for every
+        per-operation divergence, plus a final ``("accounting", ...)`` entry
+        when the per-server successful-access tallies differ.
+    """
+
+    operations: int
+    mismatches: tuple = ()
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event-driven layer reproduced the synchronous one exactly."""
+        return not self.mismatches
+
+
+def synchronous_event_agreement(
+    system: QuorumSystem,
+    *,
+    b: int,
+    num_operations: int = 60,
+    scenario: FaultScenario | None = None,
+    byzantine_behaviour: str = "fabricate-timestamp",
+    write_fraction: float = 0.5,
+    max_attempts: int = 10,
+    strategy: Strategy | str | None = None,
+    seed: int = 0,
+    allow_overload: bool = False,
+) -> ProtocolAgreement:
+    """Drive one operation script through both protocol layers and compare.
+
+    The synchronous layer (blocking :class:`QuorumClient` over
+    :class:`SynchronousNetwork`) and the event-driven layer
+    (state-machine :class:`AsyncQuorumClient` over a **zero-latency**
+    :class:`EventNetwork`) are given identical replicas, identical client
+    rng streams and the same read/write script; both flavours share their
+    quorum-selection code, and a zero-latency model draws no network
+    randomness, so every operation must agree on ``(success, value,
+    timestamp, quorum, attempts)`` — silence detection by immediate ``None``
+    and silence detection by timeout are observationally identical.
+    (``latency`` is excluded: timeouts advance the event clock.)
+
+    Returns a :class:`ProtocolAgreement`; ``ok`` is the acceptance gate of
+    the event-core PR and is asserted by ``tests/test_simulation_events.py``.
+    """
+    scenario = scenario if scenario is not None else FaultScenario.fault_free()
+    resolved = resolve_strategy(system, strategy) if strategy is not None else None
+    script_rng = np.random.default_rng(seed)
+    script = [
+        ("write", f"value-{index}")
+        if script_rng.random() < write_fraction
+        else ("read", None)
+        for index in range(num_operations)
+    ]
+
+    def make_servers():
+        return build_replicas(
+            system,
+            scenario.byzantine,
+            byzantine_behaviour=byzantine_behaviour,
+            rng=np.random.default_rng(seed + 1),
+        )
+
+    if not allow_overload and scenario.num_byzantine > b:
+        raise ComputationError(
+            f"scenario has {scenario.num_byzantine} Byzantine servers but b={b}; "
+            "pass allow_overload=True to compare beyond the bound"
+        )
+
+    # --- synchronous layer.
+    sync_client = QuorumClient(
+        0,
+        system,
+        SynchronousNetwork(make_servers(), scenario),
+        b=b,
+        max_attempts=max_attempts,
+        rng=np.random.default_rng(seed + 2),
+        strategy=resolved,
+    )
+    sync_results = [
+        sync_client.write(value) if kind == "write" else sync_client.read()
+        for kind, value in script
+    ]
+
+    # --- event-driven layer at zero latency.
+    scheduler = EventScheduler()
+    network = EventNetwork(
+        make_servers(), scenario, scheduler=scheduler,
+        rng=np.random.default_rng(seed + 3),
+    )
+    event_client = AsyncQuorumClient(
+        0,
+        system,
+        network,
+        b=b,
+        policy=RetryPolicy(max_attempts=max_attempts, request_timeout=1.0),
+        rng=np.random.default_rng(seed + 2),
+        strategy=resolved,
+    )
+    event_results = []
+    for kind, value in script:
+        if kind == "write":
+            event_client.write(value, event_results.append)
+        else:
+            event_client.read(event_results.append)
+        scheduler.run()
+
+    mismatches = []
+    for index, (sync_result, event_result) in enumerate(
+        zip(sync_results, event_results)
+    ):
+        for field_name in ("success", "value", "timestamp", "quorum", "attempts"):
+            sync_value = getattr(sync_result, field_name)
+            event_value = getattr(event_result, field_name)
+            if sync_value != event_value:
+                mismatches.append((index, field_name, sync_value, event_value))
+    if dict(sync_client.successful_access_counts) != dict(
+        event_client.successful_access_counts
+    ):
+        mismatches.append(
+            (
+                -1,
+                "accounting",
+                dict(sync_client.successful_access_counts),
+                dict(event_client.successful_access_counts),
+            )
+        )
+    return ProtocolAgreement(
+        operations=num_operations, mismatches=tuple(mismatches)
+    )
 
 
 def empirical_load_comparison(

@@ -5,63 +5,117 @@ serve: the masking-quorum read/write register of [MR98a], with Byzantine and
 crash fault injection, a synchronous network, and a workload runner that
 measures empirical load and availability.
 
-Two layers are provided:
+Three layers are provided:
 
-* the **message-level** simulator (:class:`ReplicatedRegister`,
+* the **event-driven concurrent core** (:mod:`repro.simulation.events`,
+  :class:`AsyncQuorumClient`, :mod:`repro.simulation.history`) — a
+  discrete-event scheduler with per-link latency, loss/duplication and
+  crash/recover timelines; clients are resumable state machines, so many of
+  them interleave within one run and the produced concurrent histories are
+  checked with a linearizability-style register checker
+  (:func:`check_register_history`), behind :func:`run_event_workload`;
+* the **message-level synchronous** simulator (:class:`ReplicatedRegister`,
   :class:`QuorumClient`, :class:`SynchronousNetwork`, the replica servers) —
-  one request object per delivery, used by the protocol-step tests and
-  examples; and
+  the zero-latency special case of the event core, one request object per
+  delivery, used by the protocol-step tests and examples; and
 * the **vectorised scenario engine** (:mod:`repro.simulation.engine`,
   :mod:`repro.simulation.scenarios`) — batched array execution of whole
   workloads over the bitmask incidence machinery, behind
   :func:`run_workload`.  See ``docs/simulation.md``.
 """
 
-from repro.simulation.client import OperationResult, QuorumClient
+from repro.simulation.client import (
+    AsyncQuorumClient,
+    OperationResult,
+    QuorumClient,
+    RetryPolicy,
+)
 from repro.simulation.engine import WorkloadResult, resolve_strategy, run_scenario
+from repro.simulation.events import (
+    EventNetwork,
+    EventScheduler,
+    FaultTimeline,
+    LatencyModel,
+    LinkFaults,
+)
 from repro.simulation.faults import FaultInjector, FaultScenario
+from repro.simulation.history import (
+    HistoryCheck,
+    HistoryRecorder,
+    OperationRecord,
+    check_register_history,
+)
 from repro.simulation.messages import Timestamp, ValueTimestampPair
 from repro.simulation.network import SynchronousNetwork
 from repro.simulation.register import ReplicatedRegister
-from repro.simulation.runner import run_workload
+from repro.simulation.runner import (
+    EventWorkloadResult,
+    build_replicas,
+    run_event_workload,
+    run_workload,
+)
 from repro.simulation.scenarios import (
     BYZANTINE_MODELS,
+    TimingScenario,
     WorkloadScenario,
     byzantine_scenario,
     churn_scenario,
     correlated_failure_scenario,
+    crash_recover_scenario,
     crash_scenario,
     fault_free_scenario,
+    flaky_links_scenario,
     partition_scenario,
     random_crash_scenario,
     scenario_suite,
+    slow_server_scenario,
+    timing_scenario_suite,
 )
 from repro.simulation.server import BYZANTINE_BEHAVIOURS, ByzantineReplicaServer, ReplicaServer
 
 __all__ = [
     "BYZANTINE_BEHAVIOURS",
     "BYZANTINE_MODELS",
+    "AsyncQuorumClient",
     "ByzantineReplicaServer",
+    "EventNetwork",
+    "EventScheduler",
+    "EventWorkloadResult",
     "FaultInjector",
     "FaultScenario",
+    "FaultTimeline",
+    "HistoryCheck",
+    "HistoryRecorder",
+    "LatencyModel",
+    "LinkFaults",
+    "OperationRecord",
     "OperationResult",
     "QuorumClient",
     "ReplicaServer",
     "ReplicatedRegister",
+    "RetryPolicy",
     "SynchronousNetwork",
     "Timestamp",
+    "TimingScenario",
     "ValueTimestampPair",
     "WorkloadResult",
     "WorkloadScenario",
+    "build_replicas",
     "byzantine_scenario",
+    "check_register_history",
     "churn_scenario",
     "correlated_failure_scenario",
+    "crash_recover_scenario",
     "crash_scenario",
     "fault_free_scenario",
+    "flaky_links_scenario",
     "partition_scenario",
     "random_crash_scenario",
     "resolve_strategy",
+    "run_event_workload",
     "run_scenario",
     "run_workload",
     "scenario_suite",
+    "slow_server_scenario",
+    "timing_scenario_suite",
 ]

@@ -16,14 +16,38 @@ complete write's quorum, of which at least ``b + 1`` are honest and report
 the written pair, while any value fabricated by the at most ``b`` Byzantine
 replicas is reported at most ``b`` times and filtered out.
 
-Crashed replicas never answer, so the client retries with different quorums
-(sampled from the system's access strategy) until it finds a fully
-responsive one — mirroring the availability question that ``Fp`` quantifies.
+Two client flavours share the quorum-selection logic (and therefore consume
+identical randomness for identical histories):
+
+* :class:`QuorumClient` — the blocking client over the synchronous network:
+  each ``read()``/``write()`` call runs the whole operation.  Crashed
+  replicas answer ``None`` immediately, so silence detection is free.
+* :class:`AsyncQuorumClient` — a **resumable operation state machine** over
+  the event-driven network: ``read()``/``write()`` start the operation and
+  return; replies resume it through callbacks, silence is detected by a
+  per-request timeout, and retries follow a :class:`RetryPolicy`.  Many such
+  clients interleave within one scheduler run, which is what makes
+  concurrent write/write and read/write histories (and their checking — see
+  :mod:`repro.simulation.history`) possible.
+
+Accounting (shared by both flavours, aligned with the vectorised engine):
+
+* ``attempts`` in an :class:`OperationResult` is the *real* number of quorum
+  probes the operation made — the timestamp/read phase's probes plus, for
+  writes that lost a quorum member between the two phases, the write-phase
+  retry probes.  (Earlier versions hardcoded ``attempts=1`` on success and
+  ``2 * max_attempts`` on write-retry failure.)
+* ``successful_access_counts`` / ``attempted_access_counts`` tally per-server
+  quorum accesses of successful operations and of every probe respectively,
+  mirroring the engine's ``per_server_load`` / ``per_server_attempted``
+  split, so the message-level and vectorised paths measure the same
+  Definition 3.8 quantity.
 """
 
 from __future__ import annotations
 
 from collections import Counter
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
@@ -31,6 +55,7 @@ import numpy as np
 from repro.core.quorum_system import QuorumSystem
 from repro.core.strategy import Strategy
 from repro.exceptions import SimulationError
+from repro.simulation.events import EventNetwork
 from repro.simulation.messages import (
     ReadRequest,
     Timestamp,
@@ -40,7 +65,7 @@ from repro.simulation.messages import (
 )
 from repro.simulation.network import SynchronousNetwork
 
-__all__ = ["OperationResult", "QuorumClient"]
+__all__ = ["AsyncQuorumClient", "OperationResult", "QuorumClient", "RetryPolicy"]
 
 
 @dataclass(frozen=True)
@@ -61,7 +86,13 @@ class OperationResult:
     quorum:
         The quorum used by the successful attempt (``None`` on failure).
     attempts:
-        How many quorums were tried.
+        How many quorum probes the operation actually made: the
+        timestamp/read phase's probes, plus write-phase retry probes when
+        the first write broadcast lost a quorum member.
+    latency:
+        Simulated time from invocation to completion (event-driven clients
+        only; ``0.0`` under the synchronous layer, where operations are
+        instantaneous).
     """
 
     success: bool
@@ -69,10 +100,128 @@ class OperationResult:
     timestamp: Timestamp | None = None
     quorum: frozenset | None = None
     attempts: int = 0
+    latency: float = 0.0
 
 
-class QuorumClient:
-    """A client of the replicated register.
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How an event-driven client waits and retries.
+
+    Attributes
+    ----------
+    max_attempts:
+        Quorum probes per probing phase before the operation is declared
+        failed (unavailability), matching the synchronous client's knob.
+    request_timeout:
+        Simulated time a probe waits for the slowest quorum member before
+        declaring the silent members suspected and moving to another quorum.
+    retry_unvouched_reads:
+        When a read finds no pair vouched by ``b + 1`` replicas (possible
+        under concurrency with an interleaved write), retry the read phase
+        at a fresh quorum instead of reporting an unsuccessful read.  Off by
+        default — the synchronous client reports the failure, and the
+        zero-latency agreement guarantee relies on matching it.
+    """
+
+    max_attempts: int = 10
+    request_timeout: float = 1.0
+    retry_unvouched_reads: bool = False
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise SimulationError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.request_timeout <= 0:
+            raise SimulationError(
+                f"request_timeout must be positive, got {self.request_timeout}"
+            )
+
+
+class _QuorumSelectionBase:
+    """Quorum sampling, suspicion steering and access accounting.
+
+    Shared by the synchronous and event-driven clients so that both flavours
+    draw from the client rng in exactly the same order for the same history —
+    the zero-latency agreement test depends on this.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        system: QuorumSystem,
+        *,
+        b: int,
+        rng: np.random.Generator | None,
+        strategy: Strategy | None,
+    ):
+        if b < 0:
+            raise SimulationError(f"masking parameter must be >= 0, got {b}")
+        self.client_id = client_id
+        self.system = system
+        self.b = b
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.strategy = strategy
+        #: The largest timestamp this client has observed or produced.
+        self.last_timestamp = Timestamp.zero()
+        #: Servers observed to be unresponsive; used as a simple failure
+        #: detector so that retries steer towards live quorums (this is what
+        #: makes the client achieve the system's resilience ``f`` instead of
+        #: blindly resampling quorums that contain known-dead servers).
+        self.suspected: set = set()
+        #: Per-server quorum accesses of *successful* operations (the
+        #: empirical-load numerator of Definition 3.8) and of *every* probe.
+        self.successful_access_counts: Counter = Counter()
+        self.attempted_access_counts: Counter = Counter()
+        #: Operations completed successfully / started, for normalisation.
+        self.successful_operations = 0
+        self.operations_started = 0
+
+    def _choose_quorum(self) -> frozenset:
+        """Sample a quorum, preferring one that avoids all suspected servers."""
+        if self.strategy is not None:
+            return self._choose_from_strategy()
+        if not self.suspected:
+            return self.system.sample_quorum(self.rng)
+        return self.system.sample_quorum_avoiding(self.rng, frozenset(self.suspected))
+
+    def _choose_from_strategy(self, *, attempts: int = 50) -> frozenset:
+        """Sample the access strategy, steering away from suspected servers.
+
+        Mirrors ``QuorumSystem.sample_quorum_avoiding``: resample the strategy
+        until a quorum avoids every suspected server, falling back to the last
+        sample when avoidance keeps failing.
+        """
+        quorum = self.strategy.sample(self.rng)
+        if not self.suspected:
+            return quorum
+        for _ in range(attempts):
+            if not quorum & self.suspected:
+                return quorum
+            quorum = self.strategy.sample(self.rng)
+        return quorum
+
+    def _record_success(self, quorum: frozenset) -> None:
+        self.successful_operations += 1
+        self.successful_access_counts.update(quorum)
+
+    def _fresh_timestamp(self, replies: dict) -> Timestamp:
+        """Pick a timestamp strictly larger than every answer and all past picks.
+
+        Advancing ``last_timestamp`` *here* — before the install completes —
+        means a client never reuses a counter even when the install fails
+        half-way, so every write operation in a history carries a unique
+        timestamp (the property the history checker asserts).
+        """
+        highest = self.last_timestamp
+        for reply in replies.values():
+            if reply.timestamp > highest:
+                highest = reply.timestamp
+        fresh = highest.next_for(self.client_id)
+        self.last_timestamp = fresh
+        return fresh
+
+
+class QuorumClient(_QuorumSelectionBase):
+    """A blocking client of the replicated register (synchronous network).
 
     Parameters
     ----------
@@ -109,24 +258,11 @@ class QuorumClient:
         rng: np.random.Generator | None = None,
         strategy: Strategy | None = None,
     ):
-        if b < 0:
-            raise SimulationError(f"masking parameter must be >= 0, got {b}")
+        super().__init__(client_id, system, b=b, rng=rng, strategy=strategy)
         if max_attempts < 1:
             raise SimulationError(f"max_attempts must be >= 1, got {max_attempts}")
-        self.client_id = client_id
-        self.system = system
         self.network = network
-        self.b = b
         self.max_attempts = max_attempts
-        self.rng = rng if rng is not None else np.random.default_rng()
-        self.strategy = strategy
-        #: The largest timestamp this client has observed or produced.
-        self.last_timestamp = Timestamp.zero()
-        #: Servers observed to be unresponsive; used as a simple failure
-        #: detector so that retries steer towards live quorums (this is what
-        #: makes the client achieve the system's resilience ``f`` instead of
-        #: blindly resampling quorums that contain known-dead servers).
-        self.suspected: set = set()
 
     # ------------------------------------------------------------------
     # Quorum probing.
@@ -145,54 +281,33 @@ class QuorumClient:
             return None
         return replies
 
-    def _choose_quorum(self) -> frozenset:
-        """Sample a quorum, preferring one that avoids all suspected servers."""
-        if self.strategy is not None:
-            return self._choose_from_strategy()
-        if not self.suspected:
-            return self.system.sample_quorum(self.rng)
-        return self.system.sample_quorum_avoiding(self.rng, frozenset(self.suspected))
+    def _probe(self, request_factory) -> tuple[frozenset | None, dict | None, int]:
+        """Try up to ``max_attempts`` quorums; return the first responsive one.
 
-    def _choose_from_strategy(self, *, attempts: int = 50) -> frozenset:
-        """Sample the access strategy, steering away from suspected servers.
-
-        Mirrors ``QuorumSystem.sample_quorum_avoiding``: resample the strategy
-        until a quorum avoids every suspected server, falling back to the last
-        sample when avoidance keeps failing.
+        Returns ``(quorum, replies, attempts)`` with the real probe count, or
+        ``(None, None, max_attempts)`` when the budget is exhausted.
         """
-        quorum = self.strategy.sample(self.rng)
-        if not self.suspected:
-            return quorum
-        for _ in range(attempts):
-            if not quorum & self.suspected:
-                return quorum
-            quorum = self.strategy.sample(self.rng)
-        return quorum
-
-    def _probe(self, request_factory) -> tuple[frozenset, dict] | None:
-        """Try up to ``max_attempts`` quorums; return the first fully responsive one."""
-        for _ in range(self.max_attempts):
+        for attempt in range(1, self.max_attempts + 1):
             quorum = self._choose_quorum()
+            self.attempted_access_counts.update(quorum)
             replies = self._collect_from_quorum(quorum, request_factory())
             if replies is not None:
-                return quorum, replies
-        return None
+                return quorum, replies, attempt
+        return None, None, self.max_attempts
 
     # ------------------------------------------------------------------
     # Protocol operations.
     # ------------------------------------------------------------------
     def write(self, value: object) -> OperationResult:
         """Write ``value`` to the register (query timestamps, then install)."""
-        probed = self._probe(lambda: TimestampRequest(client_id=self.client_id))
-        if probed is None:
-            return OperationResult(success=False, attempts=self.max_attempts)
-        quorum, replies = probed
+        self.operations_started += 1
+        quorum, replies, attempts = self._probe(
+            lambda: TimestampRequest(client_id=self.client_id)
+        )
+        if quorum is None:
+            return OperationResult(success=False, attempts=attempts)
 
-        highest = self.last_timestamp
-        for reply in replies.values():
-            if reply.timestamp > highest:
-                highest = reply.timestamp
-        new_timestamp = highest.next_for(self.client_id)
+        new_timestamp = self._fresh_timestamp(replies)
         pair = ValueTimestampPair(value=value, timestamp=new_timestamp)
 
         write_replies = self._collect_from_quorum(
@@ -200,23 +315,32 @@ class QuorumClient:
         )
         if write_replies is None:
             # The quorum answered the timestamp query but lost a member before
-            # the write; retry the whole operation through fresh quorums.
-            probed = self._probe(lambda: WriteRequest(client_id=self.client_id, pair=pair))
-            if probed is None:
-                return OperationResult(success=False, attempts=2 * self.max_attempts)
-            quorum, write_replies = probed
+            # the write; retry the whole install through fresh quorums,
+            # accumulating the real probe count.
+            quorum, write_replies, retry_attempts = self._probe(
+                lambda: WriteRequest(client_id=self.client_id, pair=pair)
+            )
+            attempts += retry_attempts
+            if quorum is None:
+                return OperationResult(success=False, attempts=attempts)
 
-        self.last_timestamp = new_timestamp
+        self._record_success(quorum)
         return OperationResult(
-            success=True, value=value, timestamp=new_timestamp, quorum=quorum, attempts=1
+            success=True,
+            value=value,
+            timestamp=new_timestamp,
+            quorum=quorum,
+            attempts=attempts,
         )
 
     def read(self) -> OperationResult:
         """Read the register, masking up to ``b`` Byzantine replies."""
-        probed = self._probe(lambda: ReadRequest(client_id=self.client_id))
-        if probed is None:
-            return OperationResult(success=False, attempts=self.max_attempts)
-        quorum, replies = probed
+        self.operations_started += 1
+        quorum, replies, attempts = self._probe(
+            lambda: ReadRequest(client_id=self.client_id)
+        )
+        if quorum is None:
+            return OperationResult(success=False, attempts=attempts)
 
         # Count how many replicas vouch for each (value, timestamp) pair and
         # keep the pairs vouched for by at least b + 1 replicas.
@@ -225,15 +349,351 @@ class QuorumClient:
         if not vouched:
             # Possible only under concurrency or mis-configuration; report an
             # unsuccessful read rather than returning an unvouched value.
-            return OperationResult(success=False, quorum=quorum, attempts=1)
+            return OperationResult(success=False, quorum=quorum, attempts=attempts)
 
         best = max(vouched, key=lambda pair: pair.timestamp)
         if best.timestamp > self.last_timestamp:
             self.last_timestamp = best.timestamp
+        self._record_success(quorum)
         return OperationResult(
             success=True,
             value=best.value,
             timestamp=best.timestamp,
             quorum=quorum,
-            attempts=1,
+            attempts=attempts,
+        )
+
+
+# ----------------------------------------------------------------------
+# The event-driven client.
+# ----------------------------------------------------------------------
+class _ProbeState:
+    """One in-flight quorum probe of an async operation.
+
+    Collects replies keyed by server id (duplicate deliveries collapse) until
+    the quorum is complete or the timeout fires; ``done`` guards against
+    late replies resuming an abandoned probe.
+    """
+
+    __slots__ = ("quorum", "replies", "done", "timeout_event")
+
+    def __init__(self, quorum: frozenset):
+        self.quorum = quorum
+        self.replies: dict = {}
+        self.done = False
+        self.timeout_event = None
+
+
+class AsyncQuorumClient(_QuorumSelectionBase):
+    """A resumable state-machine client over the event-driven network.
+
+    ``read``/``write`` start the operation and return immediately; the
+    operation advances as replies arrive through the scheduler and completes
+    by calling ``on_complete(OperationResult)``.  Because nothing blocks,
+    any number of clients interleave their operations within one scheduler
+    run — the concurrency the synchronous layer structurally cannot express.
+
+    Parameters
+    ----------
+    client_id / system / b / rng / strategy:
+        As for :class:`QuorumClient`.
+    network:
+        The :class:`~repro.simulation.events.EventNetwork` to speak over.
+    policy:
+        Timeout and retry behaviour (:class:`RetryPolicy`).
+    history:
+        Optional :class:`~repro.simulation.history.HistoryRecorder`; every
+        completed operation is recorded with its invocation/response times
+        for the concurrent-history consistency checker.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        system: QuorumSystem,
+        network: EventNetwork,
+        *,
+        b: int,
+        policy: RetryPolicy | None = None,
+        rng: np.random.Generator | None = None,
+        strategy: Strategy | None = None,
+        history=None,
+    ):
+        super().__init__(client_id, system, b=b, rng=rng, strategy=strategy)
+        self.network = network
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.history = history
+        #: Probes that ran into their request timeout (diagnostic).
+        self.timeouts = 0
+        self._busy = False
+
+    @property
+    def scheduler(self):
+        return self.network.scheduler
+
+    # ------------------------------------------------------------------
+    # Probing as a resumable state machine.
+    # ------------------------------------------------------------------
+    def _start_probe(
+        self,
+        request_factory: Callable[[], object],
+        on_success: Callable[[frozenset, dict, int], None],
+        on_exhausted: Callable[[int], None],
+        *,
+        attempt: int = 0,
+    ) -> None:
+        """Probe quorums until one answers in full or the budget runs out.
+
+        ``on_success(quorum, replies, attempts)`` resumes the operation;
+        ``on_exhausted(attempts)`` reports unavailability.  Each probe arms a
+        timeout; silent members observed at the timeout join ``suspected``
+        before the next quorum is drawn, mirroring the synchronous client.
+        """
+        if attempt >= self.policy.max_attempts:
+            on_exhausted(self.policy.max_attempts)
+            return
+        quorum = self._choose_quorum()
+        self.attempted_access_counts.update(quorum)
+        probe = _ProbeState(quorum)
+        request = request_factory()
+
+        def on_reply(server_id, reply) -> None:
+            if probe.done or server_id in probe.replies:
+                return
+            # An answer exonerates: suspicion from lost messages or a crash
+            # window that has since ended must not permanently remove a
+            # correct server from quorum selection.
+            self.suspected.discard(server_id)
+            probe.replies[server_id] = reply
+            if len(probe.replies) == len(probe.quorum):
+                probe.done = True
+                if probe.timeout_event is not None:
+                    probe.timeout_event.cancel()
+                on_success(probe.quorum, probe.replies, attempt + 1)
+
+        def on_timeout() -> None:
+            if probe.done:
+                return
+            probe.done = True
+            self.timeouts += 1
+            self.suspected |= probe.quorum - probe.replies.keys()
+            self._start_probe(
+                request_factory, on_success, on_exhausted, attempt=attempt + 1
+            )
+
+        self.network.broadcast(quorum, request, on_reply)
+        probe.timeout_event = self.scheduler.schedule(
+            self.policy.request_timeout, on_timeout
+        )
+
+    def _collect_once(
+        self,
+        quorum: frozenset,
+        request: object,
+        on_all: Callable[[dict], None],
+        on_partial: Callable[[], None],
+    ) -> None:
+        """Broadcast to a fixed quorum once; succeed only on a full reply set."""
+        probe = _ProbeState(quorum)
+
+        def on_reply(server_id, reply) -> None:
+            if probe.done or server_id in probe.replies:
+                return
+            self.suspected.discard(server_id)
+            probe.replies[server_id] = reply
+            if len(probe.replies) == len(probe.quorum):
+                probe.done = True
+                if probe.timeout_event is not None:
+                    probe.timeout_event.cancel()
+                on_all(probe.replies)
+
+        def on_timeout() -> None:
+            if probe.done:
+                return
+            probe.done = True
+            self.timeouts += 1
+            self.suspected |= probe.quorum - probe.replies.keys()
+            on_partial()
+
+        self.network.broadcast(quorum, request, on_reply)
+        probe.timeout_event = self.scheduler.schedule(
+            self.policy.request_timeout, on_timeout
+        )
+
+    # ------------------------------------------------------------------
+    # Operation lifecycle helpers.
+    # ------------------------------------------------------------------
+    def _begin(self) -> float:
+        if self._busy:
+            raise SimulationError(
+                f"client {self.client_id} already has an operation in flight; "
+                "a register client is a single sequential process"
+            )
+        self._busy = True
+        self.operations_started += 1
+        return self.scheduler.now
+
+    def _complete(
+        self,
+        kind: str,
+        invoked_at: float,
+        result: OperationResult,
+        on_complete: Callable[[OperationResult], None] | None,
+        *,
+        attempted_pair: ValueTimestampPair | None = None,
+    ) -> None:
+        self._busy = False
+        if result.success:
+            self._record_success(result.quorum)
+        if self.history is not None:
+            self.history.record(
+                client_id=self.client_id,
+                kind=kind,
+                invoked_at=invoked_at,
+                responded_at=self.scheduler.now,
+                result=result,
+                attempted_pair=attempted_pair,
+            )
+        if on_complete is not None:
+            on_complete(result)
+
+    # ------------------------------------------------------------------
+    # Protocol operations (resumable).
+    # ------------------------------------------------------------------
+    def write(
+        self, value: object, on_complete: Callable[[OperationResult], None] | None = None
+    ) -> None:
+        """Start writing ``value``; completion arrives through ``on_complete``."""
+        invoked_at = self._begin()
+
+        def ts_phase_done(quorum: frozenset, replies: dict, attempts: int) -> None:
+            new_timestamp = self._fresh_timestamp(replies)
+            pair = ValueTimestampPair(value=value, timestamp=new_timestamp)
+            request = WriteRequest(client_id=self.client_id, pair=pair)
+
+            def installed(write_quorum: frozenset, attempts_total: int) -> None:
+                self._complete(
+                    "write",
+                    invoked_at,
+                    OperationResult(
+                        success=True,
+                        value=value,
+                        timestamp=new_timestamp,
+                        quorum=write_quorum,
+                        attempts=attempts_total,
+                        latency=self.scheduler.now - invoked_at,
+                    ),
+                    on_complete,
+                    attempted_pair=pair,
+                )
+
+            def retry_install() -> None:
+                # The quorum answered the timestamp query but lost a member
+                # before the write; retry the install through fresh quorums.
+                self._start_probe(
+                    lambda: request,
+                    lambda write_quorum, _replies, retry_attempts: installed(
+                        write_quorum, attempts + retry_attempts
+                    ),
+                    lambda retry_attempts: self._complete(
+                        "write",
+                        invoked_at,
+                        OperationResult(
+                            success=False,
+                            attempts=attempts + retry_attempts,
+                            latency=self.scheduler.now - invoked_at,
+                        ),
+                        on_complete,
+                        attempted_pair=pair,
+                    ),
+                )
+
+            self._collect_once(
+                quorum, request, lambda _replies: installed(quorum, attempts), retry_install
+            )
+
+        self._start_probe(
+            lambda: TimestampRequest(client_id=self.client_id),
+            ts_phase_done,
+            lambda attempts: self._complete(
+                "write",
+                invoked_at,
+                OperationResult(
+                    success=False,
+                    attempts=attempts,
+                    latency=self.scheduler.now - invoked_at,
+                ),
+                on_complete,
+            ),
+        )
+
+    def read(
+        self, on_complete: Callable[[OperationResult], None] | None = None
+    ) -> None:
+        """Start a read; completion arrives through ``on_complete``."""
+        invoked_at = self._begin()
+        state = {"attempts": 0}
+
+        def read_phase_done(quorum: frozenset, replies: dict, attempts: int) -> None:
+            state["attempts"] += attempts
+            votes: Counter = Counter(reply.pair for reply in replies.values())
+            vouched = [pair for pair, count in votes.items() if count >= self.b + 1]
+            if not vouched:
+                # Under concurrency an interleaved write can split the vouch
+                # counts below b + 1; the retry policy decides whether to try
+                # again at a fresh quorum or report the unsuccessful read.
+                if (
+                    self.policy.retry_unvouched_reads
+                    and state["attempts"] < self.policy.max_attempts
+                ):
+                    self._start_probe(
+                        lambda: ReadRequest(client_id=self.client_id),
+                        read_phase_done,
+                        exhausted,
+                    )
+                    return
+                self._complete(
+                    "read",
+                    invoked_at,
+                    OperationResult(
+                        success=False,
+                        quorum=quorum,
+                        attempts=state["attempts"],
+                        latency=self.scheduler.now - invoked_at,
+                    ),
+                    on_complete,
+                )
+                return
+            best = max(vouched, key=lambda pair: pair.timestamp)
+            if best.timestamp > self.last_timestamp:
+                self.last_timestamp = best.timestamp
+            self._complete(
+                "read",
+                invoked_at,
+                OperationResult(
+                    success=True,
+                    value=best.value,
+                    timestamp=best.timestamp,
+                    quorum=quorum,
+                    attempts=state["attempts"],
+                    latency=self.scheduler.now - invoked_at,
+                ),
+                on_complete,
+            )
+
+        def exhausted(attempts: int) -> None:
+            state["attempts"] += attempts
+            self._complete(
+                "read",
+                invoked_at,
+                OperationResult(
+                    success=False,
+                    attempts=state["attempts"],
+                    latency=self.scheduler.now - invoked_at,
+                ),
+                on_complete,
+            )
+
+        self._start_probe(
+            lambda: ReadRequest(client_id=self.client_id), read_phase_done, exhausted
         )

@@ -1,0 +1,502 @@
+"""Discrete-event core of the message-level simulator.
+
+The original message layer was strictly synchronous: a client called
+``network.send`` and got the reply in the same Python call, so only one
+client could be "on the wire" at a time and nothing timing-dependent —
+concurrent readers and writers, slow-but-correct servers, messages lost or
+reordered in flight — could be exercised.  This module replaces that with a
+discrete-event simulation:
+
+* :class:`EventScheduler` — a heap-based event loop with deterministic
+  ``(time, sequence)`` ordering and lazy cancellation;
+* :class:`LatencyModel` — per-link message delays (constant + uniform jitter
+  + exponential tail), with per-server multipliers for asymmetric links;
+* :class:`LinkFaults` — message loss and duplication probabilities
+  (reordering falls out of random per-message latencies);
+* :class:`FaultTimeline` — a time-indexed schedule of
+  :class:`~repro.simulation.faults.FaultScenario` states, so servers can
+  crash and recover *mid-operation*;
+* :class:`EventNetwork` — the asynchronous message layer: ``send`` schedules
+  a delivery and returns immediately; replies come back through callbacks at
+  a later simulated time.
+
+The old synchronous layer survives as the **zero-latency special case**:
+:class:`~repro.simulation.network.SynchronousNetwork` wraps an
+:class:`EventNetwork` with ``LatencyModel.zero()`` and pumps the scheduler to
+quiescence inside each ``send`` — one code path for delivery, dispatch and
+accounting across both layers (and the agreement test in
+``tests/test_simulation_events.py`` holds the two to operation-for-operation
+equality).
+
+Accounting (aligned with the vectorised engine's Definition 3.8 fix): the
+network keeps **attempted** deliveries (every send, crashed/lost included)
+separate from **delivered** requests (actually handled by a responsive
+server); load normalisation by successful operations lives one level up, in
+the clients (see :mod:`repro.simulation.client`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from bisect import bisect_right
+from collections.abc import Callable, Hashable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.simulation.faults import FaultScenario
+from repro.simulation.server import ReplicaServer
+
+__all__ = [
+    "EventNetwork",
+    "EventScheduler",
+    "FaultTimeline",
+    "LatencyModel",
+    "LinkFaults",
+    "ScheduledEvent",
+]
+
+
+# ----------------------------------------------------------------------
+# The event loop.
+# ----------------------------------------------------------------------
+@dataclass(order=True)
+class ScheduledEvent:
+    """A callback scheduled at a simulated time.
+
+    Events are totally ordered by ``(time, sequence)``: the sequence number
+    breaks ties in scheduling order, which keeps runs deterministic for a
+    fixed seed.  Cancellation is lazy — the scheduler skips cancelled events
+    when it pops them.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """A heap-based discrete-event loop.
+
+    ``schedule`` inserts a callback at ``now + delay`` and returns a handle
+    that can be cancelled; ``run`` pops events in time order, advancing
+    :attr:`now` to each event's time before firing it.  Callbacks may
+    schedule further events (that is how protocol state machines resume
+    themselves).
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[ScheduledEvent] = []
+        self._sequence = itertools.count()
+        #: Number of events fired (cancelled events excluded).
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``callback`` to fire ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay} in the past")
+        event = ScheduledEvent(self.now + delay, next(self._sequence), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def run(self, *, until: float | None = None, max_events: int | None = None) -> int:
+        """Fire events in time order; return how many fired.
+
+        Stops when the heap is empty, when the next event lies beyond
+        ``until``, or after ``max_events`` events (a guard against runaway
+        protocol loops).  Events exactly at ``until`` still fire.
+        """
+        fired = 0
+        while self._heap:
+            if max_events is not None and fired >= max_events:
+                break
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._heap)
+            self.now = max(self.now, event.time)
+            event.callback()
+            fired += 1
+            self.events_processed += 1
+        if until is not None:
+            self.now = max(self.now, until)
+        return fired
+
+
+# ----------------------------------------------------------------------
+# Timing knobs.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LatencyModel:
+    """Per-link one-way message delay.
+
+    A delay sample is ``(base + U[0, jitter) + Exp(tail_mean)) * factor``,
+    where ``factor`` is the per-server multiplier (defaults to 1).  With all
+    three parameters zero the model draws **no randomness at all**, which is
+    what makes the zero-latency event network reproduce the synchronous
+    layer's rng stream exactly.
+
+    Parameters
+    ----------
+    base:
+        Deterministic delay component applied to every message.
+    jitter:
+        Width of the uniform random component; any positive jitter makes
+        messages overtake each other (reordering).
+    tail_mean:
+        Mean of an exponential component modelling congestion tails.
+    server_factors:
+        Per-server multiplier on *link* delays to/from that server, as a
+        tuple of ``(server_id, factor)`` pairs — asymmetric links (a distant
+        rack, a congested uplink).  Slow-but-correct *servers* are a fault
+        state, not a link property: use ``FaultScenario.slow``, which
+        stretches service time at the replica.
+    """
+
+    base: float = 0.0
+    jitter: float = 0.0
+    tail_mean: float = 0.0
+    server_factors: tuple = ()
+
+    def __post_init__(self):
+        if self.base < 0 or self.jitter < 0 or self.tail_mean < 0:
+            raise SimulationError("latency components must be non-negative")
+        for server_id, factor in self.server_factors:
+            if factor <= 0:
+                raise SimulationError(
+                    f"latency factor for server {server_id!r} must be positive, got {factor}"
+                )
+
+    @staticmethod
+    def zero() -> "LatencyModel":
+        """The degenerate model: every message arrives instantly."""
+        return LatencyModel()
+
+    @staticmethod
+    def uniform(base: float, jitter: float) -> "LatencyModel":
+        """Constant floor plus uniform jitter — the workhorse LAN model."""
+        return LatencyModel(base=base, jitter=jitter)
+
+    @property
+    def is_zero(self) -> bool:
+        """Whether the model is deterministic zero delay (draws no randomness)."""
+        return self.base == 0.0 and self.jitter == 0.0 and self.tail_mean == 0.0
+
+    def factor_for(self, server_id: Hashable) -> float:
+        for known_id, factor in self.server_factors:
+            if known_id == server_id:
+                return factor
+        return 1.0
+
+    def sample(self, rng: np.random.Generator, server_id: Hashable) -> float:
+        """Draw one one-way delay for a message to/from ``server_id``."""
+        if self.is_zero:
+            return 0.0
+        delay = self.base
+        if self.jitter > 0.0:
+            delay += self.jitter * rng.random()
+        if self.tail_mean > 0.0:
+            delay += rng.exponential(self.tail_mean)
+        return delay * self.factor_for(server_id)
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Message-level link misbehaviour.
+
+    Each direction of each request/reply is independently lost with
+    probability ``loss`` and duplicated with probability ``duplication``.
+    A lost *request* looks to the client exactly like a crashed server (the
+    per-request timeout fires); a lost *reply* additionally means the server
+    did the work without the client learning of it.  With both probabilities
+    zero no randomness is drawn.
+    """
+
+    loss: float = 0.0
+    duplication: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.loss < 1.0:
+            raise SimulationError(f"loss probability must lie in [0, 1), got {self.loss}")
+        if not 0.0 <= self.duplication <= 1.0:
+            raise SimulationError(
+                f"duplication probability must lie in [0, 1], got {self.duplication}"
+            )
+
+    @staticmethod
+    def none() -> "LinkFaults":
+        """Perfectly reliable links."""
+        return LinkFaults()
+
+    @property
+    def is_clean(self) -> bool:
+        return self.loss == 0.0 and self.duplication == 0.0
+
+    def copies(self, rng: np.random.Generator) -> int:
+        """How many copies of a message actually travel (0 = lost)."""
+        if self.is_clean:
+            return 1
+        if self.loss > 0.0 and rng.random() < self.loss:
+            return 0
+        if self.duplication > 0.0 and rng.random() < self.duplication:
+            return 2
+        return 1
+
+
+class FaultTimeline:
+    """A time-indexed schedule of fault states.
+
+    ``transitions`` is a sequence of ``(time, FaultScenario)`` pairs: the
+    scenario at the largest time not exceeding the query time is active.  A
+    single static scenario is the one-entry special case.  This is what lets
+    servers crash and recover *mid-operation*: the network consults the
+    timeline at each delivery's simulated time, so a request sent before a
+    crash can find the server dead on arrival (and vice versa after a
+    recovery).
+    """
+
+    def __init__(self, transitions: Sequence[tuple[float, FaultScenario]]):
+        if not transitions:
+            raise SimulationError("a fault timeline needs at least one state")
+        ordered = sorted(transitions, key=lambda pair: pair[0])
+        if ordered[0][0] > 0.0:
+            raise SimulationError(
+                f"the first timeline state must start at time 0, got {ordered[0][0]}"
+            )
+        times = [time for time, _ in ordered]
+        if len(set(times)) != len(times):
+            raise SimulationError("timeline transition times must be distinct")
+        self._times = times
+        self._scenarios = [scenario for _, scenario in ordered]
+
+    @staticmethod
+    def static(scenario: FaultScenario) -> "FaultTimeline":
+        """Wrap a single scenario as an always-active timeline."""
+        return FaultTimeline([(0.0, scenario)])
+
+    @property
+    def scenarios(self) -> tuple[FaultScenario, ...]:
+        return tuple(self._scenarios)
+
+    @property
+    def byzantine(self) -> frozenset:
+        """Servers Byzantine in *any* state (replica behaviour is fixed per run)."""
+        result: frozenset = frozenset()
+        for scenario in self._scenarios:
+            result |= scenario.byzantine
+        return result
+
+    @property
+    def max_byzantine(self) -> int:
+        """The largest simultaneous Byzantine count over all states."""
+        return max(scenario.num_byzantine for scenario in self._scenarios)
+
+    def active(self, time: float) -> FaultScenario:
+        """The fault state in force at simulated ``time``."""
+        return self._scenarios[bisect_right(self._times, time) - 1]
+
+    def validate_against(self, universe) -> None:
+        """Check that every state only mentions servers of ``universe``."""
+        universe_set = universe.as_frozenset()
+        for time, state in zip(self._times, self._scenarios):
+            unknown = (
+                state.byzantine
+                | state.crashed
+                | frozenset(server_id for server_id, _ in state.slow)
+            ) - universe_set
+            if unknown:
+                raise SimulationError(
+                    f"fault state at time {time} mentions servers outside the "
+                    f"universe: {sorted(unknown, key=repr)[:4]}"
+                )
+
+    def is_responsive(self, server_id: Hashable, time: float) -> bool:
+        return self.active(time).is_responsive(server_id)
+
+    def slow_factor(self, server_id: Hashable, time: float) -> float:
+        return self.active(time).slow_factor(server_id)
+
+
+# ----------------------------------------------------------------------
+# The asynchronous message layer.
+# ----------------------------------------------------------------------
+_HANDLERS = {
+    "TimestampRequest": "handle_timestamp",
+    "ReadRequest": "handle_read",
+    "WriteRequest": "handle_write",
+}
+
+
+class EventNetwork:
+    """Connects replicas through the event scheduler.
+
+    ``send`` charges the attempted-delivery counter, samples the request's
+    fate (latency, loss, duplication) and returns immediately; the reply — if
+    the server is responsive at delivery time and no message is lost — comes
+    back through ``on_reply(server_id, reply)`` at a strictly later scheduler
+    step.  Crashed servers and lost messages produce *nothing*: detecting
+    silence is the caller's job (clients run per-request timeouts).
+
+    Parameters
+    ----------
+    servers:
+        Replica objects keyed by server id.
+    timeline:
+        Fault states over time (a static :class:`FaultScenario` is wrapped
+        automatically).  Slow-server factors of the active state stretch the
+        server's service time.
+    scheduler:
+        The event loop deliveries are scheduled on.
+    latency / faults:
+        Link timing and reliability knobs; both default to the clean
+        zero-latency model under which no network randomness is drawn.
+    rng:
+        Randomness source for latency samples and loss/duplication draws
+        (unused — and never advanced — when both models are deterministic).
+    """
+
+    def __init__(
+        self,
+        servers: dict[Hashable, ReplicaServer],
+        timeline: FaultTimeline | FaultScenario,
+        *,
+        scheduler: EventScheduler,
+        latency: LatencyModel | None = None,
+        faults: LinkFaults | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        if not servers:
+            raise SimulationError("a network needs at least one replica")
+        if isinstance(timeline, FaultScenario):
+            timeline = FaultTimeline.static(timeline)
+        self._servers = dict(servers)
+        self.timeline = timeline
+        self.scheduler = scheduler
+        self.latency = latency if latency is not None else LatencyModel.zero()
+        self.faults = faults if faults is not None else LinkFaults.none()
+        self.rng = rng if rng is not None else np.random.default_rng()
+        #: Requests sent to each server (crashed/lost ones included: the
+        #: client pays the message either way).
+        self.attempted_counts: dict[Hashable, int] = {sid: 0 for sid in self._servers}
+        #: Requests actually handled by a responsive server.
+        self.delivered_counts: dict[Hashable, int] = {sid: 0 for sid in self._servers}
+
+    @property
+    def server_ids(self) -> frozenset:
+        """The identities of all replicas on the network."""
+        return frozenset(self._servers)
+
+    def server(self, server_id: Hashable) -> ReplicaServer:
+        """Return the replica object with the given id (test/inspection hook)."""
+        return self._servers[server_id]
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    def _dispatch(self, server: ReplicaServer, request: object) -> object:
+        handler_name = _HANDLERS.get(type(request).__name__)
+        if handler_name is None:
+            raise SimulationError(f"unsupported request type {type(request).__name__}")
+        return getattr(server, handler_name)(request)
+
+    def send(
+        self,
+        server_id: Hashable,
+        request: object,
+        on_reply: Callable[[Hashable, object], None],
+    ) -> None:
+        """Send ``request`` towards one replica; the reply arrives by callback.
+
+        The request travels for one sampled latency, is handled (or silently
+        dropped, if the server is crashed *at delivery time* or the message
+        is lost), and the reply travels back for another sampled latency —
+        possibly overtaking other messages.  Duplicated requests are handled
+        twice; the caller sees at most one reply per handled copy and must
+        de-duplicate by ``server_id`` if it cares.
+        """
+        server = self._servers.get(server_id)
+        if server is None:
+            raise SimulationError(f"no replica with id {server_id!r} on this network")
+        if request is None:
+            raise SimulationError("cannot deliver an empty request")
+        self.attempted_counts[server_id] += 1
+        for _ in range(self.faults.copies(self.rng)):
+            request_delay = self.latency.sample(self.rng, server_id)
+            self.scheduler.schedule(
+                request_delay,
+                lambda: self._deliver(server_id, server, request, on_reply),
+            )
+
+    def _deliver(
+        self,
+        server_id: Hashable,
+        server: ReplicaServer,
+        request: object,
+        on_reply: Callable[[Hashable, object], None],
+    ) -> None:
+        arrival = self.scheduler.now
+        if not self.timeline.is_responsive(server_id, arrival):
+            return  # dead on arrival: the client's timeout is the only signal
+        self.delivered_counts[server_id] += 1
+        reply = self._dispatch(server, request)
+        slow = self.timeline.slow_factor(server_id, arrival)
+        # A slow server stretches its service time by (factor - 1) mean link
+        # latencies; with a zero-latency model there is no timescale to
+        # stretch, so slowness degenerates to zero delay (the synchronous
+        # special case cannot express it).
+        service_delay = 0.0
+        if not self.latency.is_zero and slow > 1.0:
+            mean_latency = (
+                self.latency.base + 0.5 * self.latency.jitter + self.latency.tail_mean
+            )
+            service_delay = (slow - 1.0) * mean_latency
+        for _ in range(self.faults.copies(self.rng)):
+            reply_delay = self.latency.sample(self.rng, server_id)
+            self.scheduler.schedule(
+                service_delay + reply_delay, lambda: on_reply(server_id, reply)
+            )
+
+    def broadcast(
+        self,
+        server_ids: Iterable[Hashable],
+        request: object,
+        on_reply: Callable[[Hashable, object], None],
+    ) -> None:
+        """Send ``request`` to several replicas; replies arrive individually."""
+        for server_id in server_ids:
+            self.send(server_id, request, on_reply)
+
+    def empirical_message_rates(self, total_operations: int) -> dict[Hashable, float]:
+        """Attempted deliveries per server, per client operation.
+
+        This is a *message* rate (retries, both write phases and probes to
+        crashed servers included) — a cost diagnostic, **not** the empirical
+        load of Definition 3.8.  The load (successful-operation access
+        frequency) is accounted at the client layer; see
+        ``QuorumClient.successful_access_counts``.
+        """
+        if total_operations <= 0:
+            raise SimulationError(
+                f"total_operations must be positive, got {total_operations}"
+            )
+        return {
+            server_id: count / total_operations
+            for server_id, count in self.attempted_counts.items()
+        }

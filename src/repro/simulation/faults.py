@@ -33,10 +33,17 @@ class FaultScenario:
     crashed:
         Servers that never respond.  A server cannot be both Byzantine and
         crashed; crashing a Byzantine server would only weaken it.
+    slow:
+        *Timing* faults: ``(server_id, factor)`` pairs for servers that are
+        correct but slow — their service time is stretched by ``factor`` > 1.
+        Only the event-driven layer (:mod:`repro.simulation.events`) gives
+        slowness meaning; the synchronous and vectorised layers, which have
+        no notion of time, ignore it.  A crashed server cannot also be slow.
     """
 
     byzantine: frozenset = field(default_factory=frozenset)
     crashed: frozenset = field(default_factory=frozenset)
+    slow: tuple = ()
 
     def __post_init__(self):
         overlap = self.byzantine & self.crashed
@@ -44,6 +51,21 @@ class FaultScenario:
             raise SimulationError(
                 f"servers {sorted(overlap, key=repr)[:4]} are marked both Byzantine and crashed"
             )
+        if isinstance(self.slow, dict):
+            object.__setattr__(
+                self,
+                "slow",
+                tuple(sorted(self.slow.items(), key=lambda item: repr(item[0]))),
+            )
+        for server_id, factor in self.slow:
+            if factor < 1.0:
+                raise SimulationError(
+                    f"slow factor for server {server_id!r} must be >= 1, got {factor}"
+                )
+            if server_id in self.crashed:
+                raise SimulationError(
+                    f"server {server_id!r} is marked both crashed and slow"
+                )
 
     @property
     def num_byzantine(self) -> int:
@@ -62,6 +84,13 @@ class FaultScenario:
     def is_responsive(self, server_id: Hashable) -> bool:
         """Return ``True`` when the server replies to messages (possibly with lies)."""
         return server_id not in self.crashed
+
+    def slow_factor(self, server_id: Hashable) -> float:
+        """Service-time multiplier of a server (1.0 unless marked slow)."""
+        for known_id, factor in self.slow:
+            if known_id == server_id:
+                return factor
+        return 1.0
 
     @staticmethod
     def fault_free() -> "FaultScenario":
@@ -120,8 +149,28 @@ class FaultInjector:
         )
         return FaultScenario(byzantine=byzantine_set, crashed=crashed)
 
-    def targeted(self, byzantine: Iterable[Hashable], crashed: Iterable[Hashable] = ()) -> FaultScenario:
+    def targeted(
+        self,
+        byzantine: Iterable[Hashable],
+        crashed: Iterable[Hashable] = (),
+        *,
+        slow: dict | None = None,
+    ) -> FaultScenario:
         """Return a scenario with explicitly chosen fault sets (validated against the universe)."""
         byzantine_set = self.universe.subset(byzantine)
         crashed_set = self.universe.subset(crashed)
-        return FaultScenario(byzantine=byzantine_set, crashed=crashed_set)
+        slow_map = dict(slow) if slow else {}
+        unknown = frozenset(slow_map) - self.universe.as_frozenset()
+        if unknown:
+            raise SimulationError(
+                f"slow servers outside the universe: {sorted(unknown, key=repr)[:4]}"
+            )
+        return FaultScenario(byzantine=byzantine_set, crashed=crashed_set, slow=slow_map)
+
+    def slow(self, count: int, factor: float, *, byzantine: Iterable[Hashable] = ()) -> FaultScenario:
+        """Return a scenario with ``count`` uniformly chosen slow-but-correct servers."""
+        byzantine_set = self.universe.subset(byzantine)
+        chosen = self._sample_servers(count, excluded=byzantine_set)
+        return FaultScenario(
+            byzantine=byzantine_set, slow={server_id: factor for server_id in chosen}
+        )

@@ -1,0 +1,316 @@
+"""Concurrent-history recording and checking for the replicated register.
+
+The event-driven simulator produces *histories*: per-operation records with
+real (simulated) invocation and response times, so operations of different
+clients genuinely overlap.  This module checks such histories against the
+register semantics the paper's ``2b + 1``-intersection argument guarantees —
+a linearizability-style analysis specialised to the [MR98a] masking-quorum
+register.
+
+What the protocol guarantees (and the checker asserts), with at most ``b``
+Byzantine servers:
+
+* **Unique write timestamps** — every write operation carries a distinct
+  ``(counter, client_id)`` timestamp: counters grow monotonically per client
+  and the client id breaks cross-client ties.
+* **Per-client monotonicity** — a client's successive writes carry strictly
+  increasing timestamps.
+* **Real-time write order** — if write ``A`` completed before write ``B``
+  was invoked, then ``ts(B) > ts(A)``: ``B``'s timestamp query intersects
+  ``A``'s write quorum in at least ``b + 1`` honest servers, so ``B`` picks
+  a larger timestamp.
+* **No fabrication** — a successful read returns the initial pair or a pair
+  some write operation actually produced (a pair vouched by ``b + 1``
+  members of the read quorum contains at least one honest voucher).  A read
+  concurrent with a write may return the old *or* the new value — but never
+  a Byzantine invention.
+* **No stale reads** — a successful read's timestamp is at least that of the
+  latest write that *completed* before the read was invoked (the
+  ``2b + 1``-intersection argument again).
+
+Reads are **not** required to be monotonic across clients (or even within
+one client): [MR98a] readers do not write back, so a value from an
+incomplete write can be seen by one read and missed by the next.  That is
+the well-known gap between the masking register's *regular-like* semantics
+and full atomicity, and the checker deliberately does not flag it.
+
+Beyond the masking bound (``2b + 1`` colluders answering reads) fabrication
+becomes possible; ``check_register_history`` is exactly the oracle that
+detects it, and the negative tests assert that it does.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.simulation.client import OperationResult
+from repro.simulation.messages import Timestamp, ValueTimestampPair
+
+__all__ = [
+    "HistoryCheck",
+    "HistoryRecorder",
+    "OperationRecord",
+    "check_register_history",
+]
+
+
+@dataclass(frozen=True)
+class OperationRecord:
+    """One completed operation of a concurrent history.
+
+    ``attempted_pair`` is the ``(value, timestamp)`` pair a write tried to
+    install — present even when the write failed after its timestamp phase,
+    because a *partially* installed pair can legitimately surface in a later
+    read and the checker must not call that fabrication.
+    """
+
+    client_id: int
+    kind: str  # "read" | "write"
+    invoked_at: float
+    responded_at: float
+    success: bool
+    value: object = None
+    timestamp: Timestamp | None = None
+    quorum: frozenset | None = None
+    attempts: int = 0
+    attempted_pair: ValueTimestampPair | None = None
+
+    @property
+    def pair(self) -> ValueTimestampPair | None:
+        """The value/timestamp pair this operation wrote or returned."""
+        if self.kind == "write":
+            return self.attempted_pair
+        if self.success:
+            return ValueTimestampPair(value=self.value, timestamp=self.timestamp)
+        return None
+
+
+class HistoryRecorder:
+    """Collects :class:`OperationRecord` entries as operations complete.
+
+    Handed to :class:`~repro.simulation.client.AsyncQuorumClient` instances;
+    all clients of one run share a recorder, so the records interleave in
+    completion order with genuine overlapping intervals.
+    """
+
+    def __init__(self, initial_pair: ValueTimestampPair | None = None):
+        self.initial_pair = (
+            initial_pair
+            if initial_pair is not None
+            else ValueTimestampPair(value=None, timestamp=Timestamp.zero())
+        )
+        self.records: list[OperationRecord] = []
+
+    def record(
+        self,
+        *,
+        client_id: int,
+        kind: str,
+        invoked_at: float,
+        responded_at: float,
+        result: OperationResult,
+        attempted_pair: ValueTimestampPair | None = None,
+    ) -> None:
+        """Append one completed operation."""
+        self.records.append(
+            OperationRecord(
+                client_id=client_id,
+                kind=kind,
+                invoked_at=invoked_at,
+                responded_at=responded_at,
+                success=result.success,
+                value=result.value,
+                timestamp=result.timestamp,
+                quorum=result.quorum,
+                attempts=result.attempts,
+                attempted_pair=attempted_pair,
+            )
+        )
+
+    def check(self, *, max_violations: int = 20) -> "HistoryCheck":
+        """Run :func:`check_register_history` over the collected records."""
+        return check_register_history(
+            self.records, initial_pair=self.initial_pair, max_violations=max_violations
+        )
+
+
+@dataclass(frozen=True)
+class HistoryCheck:
+    """Outcome of checking one concurrent history.
+
+    ``violations`` holds human-readable descriptions (capped); the counters
+    classify them: fabricated reads (value no write produced), stale reads
+    (older than the last completed write), write-order violations (real-time
+    order not reflected in timestamps) and duplicate write timestamps.
+    """
+
+    operations: int
+    concurrent_pairs: int
+    fabricated_reads: int = 0
+    stale_reads: int = 0
+    write_order_violations: int = 0
+    duplicate_write_timestamps: int = 0
+    violations: tuple = ()
+
+    @property
+    def ok(self) -> bool:
+        """Whether the history satisfies the masked-register semantics."""
+        return (
+            self.fabricated_reads == 0
+            and self.stale_reads == 0
+            and self.write_order_violations == 0
+            and self.duplicate_write_timestamps == 0
+        )
+
+
+def _count_concurrent_pairs(records: Sequence[OperationRecord]) -> int:
+    """How many operation pairs genuinely overlap in time (concurrency gauge).
+
+    Two operations overlap when each was invoked before the other responded
+    (intervals merely touching do not count).  Counted as total pairs minus
+    disjoint pairs, so pairs invoked at the *same* instant — every client's
+    first operation under the default zero think time — are counted too.
+    """
+    total = len(records)
+    ends = sorted(record.responded_at for record in records)
+    disjoint = 0
+    instantaneous: dict[float, int] = {}
+    for record in records:
+        # Pairs where the other operation responded at-or-before this one's
+        # invocation are disjoint, counted from their later member.  An
+        # instantaneous operation would count itself here, so exclude it.
+        predecessors = bisect_right(ends, record.invoked_at)
+        if record.responded_at <= record.invoked_at:
+            predecessors -= 1
+            instantaneous[record.invoked_at] = (
+                instantaneous.get(record.invoked_at, 0) + 1
+            )
+        disjoint += predecessors
+    # Two instantaneous operations at the same instant are disjoint in both
+    # directions and got counted twice; remove the double count.
+    disjoint -= sum(k * (k - 1) // 2 for k in instantaneous.values())
+    return total * (total - 1) // 2 - disjoint
+
+
+def check_register_history(
+    records: Iterable[OperationRecord],
+    *,
+    initial_pair: ValueTimestampPair | None = None,
+    max_violations: int = 20,
+) -> HistoryCheck:
+    """Check a concurrent history against the masking-register semantics.
+
+    See the module docstring for the exact properties.  The check is
+    ``O(n log n)`` in the number of operations: real-time precedence uses a
+    prefix-maximum over completion-sorted successful writes.
+    """
+    records = list(records)
+    initial = (
+        initial_pair
+        if initial_pair is not None
+        else ValueTimestampPair(value=None, timestamp=Timestamp.zero())
+    )
+    violations: list[str] = []
+    fabricated = stale = order_violations = duplicates = 0
+
+    def note(message: str) -> None:
+        if len(violations) < max_violations:
+            violations.append(message)
+
+    writes = [record for record in records if record.kind == "write"]
+    reads = [record for record in records if record.kind == "read"]
+
+    # --- unique write timestamps (all attempts that produced a pair).
+    seen: dict[Timestamp, OperationRecord] = {}
+    for record in writes:
+        if record.attempted_pair is None:
+            continue
+        timestamp = record.attempted_pair.timestamp
+        if timestamp in seen:
+            duplicates += 1
+            note(
+                f"writes by clients {seen[timestamp].client_id} and "
+                f"{record.client_id} share timestamp {timestamp}"
+            )
+        else:
+            seen[timestamp] = record
+
+    # --- per-client strictly increasing write timestamps.
+    last_by_client: dict[int, Timestamp] = {}
+    for record in sorted(writes, key=lambda item: item.invoked_at):
+        if record.attempted_pair is None:
+            continue
+        timestamp = record.attempted_pair.timestamp
+        previous = last_by_client.get(record.client_id)
+        if previous is not None and not timestamp > previous:
+            order_violations += 1
+            note(
+                f"client {record.client_id} wrote {timestamp} after {previous}"
+            )
+        last_by_client[record.client_id] = timestamp
+
+    # --- real-time order and staleness via a prefix max over completions.
+    completed = sorted(
+        (record for record in writes if record.success),
+        key=lambda item: item.responded_at,
+    )
+    completion_times = [record.responded_at for record in completed]
+    prefix_max: list[Timestamp] = []
+    best = initial.timestamp
+    for record in completed:
+        if record.timestamp > best:
+            best = record.timestamp
+        prefix_max.append(best)
+
+    def latest_completed_before(time: float) -> Timestamp:
+        """Largest timestamp among successful writes completed before ``time``."""
+        index = bisect_left(completion_times, time)
+        if index == 0:
+            return initial.timestamp
+        return prefix_max[index - 1]
+
+    for record in completed:
+        floor = latest_completed_before(record.invoked_at)
+        if not record.timestamp > floor:
+            order_violations += 1
+            note(
+                f"write {record.timestamp} by client {record.client_id} does not "
+                f"exceed {floor}, installed by a write that completed before it began"
+            )
+
+    # --- reads: no fabrication, no staleness.
+    legitimate = {initial}
+    for record in writes:
+        if record.attempted_pair is not None:
+            legitimate.add(record.attempted_pair)
+
+    for record in reads:
+        if not record.success:
+            continue  # aborted/unavailable reads make no claim
+        pair = ValueTimestampPair(value=record.value, timestamp=record.timestamp)
+        if pair not in legitimate:
+            fabricated += 1
+            note(
+                f"read by client {record.client_id} returned {pair.value!r} @ "
+                f"{pair.timestamp}, which no write produced"
+            )
+            continue
+        floor = latest_completed_before(record.invoked_at)
+        if record.timestamp < floor:
+            stale += 1
+            note(
+                f"read by client {record.client_id} returned {record.timestamp}, "
+                f"older than {floor} which was completely written before the read began"
+            )
+
+    return HistoryCheck(
+        operations=len(records),
+        concurrent_pairs=_count_concurrent_pairs(records),
+        fabricated_reads=fabricated,
+        stale_reads=stale,
+        write_order_violations=order_violations,
+        duplicate_write_timestamps=duplicates,
+        violations=tuple(violations),
+    )

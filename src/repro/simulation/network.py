@@ -1,14 +1,29 @@
-"""A synchronous message layer connecting clients to replicas.
+"""The synchronous message layer, as the zero-latency event-network special case.
 
 The paper's model is asynchronous-but-responsive: a client sends a request to
 every member of a quorum and waits for all of their answers (Byzantine
 replicas do answer — only crashed ones stay silent).  This layer models that
-with synchronous request/response calls: the response from a crashed replica
-is ``None``, everything else is delivered immediately.
+with synchronous request/response calls: ``send`` returns the reply in the
+same Python call, and the response from a crashed replica is ``None``.
 
-The network also keeps per-server delivery counters, which the experiment
-runner uses to measure the *empirical load* of an access strategy and compare
-it with the analytic ``L(Q)`` of Definition 3.8.
+Since the event-driven core landed, this is no longer a separate
+implementation: :class:`SynchronousNetwork` wraps an
+:class:`~repro.simulation.events.EventNetwork` with
+``LatencyModel.zero()`` and perfectly reliable links, and pumps the private
+event scheduler to quiescence inside each ``send``.  Delivery, dispatch and
+accounting are therefore one code path shared with the concurrent layer, and
+``tests/test_simulation_events.py`` holds the two to operation-for-operation
+agreement.
+
+Accounting (aligned with the vectorised engine's Definition 3.8 fix): the
+network distinguishes **attempted** deliveries (every send — probes of
+crashed servers and both write phases included) from **delivered** requests
+(actually handled by a responsive replica).  Neither is the empirical *load*
+of Definition 3.8 — that is a successful-operation access frequency and is
+accounted at the client layer (``QuorumClient.successful_access_counts``,
+aggregated by ``ReplicatedRegister.empirical_loads``).  The network exposes
+its counters as per-operation *message rates*, a cost diagnostic mirroring
+the engine's ``per_server_messages`` / ``per_server_attempted``.
 """
 
 from __future__ import annotations
@@ -16,6 +31,7 @@ from __future__ import annotations
 from collections.abc import Hashable, Iterable
 
 from repro.exceptions import SimulationError
+from repro.simulation.events import EventNetwork, EventScheduler
 from repro.simulation.faults import FaultScenario
 from repro.simulation.server import ReplicaServer
 
@@ -23,7 +39,7 @@ __all__ = ["SynchronousNetwork"]
 
 
 class SynchronousNetwork:
-    """Connects a set of replicas and applies the fault scenario to deliveries.
+    """Connects a set of replicas with immediate request/response delivery.
 
     Parameters
     ----------
@@ -35,62 +51,79 @@ class SynchronousNetwork:
     """
 
     def __init__(self, servers: dict[Hashable, ReplicaServer], scenario: FaultScenario):
-        if not servers:
-            raise SimulationError("a network needs at least one replica")
-        self._servers = dict(servers)
         self.scenario = scenario
-        #: Number of requests delivered to each server (crashed ones included:
-        #: the request is sent even though no answer comes back).
-        self.delivery_counts: dict[Hashable, int] = {
-            server_id: 0 for server_id in self._servers
-        }
+        self._scheduler = EventScheduler()
+        # The zero-latency, loss-free special case: deliveries happen "now"
+        # and no network randomness is ever drawn, so wrapping the event core
+        # is observationally identical to the old hand-rolled synchronous
+        # implementation (and shares its accounting).
+        self._events = EventNetwork(servers, scenario, scheduler=self._scheduler)
 
     @property
     def server_ids(self) -> frozenset:
         """The identities of all replicas on the network."""
-        return frozenset(self._servers)
+        return self._events.server_ids
 
     def server(self, server_id: Hashable) -> ReplicaServer:
         """Return the replica object with the given id (test/inspection hook)."""
-        return self._servers[server_id]
+        return self._events.server(server_id)
+
+    @property
+    def attempted_counts(self) -> dict[Hashable, int]:
+        """Requests sent to each server, crashed destinations included."""
+        return self._events.attempted_counts
+
+    @property
+    def delivered_counts(self) -> dict[Hashable, int]:
+        """Requests actually handled by each (responsive) server."""
+        return self._events.delivered_counts
+
+    #: Backwards-compatible alias: the pre-split ``delivery_counts`` counted
+    #: every send, which is the *attempted* tally under the new names.
+    @property
+    def delivery_counts(self) -> dict[Hashable, int]:
+        return self._events.attempted_counts
 
     def send(self, server_id: Hashable, request: object) -> object | None:
         """Deliver ``request`` to one replica and return its response.
 
         Returns ``None`` when the replica has crashed.  Unknown server ids
-        are a configuration error and raise.
+        and empty requests are configuration errors and raise.
         """
-        server = self._servers.get(server_id)
-        if server is None:
-            raise SimulationError(f"no replica with id {server_id!r} on this network")
-        self.delivery_counts[server_id] += 1
-        if not self.scenario.is_responsive(server_id):
-            return None
-        if isinstance(request, type(None)):
-            raise SimulationError("cannot deliver an empty request")
-        # Dispatch on the request type using the replica's handlers.
-        handler_name = {
-            "TimestampRequest": "handle_timestamp",
-            "ReadRequest": "handle_read",
-            "WriteRequest": "handle_write",
-        }.get(type(request).__name__)
-        if handler_name is None:
-            raise SimulationError(f"unsupported request type {type(request).__name__}")
-        return getattr(server, handler_name)(request)
+        replies: list[object] = []
+        self._events.send(server_id, request, lambda _sid, reply: replies.append(reply))
+        self._scheduler.run()
+        return replies[0] if replies else None
 
     def broadcast(self, server_ids: Iterable[Hashable], request: object) -> dict[Hashable, object | None]:
         """Deliver ``request`` to several replicas and collect their responses."""
         return {server_id: self.send(server_id, request) for server_id in server_ids}
 
-    def empirical_loads(self, total_accesses: int) -> dict[Hashable, float]:
-        """Return per-server access frequencies relative to ``total_accesses``.
+    def empirical_message_rates(
+        self, total_operations: int, *, which: str = "attempted"
+    ) -> dict[Hashable, float]:
+        """Per-server messages per client operation (a cost diagnostic).
 
-        This is the empirical counterpart of the induced load ``l_w(u)``: the
-        fraction of client operations that touched each server.
+        ``which="attempted"`` counts every send (failed probes to crashed
+        servers and both write phases included) — the quantity the pre-fix
+        ``empirical_loads`` conflated with the load, which can exceed 1 under
+        heavy faults.  ``which="delivered"`` counts only requests a
+        responsive server handled.  For the empirical *load* of
+        Definition 3.8 (successful-operation access frequencies, never above
+        1) use ``ReplicatedRegister.empirical_loads``.
         """
-        if total_accesses <= 0:
-            raise SimulationError(f"total_accesses must be positive, got {total_accesses}")
+        if total_operations <= 0:
+            raise SimulationError(
+                f"total_operations must be positive, got {total_operations}"
+            )
+        if which == "attempted":
+            counts = self._events.attempted_counts
+        elif which == "delivered":
+            counts = self._events.delivered_counts
+        else:
+            raise SimulationError(
+                f"which must be 'attempted' or 'delivered', got {which!r}"
+            )
         return {
-            server_id: count / total_accesses
-            for server_id, count in self.delivery_counts.items()
+            server_id: count / total_operations for server_id, count in counts.items()
         }

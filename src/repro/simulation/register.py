@@ -100,6 +100,7 @@ class ReplicatedRegister:
         self.servers = servers
         self.network = SynchronousNetwork(servers, scenario)
         self._next_client_id = 0
+        self._clients: list[QuorumClient] = []
 
     def client(
         self, *, max_attempts: int = 10, strategy: Strategy | None = None
@@ -120,6 +121,7 @@ class ReplicatedRegister:
             strategy=strategy if strategy is not None else self.strategy,
         )
         self._next_client_id += 1
+        self._clients.append(client)
         return client
 
     # ------------------------------------------------------------------
@@ -133,10 +135,45 @@ class ReplicatedRegister:
             if self.scenario.is_correct(server_id)
         }
 
-    def empirical_loads(self, total_operations: int) -> dict[Hashable, float]:
-        """Return per-server access frequency over ``total_operations`` client operations."""
-        return self.network.empirical_loads(total_operations)
+    def empirical_loads(self) -> dict[Hashable, float]:
+        """Per-server access frequency over *successful* client operations.
 
-    def max_empirical_load(self, total_operations: int) -> float:
+        The empirical counterpart of the induced load ``l_w(u)`` of
+        Definition 3.8, under the same accounting as the vectorised engine's
+        ``per_server_load``: the numerator counts each server once per
+        successful operation whose quorum contained it, and the denominator
+        is the number of successful operations — so values are genuine
+        access frequencies and never exceed 1.  Probes of failed operations
+        are visible separately through ``attempted_loads``.
+        """
+        successful = max(
+            1, sum(client.successful_operations for client in self._clients)
+        )
+        return {
+            server_id: sum(
+                client.successful_access_counts[server_id] for client in self._clients
+            )
+            / successful
+            for server_id in self.system.universe
+        }
+
+    def attempted_loads(self) -> dict[Hashable, float]:
+        """Per-server probe frequency counting every attempt, failures included.
+
+        Normalised by all started operations — the diagnostic mirror of the
+        engine's ``per_server_attempted`` (this is the quantity the pre-fix
+        accounting conflated with the load; it can legitimately exceed 1
+        under heavy faults because one operation may probe many quorums).
+        """
+        total = max(1, sum(client.operations_started for client in self._clients))
+        return {
+            server_id: sum(
+                client.attempted_access_counts[server_id] for client in self._clients
+            )
+            / total
+            for server_id in self.system.universe
+        }
+
+    def max_empirical_load(self) -> float:
         """Return the busiest server's empirical access frequency."""
-        return max(self.empirical_loads(total_operations).values())
+        return max(self.empirical_loads().values())

@@ -21,17 +21,344 @@ load, which could exceed 1 under heavy faults).
 
 from __future__ import annotations
 
+from collections.abc import Hashable
+from dataclasses import dataclass, field
+
 import numpy as np
 
 from repro.core.quorum_system import QuorumSystem
 from repro.core.strategy import Strategy
 from repro.exceptions import SimulationError
-from repro.simulation.engine import WorkloadResult, run_scenario
+from repro.simulation.client import AsyncQuorumClient, RetryPolicy
+from repro.simulation.engine import WorkloadResult, resolve_strategy, run_scenario
+from repro.simulation.events import (
+    EventNetwork,
+    EventScheduler,
+    FaultTimeline,
+    LatencyModel,
+    LinkFaults,
+)
 from repro.simulation.faults import FaultScenario
-from repro.simulation.scenarios import BYZANTINE_MODELS, WorkloadScenario
-from repro.simulation.server import BYZANTINE_BEHAVIOURS
+from repro.simulation.history import HistoryCheck, HistoryRecorder
+from repro.simulation.messages import Timestamp, ValueTimestampPair
+from repro.simulation.scenarios import (
+    BYZANTINE_MODELS,
+    TimingScenario,
+    WorkloadScenario,
+)
+from repro.simulation.server import (
+    BYZANTINE_BEHAVIOURS,
+    ByzantineReplicaServer,
+    ReplicaServer,
+)
 
-__all__ = ["WorkloadResult", "run_workload"]
+__all__ = [
+    "EventWorkloadResult",
+    "WorkloadResult",
+    "build_replicas",
+    "run_event_workload",
+    "run_workload",
+]
+
+
+def build_replicas(
+    system: QuorumSystem,
+    byzantine: frozenset,
+    *,
+    byzantine_behaviour: str = "fabricate-timestamp",
+    initial_value: object = None,
+    rng: np.random.Generator | None = None,
+) -> dict[Hashable, ReplicaServer]:
+    """One replica per universe element, Byzantine where ``byzantine`` says so.
+
+    Shared by :class:`~repro.simulation.register.ReplicatedRegister` setups
+    and the event-driven drivers; Byzantine replicas get independent
+    generators spawned from ``rng`` so replica randomness never perturbs the
+    clients' draw streams (the zero-latency agreement relies on that).
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    seeds = iter(rng.integers(2**63, size=max(1, len(byzantine))))
+    servers: dict[Hashable, ReplicaServer] = {}
+    for server_id in system.universe:
+        if server_id in byzantine:
+            servers[server_id] = ByzantineReplicaServer(
+                server_id,
+                behaviour=byzantine_behaviour,
+                rng=np.random.default_rng(int(next(seeds))),
+                initial_value=initial_value,
+            )
+        else:
+            servers[server_id] = ReplicaServer(server_id, initial_value=initial_value)
+    return servers
+
+
+@dataclass
+class EventWorkloadResult(WorkloadResult):
+    """A :class:`WorkloadResult` extended with timing and history facts.
+
+    The inherited accounting keeps its engine semantics (``per_server_load``
+    over successful operations, ``per_server_attempted`` over every probe,
+    ``per_server_messages`` as raw sends per operation), while the event
+    layer adds what only a clock can measure:
+
+    Attributes
+    ----------
+    duration:
+        Simulated time from the first invocation to the last completion.
+    events_processed:
+        Scheduler events fired over the run.
+    timeouts:
+        Probes that ran into their request timeout.
+    latency_mean / latency_p50 / latency_p90 / latency_p99:
+        Operation latency statistics over successful operations (simulated
+        time units; ``0.0`` when nothing succeeded).
+    check:
+        The concurrent-history consistency verdict
+        (:class:`~repro.simulation.history.HistoryCheck`);
+        ``consistency_violations`` and ``stale_reads`` of the base class are
+        its fabricated/stale counters.
+    history:
+        The raw operation records (populated when ``keep_history=True``).
+    """
+
+    duration: float = 0.0
+    events_processed: int = 0
+    timeouts: int = 0
+    latency_mean: float = 0.0
+    latency_p50: float = 0.0
+    latency_p90: float = 0.0
+    latency_p99: float = 0.0
+    check: HistoryCheck | None = None
+    history: tuple = field(default_factory=tuple)
+
+
+def _resolve_timing(scenario, latency, link_faults, byzantine_behaviour):
+    """Normalise the scenario argument into (timeline, latency, faults, behaviour).
+
+    Explicit keyword arguments win over what a :class:`TimingScenario`
+    bundles; ``None`` means "use the scenario's choice, else the default".
+    """
+    if scenario is None:
+        scenario = FaultScenario.fault_free()
+    if isinstance(scenario, TimingScenario):
+        return (
+            scenario.timeline(),
+            latency if latency is not None else scenario.latency,
+            link_faults if link_faults is not None else scenario.link_faults,
+            byzantine_behaviour
+            if byzantine_behaviour is not None
+            else scenario.byzantine_behaviour,
+        )
+    if isinstance(scenario, FaultScenario):
+        timeline = FaultTimeline.static(scenario)
+    elif isinstance(scenario, FaultTimeline):
+        timeline = scenario
+    else:
+        raise SimulationError(
+            "scenario must be a FaultScenario, FaultTimeline or TimingScenario, "
+            f"got {type(scenario).__name__}"
+        )
+    return (
+        timeline,
+        latency if latency is not None else LatencyModel.zero(),
+        link_faults if link_faults is not None else LinkFaults.none(),
+        byzantine_behaviour,
+    )
+
+
+def run_event_workload(
+    system: QuorumSystem,
+    *,
+    b: int,
+    num_clients: int = 8,
+    operations_per_client: int = 25,
+    scenario: FaultScenario | FaultTimeline | TimingScenario | None = None,
+    byzantine_behaviour: str | None = None,
+    latency: LatencyModel | None = None,
+    link_faults: LinkFaults | None = None,
+    write_fraction: float = 0.5,
+    max_attempts: int = 10,
+    request_timeout: float | None = None,
+    retry_unvouched_reads: bool = False,
+    think_time: float = 0.0,
+    strategy: Strategy | str | None = None,
+    initial_value: object = None,
+    rng: np.random.Generator | None = None,
+    allow_overload: bool = False,
+    keep_history: bool = False,
+) -> EventWorkloadResult:
+    """Run a *concurrent* workload over the event-driven protocol stack.
+
+    ``num_clients`` resumable clients each perform ``operations_per_client``
+    operations back to back (plus an optional exponential ``think_time``
+    between them), interleaving through the shared
+    :class:`~repro.simulation.events.EventScheduler`; latency, message loss,
+    duplication, slow servers and mid-run crash/recover transitions all come
+    from the scenario/knobs.  The completed history is checked with
+    :func:`~repro.simulation.history.check_register_history`.
+
+    Each client draws quorums from its own generator spawned off ``rng``, so
+    runs are deterministic functions of the seed.  ``request_timeout``
+    defaults to a generous multiple of the latency scale (or 1.0 when the
+    latency model is zero).  ``retry_unvouched_reads`` lets reads whose vote
+    was split below ``b + 1`` by an interleaved write retry at a fresh
+    quorum instead of aborting — the concurrency-liveness knob of
+    :class:`~repro.simulation.client.RetryPolicy`.
+
+    Returns an :class:`EventWorkloadResult`; the base-class fields follow the
+    engine's accounting so event runs drop into the same comparison tooling.
+    """
+    if num_clients < 1:
+        raise SimulationError(f"num_clients must be >= 1, got {num_clients}")
+    if operations_per_client < 1:
+        raise SimulationError(
+            f"operations_per_client must be >= 1, got {operations_per_client}"
+        )
+    if not 0.0 <= write_fraction <= 1.0:
+        raise SimulationError(f"write_fraction must lie in [0, 1], got {write_fraction}")
+    if think_time < 0.0:
+        raise SimulationError(f"think_time must be non-negative, got {think_time}")
+    rng = rng if rng is not None else np.random.default_rng()
+
+    timeline, latency, link_faults, byzantine_behaviour = _resolve_timing(
+        scenario, latency, link_faults, byzantine_behaviour
+    )
+    if byzantine_behaviour is None:
+        byzantine_behaviour = "fabricate-timestamp"
+    if byzantine_behaviour not in BYZANTINE_BEHAVIOURS:
+        raise SimulationError(
+            f"unknown Byzantine behaviour {byzantine_behaviour!r}; "
+            f"choose one of {sorted(BYZANTINE_BEHAVIOURS)}"
+        )
+    if not allow_overload and timeline.max_byzantine > b:
+        raise SimulationError(
+            f"scenario has {timeline.max_byzantine} Byzantine servers but the "
+            f"deployment only masks b={b}; pass allow_overload=True to force it"
+        )
+    timeline.validate_against(system.universe)
+    if request_timeout is None:
+        scale = latency.base + latency.jitter + 2.0 * latency.tail_mean
+        slowest = max(
+            [1.0]
+            + [factor for state in timeline.scenarios for _, factor in state.slow]
+        )
+        request_timeout = 1.0 if scale == 0.0 else 8.0 * scale * slowest
+
+    resolved_strategy = (
+        resolve_strategy(system, strategy) if strategy is not None else None
+    )
+    scheduler = EventScheduler()
+    servers = build_replicas(
+        system,
+        timeline.byzantine,
+        byzantine_behaviour=byzantine_behaviour,
+        initial_value=initial_value,
+        rng=rng,
+    )
+    network = EventNetwork(
+        servers,
+        timeline,
+        scheduler=scheduler,
+        latency=latency,
+        faults=link_faults,
+        rng=np.random.default_rng(rng.integers(2**63)),
+    )
+    recorder = HistoryRecorder(
+        initial_pair=ValueTimestampPair(value=initial_value, timestamp=Timestamp.zero())
+    )
+    policy = RetryPolicy(
+        max_attempts=max_attempts,
+        request_timeout=request_timeout,
+        retry_unvouched_reads=retry_unvouched_reads,
+    )
+
+    clients = [
+        AsyncQuorumClient(
+            client_id,
+            system,
+            network,
+            b=b,
+            policy=policy,
+            rng=np.random.default_rng(rng.integers(2**63)),
+            strategy=resolved_strategy,
+            history=recorder,
+        )
+        for client_id in range(num_clients)
+    ]
+    pacing_rng = np.random.default_rng(rng.integers(2**63))
+
+    # Each client is a little generator process: finish an operation,
+    # optionally think, start the next.  Writers-first seeding is unnecessary
+    # (reads of the initial value are legitimate); interleaving comes from
+    # latency jitter and staggered starts.
+    def start_client(client: AsyncQuorumClient, remaining: int) -> None:
+        if remaining <= 0:
+            return
+        def next_operation(_result) -> None:
+            delay = (
+                pacing_rng.exponential(think_time) if think_time > 0.0 else 0.0
+            )
+            scheduler.schedule(delay, lambda: start_client(client, remaining - 1))
+
+        if client.rng.random() < write_fraction:
+            client.write((client.client_id, remaining), next_operation)
+        else:
+            client.read(next_operation)
+
+    for client in clients:
+        offset = pacing_rng.exponential(think_time) if think_time > 0.0 else 0.0
+        scheduler.schedule(offset, lambda c=client: start_client(c, operations_per_client))
+    scheduler.run()
+
+    records = recorder.records
+    check = recorder.check()
+    num_operations = len(records)
+    successful = [record for record in records if record.success]
+    latencies = np.array(
+        [record.responded_at - record.invoked_at for record in successful]
+    )
+    universe = system.universe
+    total_success = max(1, len(successful))
+    per_server_load = {
+        server_id: sum(client.successful_access_counts[server_id] for client in clients)
+        / total_success
+        for server_id in universe
+    }
+    per_server_attempted = {
+        server_id: sum(client.attempted_access_counts[server_id] for client in clients)
+        / max(1, num_operations)
+        for server_id in universe
+    }
+    per_server_messages = {
+        server_id: network.attempted_counts[server_id] / max(1, num_operations)
+        for server_id in universe
+    }
+    return EventWorkloadResult(
+        operations=num_operations,
+        successful_reads=sum(1 for r in successful if r.kind == "read"),
+        successful_writes=sum(1 for r in successful if r.kind == "write"),
+        failed_operations=num_operations - len(successful),
+        consistency_violations=check.fabricated_reads,
+        stale_reads=check.stale_reads,
+        empirical_load=max(per_server_load.values()),
+        per_server_load=per_server_load,
+        per_server_messages=per_server_messages,
+        per_server_attempted=per_server_attempted,
+        duration=(
+            max(r.responded_at for r in records)
+            - min(r.invoked_at for r in records)
+            if records
+            else 0.0
+        ),
+        events_processed=scheduler.events_processed,
+        timeouts=sum(client.timeouts for client in clients),
+        latency_mean=float(latencies.mean()) if latencies.size else 0.0,
+        latency_p50=float(np.percentile(latencies, 50)) if latencies.size else 0.0,
+        latency_p90=float(np.percentile(latencies, 90)) if latencies.size else 0.0,
+        latency_p99=float(np.percentile(latencies, 99)) if latencies.size else 0.0,
+        check=check,
+        history=tuple(records) if keep_history else (),
+    )
 
 
 def _byzantine_model_for(behaviour: str) -> str:

@@ -35,19 +35,25 @@ import numpy as np
 
 from repro.core.universe import Universe
 from repro.exceptions import SimulationError
+from repro.simulation.events import FaultTimeline, LatencyModel, LinkFaults
 from repro.simulation.faults import FaultInjector, FaultScenario
 
 __all__ = [
     "BYZANTINE_MODELS",
+    "TimingScenario",
     "WorkloadScenario",
     "byzantine_scenario",
     "churn_scenario",
     "correlated_failure_scenario",
+    "crash_recover_scenario",
     "crash_scenario",
     "fault_free_scenario",
+    "flaky_links_scenario",
     "partition_scenario",
     "random_crash_scenario",
     "scenario_suite",
+    "slow_server_scenario",
+    "timing_scenario_suite",
 ]
 
 #: Byzantine vouching models understood by the scenario engine.
@@ -279,6 +285,208 @@ def churn_scenario(
     )
     fractions = tuple(phase_fractions) if phase_fractions is not None else ()
     return WorkloadScenario(name=name, phases=phases, phase_fractions=fractions)
+
+
+@dataclass(frozen=True)
+class TimingScenario:
+    """A *timed* fault schedule for the event-driven simulator.
+
+    Where :class:`WorkloadScenario` slices a batch of operations into
+    fractional phases (the vectorised engine has no clock), a timing scenario
+    speaks the event layer's language: fault states anchored at simulated
+    *times*, link latency/reliability models, and Byzantine replica
+    behaviour.  ``run_event_workload`` consumes these directly.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label used in tables and reports.
+    transitions:
+        ``(time, FaultScenario)`` pairs; the scenario whose time is the
+        largest not exceeding the current simulated time is in force, so
+        servers crash and recover *mid-operation*.
+    latency:
+        The link latency model (constant + jitter + exponential tail, with
+        per-server slow factors coming from the fault states themselves).
+    link_faults:
+        Message loss / duplication probabilities.
+    byzantine_behaviour:
+        The lie Byzantine replicas tell
+        (:data:`~repro.simulation.server.BYZANTINE_BEHAVIOURS`).
+    """
+
+    name: str
+    transitions: tuple[tuple[float, FaultScenario], ...]
+    latency: LatencyModel = LatencyModel()
+    link_faults: LinkFaults = LinkFaults()
+    byzantine_behaviour: str = "fabricate-timestamp"
+
+    def __post_init__(self):
+        if not self.transitions:
+            raise SimulationError("a timing scenario needs at least one fault state")
+
+    @classmethod
+    def static(
+        cls,
+        scenario: FaultScenario,
+        *,
+        name: str = "static",
+        latency: LatencyModel | None = None,
+        link_faults: LinkFaults | None = None,
+        byzantine_behaviour: str = "fabricate-timestamp",
+    ) -> "TimingScenario":
+        """Wrap a single fault state as an always-active timing scenario."""
+        return cls(
+            name=name,
+            transitions=((0.0, scenario),),
+            latency=latency if latency is not None else LatencyModel(),
+            link_faults=link_faults if link_faults is not None else LinkFaults(),
+            byzantine_behaviour=byzantine_behaviour,
+        )
+
+    def timeline(self) -> FaultTimeline:
+        """The :class:`~repro.simulation.events.FaultTimeline` of this scenario."""
+        return FaultTimeline(self.transitions)
+
+    @property
+    def byzantine(self) -> frozenset:
+        """Servers Byzantine in any state."""
+        return self.timeline().byzantine
+
+    @property
+    def max_byzantine(self) -> int:
+        """The largest simultaneous Byzantine count over all states."""
+        return self.timeline().max_byzantine
+
+    def validate_against(self, universe: Universe) -> None:
+        """Check that every state only mentions servers of ``universe``."""
+        self.timeline().validate_against(universe)
+
+
+def slow_server_scenario(
+    universe: Universe,
+    slow: dict,
+    *,
+    latency: LatencyModel | None = None,
+    byzantine: Iterable[Hashable] = (),
+    name: str = "slow-servers",
+) -> TimingScenario:
+    """Slow-but-correct servers: service times stretched by per-server factors.
+
+    Slow servers answer honestly but late; clients with tight request
+    timeouts suspect them and steer away, trading their capacity for
+    latency — a timing fault no untimed layer can express.
+    """
+    unknown = frozenset(slow) - universe.as_frozenset()
+    if unknown:
+        raise SimulationError(
+            f"slow servers outside the universe: {sorted(unknown, key=repr)[:4]}"
+        )
+    state = FaultScenario(byzantine=universe.subset(byzantine), slow=dict(slow))
+    return TimingScenario.static(
+        state,
+        name=name,
+        latency=latency if latency is not None else LatencyModel.uniform(1.0, 0.5),
+    )
+
+
+def flaky_links_scenario(
+    *,
+    loss: float = 0.05,
+    duplication: float = 0.02,
+    latency: LatencyModel | None = None,
+    byzantine: Iterable[Hashable] = (),
+    universe: Universe | None = None,
+    name: str = "flaky-links",
+) -> TimingScenario:
+    """Lossy, duplicating, reordering links between correct servers.
+
+    Lost requests are indistinguishable from crashes (the timeout fires);
+    lost replies waste server work; duplicated requests exercise handler
+    idempotence; jittered latencies reorder messages in flight.
+    """
+    byzantine_set = (
+        universe.subset(byzantine) if universe is not None else frozenset(byzantine)
+    )
+    return TimingScenario.static(
+        FaultScenario(byzantine=byzantine_set),
+        name=name,
+        latency=latency if latency is not None else LatencyModel.uniform(1.0, 1.0),
+        link_faults=LinkFaults(loss=loss, duplication=duplication),
+    )
+
+
+def crash_recover_scenario(
+    universe: Universe,
+    crashed: Iterable[Hashable],
+    *,
+    down_at: float,
+    up_at: float,
+    latency: LatencyModel | None = None,
+    byzantine: Iterable[Hashable] = (),
+    name: str = "crash-recover",
+) -> TimingScenario:
+    """Servers crash at ``down_at`` and recover at ``up_at`` — mid-operation.
+
+    Requests already in flight when the crash lands find the server dead on
+    arrival; operations spanning the recovery see it come back.  This is the
+    timed counterpart of :func:`churn_scenario`.
+    """
+    if not 0.0 <= down_at < up_at:
+        raise SimulationError(
+            f"need 0 <= down_at < up_at, got down_at={down_at}, up_at={up_at}"
+        )
+    byzantine_set = universe.subset(byzantine)
+    crashed_set = universe.subset(crashed)
+    healthy = FaultScenario(byzantine=byzantine_set)
+    degraded = FaultScenario(byzantine=byzantine_set, crashed=crashed_set)
+    return TimingScenario(
+        name=name,
+        transitions=((0.0, healthy), (down_at, degraded), (up_at, healthy)),
+        latency=latency if latency is not None else LatencyModel.uniform(1.0, 0.5),
+    )
+
+
+def timing_scenario_suite(
+    universe: Universe,
+    *,
+    b: int,
+    rng: np.random.Generator,
+    latency: LatencyModel | None = None,
+) -> list[TimingScenario]:
+    """One representative instance of each timing-fault class.
+
+    Mirrors :func:`scenario_suite` for the event-driven layer: slow servers,
+    flaky links, a mid-run crash/recover window, and (when ``b > 0``) slow
+    servers combined with ``b`` Byzantine ones — the hybrid the paper's
+    asynchronous-but-responsive model actually allows.
+    """
+    latency = latency if latency is not None else LatencyModel.uniform(1.0, 0.5)
+    injector = FaultInjector(universe, rng)
+    elements = universe.elements
+    slow_count = max(1, universe.size // 10)
+    slow_map = {server_id: 4.0 for server_id in elements[:slow_count]}
+
+    suite = [
+        TimingScenario.static(
+            FaultScenario.fault_free(), name="timed-fault-free", latency=latency
+        ),
+        slow_server_scenario(universe, slow_map, latency=latency),
+        flaky_links_scenario(latency=latency),
+        crash_recover_scenario(
+            universe, elements[: max(1, universe.size // 4)], down_at=10.0, up_at=40.0,
+            latency=latency,
+        ),
+    ]
+    if b > 0:
+        byz = injector.exact(num_byzantine=b).byzantine
+        suite.append(
+            slow_server_scenario(
+                universe, slow_map, byzantine=byz, latency=latency,
+                name="slow-plus-byzantine",
+            )
+        )
+    return suite
 
 
 def _failure_domains(universe: Universe) -> list[tuple[Hashable, ...]]:

@@ -119,28 +119,35 @@ class ByzantineReplicaServer(ReplicaServer):
         self.collusion_token = collusion_token
         self._initial_pair = self._pair
 
+    # Each handler counts the access exactly once: the delegating paths leave
+    # the increment to the base-class handler, the lying paths do it
+    # themselves.  (Byzantine replicas used to increment *and* fall through
+    # to ``super()``, reporting up to 2x their true empirical load.)
     def handle_timestamp(self, request: TimestampRequest) -> TimestampReply:
-        self.access_count += 1
         if self.behaviour == "fabricate-timestamp":
+            self.access_count += 1
             return TimestampReply(
                 server_id=self.server_id, timestamp=Timestamp(10**9, int(1e6))
             )
         if self.behaviour == "stale":
+            self.access_count += 1
             return TimestampReply(
                 server_id=self.server_id, timestamp=self._initial_pair.timestamp
             )
         return super().handle_timestamp(request)
 
     def handle_read(self, request: ReadRequest) -> ReadReply:
-        self.access_count += 1
         if self.behaviour in ("fabricate-timestamp", "forge-on-read"):
+            self.access_count += 1
             forged = ValueTimestampPair(
                 value=self.collusion_token, timestamp=Timestamp(10**9, int(1e6))
             )
             return ReadReply(server_id=self.server_id, pair=forged)
         if self.behaviour == "stale":
+            self.access_count += 1
             return ReadReply(server_id=self.server_id, pair=self._initial_pair)
         if self.behaviour == "random-value":
+            self.access_count += 1
             forged = ValueTimestampPair(
                 value=("garbage", int(self.rng.integers(1_000_000))),
                 timestamp=self._pair.timestamp,
@@ -149,8 +156,8 @@ class ByzantineReplicaServer(ReplicaServer):
         return super().handle_read(request)
 
     def handle_write(self, request: WriteRequest) -> WriteAck:
-        self.access_count += 1
         if self.behaviour == "drop-writes":
+            self.access_count += 1
             return WriteAck(server_id=self.server_id, accepted=True)  # lies about accepting
         return super().handle_write(request)
 

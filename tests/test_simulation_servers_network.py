@@ -148,13 +148,63 @@ class TestNetwork:
         assert replies[0] is not None and replies[1] is not None
         assert replies[2] is None
 
-    def test_empirical_loads(self):
-        network, _ = self.make_network()
+    def test_attempted_vs_delivered_counters(self):
+        # The accounting split: a probe of a crashed server is attempted but
+        # never delivered, so the two counters diverge exactly there.
+        network, _ = self.make_network(crashed={1})
+        network.send(0, ReadRequest(client_id=0))
+        network.send(1, ReadRequest(client_id=0))
+        network.send(1, ReadRequest(client_id=0))
+        assert network.attempted_counts == {0: 1, 1: 2, 2: 0}
+        assert network.delivered_counts == {0: 1, 1: 0, 2: 0}
+        # Backwards-compatible alias: delivery_counts is the attempted tally.
+        assert network.delivery_counts == network.attempted_counts
+
+    def test_empirical_message_rates(self):
+        network, _ = self.make_network(crashed={1})
         network.send(0, ReadRequest(client_id=0))
         network.send(0, ReadRequest(client_id=0))
         network.send(1, ReadRequest(client_id=0))
-        loads = network.empirical_loads(total_accesses=2)
-        assert loads[0] == pytest.approx(1.0)
-        assert loads[1] == pytest.approx(0.5)
+        attempted = network.empirical_message_rates(2)
+        delivered = network.empirical_message_rates(2, which="delivered")
+        assert attempted[0] == pytest.approx(1.0)
+        assert attempted[1] == pytest.approx(0.5)
+        assert delivered[1] == pytest.approx(0.0)
         with pytest.raises(SimulationError):
-            network.empirical_loads(0)
+            network.empirical_message_rates(0)
+        with pytest.raises(SimulationError):
+            network.empirical_message_rates(2, which="bogus")
+
+
+class TestAccessCountParity:
+    """Regression: Byzantine replicas used to double-count their accesses."""
+
+    TRAFFIC = (
+        TimestampRequest(client_id=0),
+        ReadRequest(client_id=0),
+        WriteRequest(
+            client_id=0,
+            pair=ValueTimestampPair(value="v", timestamp=Timestamp(1, 0)),
+        ),
+        ReadRequest(client_id=1),
+        TimestampRequest(client_id=1),
+    )
+
+    @staticmethod
+    def drive(server):
+        handlers = {
+            "TimestampRequest": server.handle_timestamp,
+            "ReadRequest": server.handle_read,
+            "WriteRequest": server.handle_write,
+        }
+        for request in TestAccessCountParity.TRAFFIC:
+            handlers[type(request).__name__](request)
+
+    @pytest.mark.parametrize("behaviour", sorted(BYZANTINE_BEHAVIOURS))
+    def test_byzantine_counts_match_correct_under_identical_traffic(self, behaviour):
+        correct = ReplicaServer("s0")
+        byzantine = ByzantineReplicaServer("s1", behaviour=behaviour)
+        self.drive(correct)
+        self.drive(byzantine)
+        assert correct.access_count == len(self.TRAFFIC)
+        assert byzantine.access_count == correct.access_count
