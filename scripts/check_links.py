@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Markdown link checker for README.md and docs/.
+
+Verifies that every relative markdown link (``[text](target)``) points at a
+file that exists in the repository; external ``http(s)`` links and pure
+``#anchor`` links are skipped (the repository builds offline).  Run from the
+repository root; exits non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def markdown_files(root: Path) -> list[Path]:
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    files.extend(sorted(root.glob("*.md")))
+    # Deduplicate while preserving order.
+    seen: dict[Path, None] = {}
+    for path in files:
+        if path.exists():
+            seen.setdefault(path.resolve(), None)
+    return list(seen)
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            line = text[: match.start()].count("\n") + 1
+            errors.append(
+                f"{path.relative_to(root)}:{line}: broken link -> {target}"
+            )
+    return errors
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    errors: list[str] = []
+    checked = 0
+    for path in markdown_files(root):
+        errors.extend(check_file(path, root))
+        checked += 1
+    if errors:
+        print("\n".join(errors))
+        print(f"\n{len(errors)} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"all relative links resolve across {checked} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

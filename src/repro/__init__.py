@@ -39,11 +39,14 @@ from repro.core import (
     BitsetEngine,
     ComposedQuorumSystem,
     ExplicitQuorumSystem,
+    ImplicitQuorumSystem,
     LoadResult,
     MaskingReport,
     QuorumSystem,
     Strategy,
     Universe,
+    analytic_failure_probability,
+    analytic_load,
     best_known_load,
     compose,
     crash_probability_lower_bound,
@@ -85,6 +88,7 @@ __all__ = [
     "ExplicitQuorumSystem",
     "FieldError",
     "FiniteProjectivePlane",
+    "ImplicitQuorumSystem",
     "InvalidQuorumSystemError",
     "LoadResult",
     "MGrid",
@@ -103,6 +107,8 @@ __all__ = [
     "TreeQuorumSystem",
     "Universe",
     "WheelQuorumSystem",
+    "analytic_failure_probability",
+    "analytic_load",
     "best_known_load",
     "boost_masking",
     "boosting_block",

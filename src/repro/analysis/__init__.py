@@ -2,6 +2,18 @@
 and the empirical-vs-analytic closing of the loop (measured ``L_w`` and
 availability against the LP load and exact ``Fp``)."""
 
+from repro.analysis.asymptotics import (
+    ASYMPTOTIC_FAMILIES,
+    AsymptoticPoint,
+    ExponentialDecayFit,
+    FamilyAsymptotics,
+    PowerLawFit,
+    family_system,
+    fit_exponential_decay,
+    fit_power_law,
+    section45_comparison,
+    sweep,
+)
 from repro.analysis.comparison import SystemProfile, profile_system, section8_comparison
 from repro.analysis.empirical import (
     EmpiricalAvailabilityComparison,
@@ -14,8 +26,13 @@ from repro.analysis.selector import Recommendation, candidate_constructions, rec
 from repro.analysis.tradeoffs import TradeoffPoint, tradeoff_point, verify_tradeoff
 
 __all__ = [
+    "ASYMPTOTIC_FAMILIES",
+    "AsymptoticPoint",
     "EmpiricalAvailabilityComparison",
     "EmpiricalLoadComparison",
+    "ExponentialDecayFit",
+    "FamilyAsymptotics",
+    "PowerLawFit",
     "Recommendation",
     "TABLE2_SYSTEMS",
     "SystemProfile",
@@ -23,11 +40,16 @@ __all__ = [
     "TradeoffPoint",
     "availability_trend",
     "candidate_constructions",
+    "family_system",
+    "fit_exponential_decay",
+    "fit_power_law",
     "empirical_availability_comparison",
     "empirical_load_comparison",
     "profile_system",
     "recommend_construction",
+    "section45_comparison",
     "section8_comparison",
+    "sweep",
     "table2",
     "tradeoff_point",
     "verify_tradeoff",

@@ -126,6 +126,46 @@ def table2(
     masking parameter it supports, matching the ``b <`` column of the paper's
     table; systems with natural shapes use the closest feasible size
     (boostFPP uses ``(4b+1)(q^2+q+1)``, RT uses ``4^h``).
+
+    Parameters
+    ----------
+    n:
+        Target universe size; must be a perfect square (the grid systems
+        need one, and the others are sized as close to it as their shapes
+        allow).
+    p:
+        Individual crash probability for the ``Fp`` column.
+    boost_q:
+        Projective-plane order used by the boostFPP row.
+    rng:
+        Randomness source for the Monte-Carlo ``Fp`` estimates (Grid,
+        M-Grid, and M-Path when ``p >= 1/3``); pass a seeded generator for
+        reproducible tables.  The closed-form rows ignore it.
+
+    Returns
+    -------
+    list[Table2Row]
+        One row per system, in the paper's order
+        (:data:`TABLE2_SYSTEMS`).  ``tests/test_analysis_tables.py`` pins
+        this output on a small matrix so refactors cannot silently change
+        the reproduced table.
+
+    Examples
+    --------
+    The structural columns are closed-form and exactly reproducible:
+
+    >>> import numpy as np
+    >>> rows = table2(64, 0.125, rng=np.random.default_rng(0))
+    >>> [row.system for row in rows]
+    ['Threshold', 'Grid', 'M-Grid', 'RT(4,3)', 'boostFPP', 'M-Path']
+    >>> [row.max_b for row in rows]
+    [15, 2, 3, 3, 1, 4]
+    >>> [row.resilience for row in rows]
+    [16, 3, 6, 7, 7, 5]
+    >>> [f"{row.load:.4f}" for row in rows]
+    ['0.7500', '0.6719', '0.4375', '0.4219', '0.2462', '0.6094']
+    >>> [row.system for row in rows if row.load_optimal]
+    ['M-Grid', 'boostFPP', 'M-Path']
     """
     side = math.isqrt(n)
     if side * side != n:
@@ -256,7 +296,9 @@ def availability_trend(
 
     Used to check the asymptotic column of Table 2: the Grid and M-Grid
     trends increase towards 1, the others decrease towards 0 for ``p`` below
-    their thresholds.
+    their thresholds.  (For closed-form sweeps across decades of ``n`` —
+    with power-law and exponential fits instead of raw trends — see
+    :mod:`repro.analysis.asymptotics`.)
 
     Parameters
     ----------
@@ -267,10 +309,31 @@ def availability_trend(
         RT uses the nearest power of 4, boostFPP its own natural sizes).
     p:
         Individual crash probability.
+    rng:
+        Randomness source for the Monte-Carlo systems (Grid, M-Grid,
+        M-Path); closed-form systems ignore it.
     b_policy:
         ``"fixed-small"`` keeps ``b`` at the smallest interesting value
         (1 for most systems) so the trend isolates the effect of ``n``;
         ``"max"`` uses the largest maskable ``b`` at each size.
+
+    Returns
+    -------
+    list[float]
+        ``Fp`` per size, aligned with ``sizes``.
+
+    Examples
+    --------
+    The Threshold family's availability improves with ``n`` (Condorcet):
+
+    >>> trend = availability_trend("Threshold", [16, 64], 0.1)
+    >>> [f"{value:.8f}" for value in trend]
+    ['0.00050453', '0.00000000']
+
+    RT(4, 3) decays as well (``p`` below its 0.2324 critical probability):
+
+    >>> [f"{value:.8f}" for value in availability_trend("RT(4,3)", [16, 64], 0.1)]
+    ['0.01528974', '0.00137423']
     """
     rng = rng if rng is not None else np.random.default_rng()
     values: list[float] = []

@@ -50,7 +50,26 @@ class TradeoffPoint:
 
 
 def tradeoff_point(system: QuorumSystem) -> TradeoffPoint:
-    """Return the trade-off data point for ``system``."""
+    """Return the trade-off data point for ``system``.
+
+    The load comes from :func:`~repro.core.load.best_known_load` (closed
+    form when the construction has one, else the fair formula, else the
+    LP), the resilience from ``MT(Q) - 1``, and the bound is Section 8's
+    ``f <= n L(Q)``.
+
+    Examples
+    --------
+    The Figure 1 instance M-Grid(7, 3) is fair with quorums of 24 of the 49
+    servers, so its load is ``24/49``; its resilience ``f = 5`` sits well
+    under the ``n L = 24`` ceiling:
+
+    >>> from repro.constructions.mgrid import MGrid
+    >>> point = tradeoff_point(MGrid(7, 3))
+    >>> round(point.load, 4), point.resilience, round(point.resilience_bound, 1)
+    (0.4898, 5, 24.0)
+    >>> point.slack > 0
+    True
+    """
     load = best_known_load(system).load
     resilience = system.min_transversal_size() - 1
     bound = resilience_upper_bound_from_load(system.n, load)
@@ -65,6 +84,17 @@ def tradeoff_point(system: QuorumSystem) -> TradeoffPoint:
 
 
 def verify_tradeoff(system: QuorumSystem, *, tolerance: float = 1e-9) -> bool:
-    """Return ``True`` when ``f <= n L(Q)`` holds for ``system``."""
+    """Return ``True`` when ``f <= n L(Q)`` holds for ``system``.
+
+    This is the Section 8 impossibility every quorum system must satisfy —
+    a ``False`` here means a construction (or a load computation) is broken,
+    which is why the property tests sweep it across the whole zoo.
+
+    Examples
+    --------
+    >>> from repro.constructions.threshold import majority
+    >>> verify_tradeoff(majority(9))
+    True
+    """
     point = tradeoff_point(system)
     return point.resilience <= point.resilience_bound + tolerance

@@ -66,11 +66,7 @@ class CrumblingWall(QuorumSystem):
     def iter_quorum_masks(self) -> Iterator[int]:
         # Rows are laid out consecutively in the universe, so the bit of
         # element (row, position) is row_offset + position.
-        offsets = []
-        offset = 0
-        for width in self.row_widths:
-            offsets.append(offset)
-            offset += width
+        offsets = self._row_offsets()
         row_masks = [
             ((1 << width) - 1) << offsets[row] for row, width in enumerate(self.row_widths)
         ]
@@ -98,6 +94,29 @@ class CrumblingWall(QuorumSystem):
                 product *= width
             total += product
         return total
+
+    def _row_offsets(self) -> tuple[int, ...]:
+        """Universe bit offset of each row's first element (rows are contiguous)."""
+        cached = getattr(self, "_row_offset_cache", None)
+        if cached is None:
+            offsets = []
+            offset = 0
+            for width in self.row_widths:
+                offsets.append(offset)
+                offset += width
+            cached = tuple(offsets)
+            self._row_offset_cache = cached
+        return cached
+
+    def sample_quorum_mask(self, rng: np.random.Generator) -> int:
+        """One uniform full row plus one representative per lower row, as a bitmask."""
+        offsets = self._row_offsets()
+        row_index = int(rng.integers(self.num_rows))
+        mask = ((1 << self.row_widths[row_index]) - 1) << offsets[row_index]
+        for lower in range(row_index + 1, self.num_rows):
+            position = int(rng.integers(self.row_widths[lower]))
+            mask |= 1 << (offsets[lower] + position)
+        return mask
 
     def sample_quorum(self, rng: np.random.Generator) -> frozenset:
         row_index = int(rng.integers(self.num_rows))

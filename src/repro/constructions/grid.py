@@ -102,6 +102,12 @@ class RegularGrid(QuorumSystem):
     def num_quorums(self) -> int:
         return self.side * self.side
 
+    def sample_quorum_mask(self, rng: np.random.Generator) -> int:
+        """One uniform row plus one uniform column, assembled from line masks."""
+        row = int(rng.integers(self.side))
+        column = int(rng.integers(self.side))
+        return _row_mask(self.side, row) | _column_mask(self.side, column)
+
     def sample_quorum(self, rng: np.random.Generator) -> frozenset:
         row = int(rng.integers(self.side))
         column = int(rng.integers(self.side))
@@ -192,6 +198,15 @@ class MaskingGrid(QuorumSystem):
 
     def num_quorums(self) -> int:
         return self.side * math.comb(self.side, 2 * self.b + 1)
+
+    def sample_quorum_mask(self, rng: np.random.Generator) -> int:
+        """One uniform column plus ``2b + 1`` uniform rows, as a bitmask."""
+        column = int(rng.integers(self.side))
+        rows = rng.choice(self.side, size=2 * self.b + 1, replace=False)
+        mask = _column_mask(self.side, column)
+        for row in rows:
+            mask |= _row_mask(self.side, int(row))
+        return mask
 
     def sample_quorum(self, rng: np.random.Generator) -> frozenset:
         column = int(rng.integers(self.side))

@@ -100,6 +100,22 @@ class MGrid(QuorumSystem):
     def num_quorums(self) -> int:
         return math.comb(self.side, self.k) ** 2
 
+    def sample_quorum_mask(self, rng: np.random.Generator) -> int:
+        """``k`` uniform rows plus ``k`` uniform columns, assembled from line masks.
+
+        This is the load-optimal strategy of Proposition 5.2 drawn directly
+        as a bitmask — the implicit-scale access path (the full family has
+        ``C(side, k)^2`` members and is never enumerated at large ``side``).
+        """
+        rows = rng.choice(self.side, size=self.k, replace=False)
+        columns = rng.choice(self.side, size=self.k, replace=False)
+        mask = 0
+        for row in rows:
+            mask |= _row_mask(self.side, int(row))
+        for column in columns:
+            mask |= _column_mask(self.side, int(column))
+        return mask
+
     def sample_quorum(self, rng: np.random.Generator) -> frozenset:
         rows = tuple(int(r) for r in rng.choice(self.side, size=self.k, replace=False))
         columns = tuple(int(c) for c in rng.choice(self.side, size=self.k, replace=False))

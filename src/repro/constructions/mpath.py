@@ -153,6 +153,12 @@ class MPath(QuorumSystem):
             self._universe, quorums, name=f"{self.name} (straight lines)", validate=False
         )
 
+    def sample_quorum_mask(self, rng: np.random.Generator) -> int:
+        """Draw a straight-line quorum (Proposition 7.2's strategy) as a bitmask."""
+        rows = tuple(int(r) + 1 for r in rng.choice(self.side, size=self.k, replace=False))
+        columns = tuple(int(c) + 1 for c in rng.choice(self.side, size=self.k, replace=False))
+        return self._straight_mask(rows, columns)
+
     def sample_quorum(self, rng: np.random.Generator) -> frozenset:
         """Sample a straight-line quorum: k uniform rows and k uniform columns.
 

@@ -104,6 +104,26 @@ class RecursiveThreshold(QuorumSystem):
             count = math.comb(self.k, self.l) * count ** self.l
         return count
 
+    def sample_quorum_mask(self, rng: np.random.Generator) -> int:
+        """Sample a quorum as a bitmask: ``l`` uniform children at every level.
+
+        Consumes the same draw sequence as :meth:`sample_quorum`, so the two
+        views are stream-compatible; the recursion ORs subtree masks instead
+        of unioning element sets.
+        """
+
+        def sample_subtree_mask(root: int, level: int) -> int:
+            if level == 0:
+                return 1 << root
+            child_span = self.k ** (level - 1)
+            chosen = rng.choice(self.k, size=self.l, replace=False)
+            mask = 0
+            for child in chosen:
+                mask |= sample_subtree_mask(root + int(child) * child_span, level - 1)
+            return mask
+
+        return sample_subtree_mask(0, self.depth)
+
     def sample_quorum(self, rng: np.random.Generator) -> frozenset:
         """Sample a quorum by choosing ``l`` children uniformly at every level."""
 

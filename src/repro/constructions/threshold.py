@@ -87,6 +87,14 @@ class ThresholdQuorumSystem(QuorumSystem):
     def num_quorums(self) -> int:
         return math.comb(self._n, self.k)
 
+    def sample_quorum_mask(self, rng: np.random.Generator) -> int:
+        """Draw ``k`` uniform servers directly as a bitmask (no enumeration)."""
+        members = rng.choice(self._n, size=self.k, replace=False)
+        mask = 0
+        for member in members:
+            mask |= 1 << int(member)
+        return mask
+
     def sample_quorum(self, rng: np.random.Generator) -> frozenset:
         members = rng.choice(self._n, size=self.k, replace=False)
         return frozenset(int(member) for member in members)

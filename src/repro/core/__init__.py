@@ -6,6 +6,12 @@ and quorum composition.
 """
 
 from repro.core.bitset import BitsetEngine, mask_of, mask_to_frozenset, masks_of
+from repro.core.analytic import (
+    analytic_failure_probability,
+    analytic_load,
+    crumbling_wall_failure_probability,
+    rowcol_survival_probability,
+)
 from repro.core.availability import (
     AvailabilityResult,
     exact_failure_probability,
@@ -26,7 +32,11 @@ from repro.core.bounds import (
 from repro.core.composition import ComposedQuorumSystem, compose, self_compose
 from repro.core.load import LoadResult, best_known_load, exact_load, fair_load, load_of_strategy
 from repro.core.masking import MaskingReport, masking_report, verify_masking
-from repro.core.quorum_system import ExplicitQuorumSystem, QuorumSystem
+from repro.core.quorum_system import (
+    ExplicitQuorumSystem,
+    ImplicitQuorumSystem,
+    QuorumSystem,
+)
 from repro.core.strategy import Strategy
 from repro.core.transversal import (
     greedy_transversal,
@@ -41,14 +51,18 @@ __all__ = [
     "BitsetEngine",
     "ComposedQuorumSystem",
     "ExplicitQuorumSystem",
+    "ImplicitQuorumSystem",
     "LoadResult",
     "MaskingReport",
     "QuorumSystem",
     "Strategy",
     "Universe",
+    "analytic_failure_probability",
+    "analytic_load",
     "best_known_load",
     "compose",
     "crash_probability_lower_bound",
+    "crumbling_wall_failure_probability",
     "crash_probability_lower_bound_for_system",
     "exact_failure_probability",
     "exact_load",
@@ -71,6 +85,7 @@ __all__ = [
     "monte_carlo_failure_probability",
     "optimal_quorum_size",
     "resilience_upper_bound_from_load",
+    "rowcol_survival_probability",
     "self_compose",
     "verify_masking",
 ]

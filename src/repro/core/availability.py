@@ -83,6 +83,23 @@ def _validate_probability(p: float) -> float:
     return float(p)
 
 
+def _reject_implicit(system: QuorumSystem, estimator: str) -> None:
+    """Refuse to estimate Fp over an implicit system's sampled sub-family.
+
+    An :class:`~repro.core.quorum_system.ImplicitQuorumSystem` exposes only a
+    frozen *sample* of its quorums, so any estimator that walks the family
+    would silently report the sample's failure probability (typically far
+    above the real one — fewer quorums means fewer ways to survive).
+    """
+    if getattr(system, "is_implicit", False):
+        raise ComputationError(
+            f"{system.name} is an implicit system; {estimator} over its sampled "
+            "sub-family would overestimate Fp.  Use "
+            "repro.core.analytic.analytic_failure_probability (closed forms) "
+            "or the base construction directly"
+        )
+
+
 def exact_failure_probability(
     system: QuorumSystem, p: float, *, max_universe: int = 22
 ) -> AvailabilityResult:
@@ -96,6 +113,7 @@ def exact_failure_probability(
     The sum is organised over *alive* sets represented as bitmasks so the
     inner test is a subset check on integers.
     """
+    _reject_implicit(system, "exact enumeration")
     p = _validate_probability(p)
     n = system.n
     if n > max_universe:
@@ -136,6 +154,7 @@ def inclusion_exclusion_failure_probability(
     Exact but exponential in the number of quorums; useful when the system
     has few quorums over a large universe (e.g. a finite projective plane).
     """
+    _reject_implicit(system, "inclusion-exclusion")
     p = _validate_probability(p)
     quorum_masks = system.quorum_masks()
     if len(quorum_masks) > max_quorums:
@@ -169,6 +188,7 @@ def monte_carlo_failure_probability(
     checks whether any quorum is left untouched.  The check is vectorised
     through the quorum/element incidence matrix.
     """
+    _reject_implicit(system, "Monte-Carlo estimation")
     p = _validate_probability(p)
     if trials <= 0:
         raise ComputationError(f"trials must be positive, got {trials}")

@@ -81,7 +81,7 @@ def fair_load(system: QuorumSystem) -> LoadResult:
     return LoadResult(load=quorum_size / system.n, strategy=strategy, method="fair")
 
 
-def exact_load(system: QuorumSystem, *, quorum_limit: int = 50_000) -> LoadResult:
+def exact_load(system: QuorumSystem, *, quorum_limit: int | None = 50_000) -> LoadResult:
     """Return the exact load of ``system`` by solving the defining LP.
 
     Parameters
@@ -89,7 +89,9 @@ def exact_load(system: QuorumSystem, *, quorum_limit: int = 50_000) -> LoadResul
     system:
         The quorum system; its quorums must be enumerable.
     quorum_limit:
-        Guard on the number of quorums the LP is allowed to contain.
+        Guard on the number of quorums the LP is allowed to contain
+        (``None`` lifts the budget and defers to the system's own
+        enumeration guards).
 
     Returns
     -------
@@ -107,6 +109,28 @@ def exact_load(system: QuorumSystem, *, quorum_limit: int = 50_000) -> LoadResul
     cached = getattr(system, "_exact_load_cache", None)
     if cached is not None:
         return cached
+    if getattr(system, "is_implicit", False):
+        # An implicit system's quorums() is a *sampled sub-family*: solving
+        # the LP over it would silently report the sample's load as L(Q).
+        # If the base family fits the budget, solve the real LP on the base;
+        # otherwise refuse loudly (this used to be an OOM/hang).
+        base = system.base
+        try:
+            base_count = base.num_quorums()
+        except ComputationError:
+            base_count = None
+        # quorum_limit=None means "no budget": delegate and let the base's
+        # own enumeration guards speak.
+        if quorum_limit is not None and (base_count is None or base_count > quorum_limit):
+            described = "unknown" if base_count is None else f"{base_count}"
+            raise ComputationError(
+                f"{system.name} is an implicit system whose base family "
+                f"({described} quorums) exceeds the exact-LP enumeration "
+                f"budget of {quorum_limit}; use "
+                "repro.core.analytic.analytic_load for the closed form or "
+                "system.support_strategy() for the sampled strategy"
+            )
+        return exact_load(base, quorum_limit=quorum_limit)
     # Prime the quorum and mask caches under the caller's limit so both the
     # strategy construction and the engine build honour it, then reuse the
     # engine's incidence matrix (built once per system); repeated load

@@ -11,6 +11,13 @@ Two layers are provided:
 * :class:`ExplicitQuorumSystem` — a concrete quorum system given by an
   explicit list of quorums, used for small systems, for composition results,
   and throughout the test-suite.
+* :class:`ImplicitQuorumSystem` — a lazy view of a construction whose quorum
+  family is *never* enumerated: measures come from the base construction's
+  closed forms (see :mod:`repro.core.analytic`) and the quorum list is
+  replaced by an i.i.d. sample drawn through the
+  :meth:`QuorumSystem.sample_quorum_mask` protocol.  This is what lets the
+  workload engines run at ``n = 10^3 .. 10^4`` servers (see
+  ``docs/analysis.md``).
 
 Terminology follows Table 1 of the paper:
 
@@ -43,7 +50,7 @@ from repro.core.bitset import BitsetEngine
 from repro.core.universe import Universe
 from repro.exceptions import ComputationError, InvalidQuorumSystemError
 
-__all__ = ["QuorumSystem", "ExplicitQuorumSystem"]
+__all__ = ["QuorumSystem", "ExplicitQuorumSystem", "ImplicitQuorumSystem"]
 
 #: Default cap on the number of quorums the generic (enumeration based)
 #: measure implementations are willing to materialise.
@@ -67,6 +74,14 @@ class QuorumSystem(ABC):
     #: sub-family; they set this to ``False`` so that the generic measure
     #: implementations refuse to silently compute wrong exact values.
     enumerates_all_quorums: bool = True
+
+    #: Whether this object is an :class:`ImplicitQuorumSystem` view whose
+    #: ``quorums()`` is a *sampled sub-family* rather than the real family.
+    #: Exact computations over the quorum list (the load LP, strategy caches)
+    #: check this flag so they can refuse with a clear
+    #: :class:`~repro.exceptions.ComputationError` instead of silently
+    #: treating the sample as the truth.
+    is_implicit: bool = False
 
     # ------------------------------------------------------------------
     # Abstract surface.
@@ -207,6 +222,23 @@ class QuorumSystem(ABC):
                 return quorum
             quorum = self.sample_quorum(rng)
         return quorum
+
+    def sample_quorum_mask(self, rng: np.random.Generator) -> int:
+        """Draw one quorum as an ``int`` bitmask, without building the family.
+
+        This is the *implicit sampling protocol*: a construction that can
+        draw from its access strategy directly (rows/columns, subtree
+        choices, ...) overrides this to assemble the bitmask from
+        precomputed structure masks, consuming the same random draws as
+        :meth:`sample_quorum` so the two views stay stream-compatible.  It
+        is the primitive :class:`ImplicitQuorumSystem` builds its sampled
+        support from, and the only access path that scales to universes
+        where the family itself is astronomically large.
+
+        The generic implementation converts :meth:`sample_quorum`, which may
+        enumerate; constructions override one of the two.
+        """
+        return bitset_mod.mask_of(self.sample_quorum(rng), self.universe)
 
     # ------------------------------------------------------------------
     # Combinatorial measures (Table 1).
@@ -434,4 +466,264 @@ class ExplicitQuorumSystem(QuorumSystem):
             return None
         return ExplicitQuorumSystem(
             self._universe, alive, name=f"{self.name}|alive", validate=False
+        )
+
+
+class ImplicitQuorumSystem(QuorumSystem):
+    """A lazy, never-enumerated view of a quorum-system construction.
+
+    The paper's large-``n`` statements (load ``Omega(1/sqrt(n))``, the
+    load/availability trade-off of Sections 4–8) are about systems whose
+    quorum family is astronomically large — M-Grid over a ``100 x 100`` grid
+    has ``C(100, 2)^2 ≈ 2.4 * 10^7`` quorums and M-Path vastly more.  This
+    wrapper decouples *what the system is* from *which subsets it contains*:
+
+    * every combinatorial measure (``c``, ``IS``, ``MT``, fairness, masking
+      bound, ``load``, ``crash_probability``) is **delegated to the base
+      construction's closed forms**, so the true values are reported at any
+      ``n`` (see :mod:`repro.core.analytic` for the uniform dispatch);
+    * the quorum list is replaced by a **frozen i.i.d. sample** of
+      ``num_samples`` quorums drawn through
+      :meth:`QuorumSystem.sample_quorum_mask` (the base construction's
+      load-optimal access strategy), materialised lazily on first use;
+    * :meth:`quorums` / :meth:`quorum_masks` / :meth:`bitset_engine` expose
+      that sample, so the bitmask engine, :class:`~repro.core.strategy.Strategy`
+      and both workload engines (:mod:`repro.simulation.engine`,
+      :mod:`repro.simulation.events`) accept the system unchanged;
+    * exact computations that would treat the sample as the whole family
+      (the load LP, strategy validation) check :attr:`is_implicit` and raise
+      :class:`~repro.exceptions.ComputationError` unless the *base* family
+      fits their enumeration budget.
+
+    Parameters
+    ----------
+    base:
+        The underlying construction.  It must provide
+        ``sample_quorum_mask`` (all constructions in
+        :mod:`repro.constructions` emit masks natively) and should provide
+        closed-form measures; measures the base cannot answer without
+        enumeration keep the base's behaviour (including its guard errors).
+    num_samples:
+        Size of the frozen sample that stands in for the quorum list.
+    seed:
+        Seed of the private generator that draws the frozen sample, so a
+        given ``(base, num_samples, seed)`` triple always yields the same
+        support (runs stay reproducible).
+
+    Examples
+    --------
+    >>> from repro.constructions.mgrid import MGrid
+    >>> big = ImplicitQuorumSystem(MGrid(50, 3), num_samples=128, seed=7)
+    >>> big.n                                   # true universe, 2500 servers
+    2500
+    >>> big.load() == MGrid(50, 3).load()       # closed form, not the sample
+    True
+    >>> len(big.quorum_masks()) <= 128          # sampled support (deduplicated)
+    True
+    """
+
+    enumerates_all_quorums = False
+    is_implicit = True
+
+    def __init__(self, base: QuorumSystem, *, num_samples: int = 256, seed: int = 0):
+        if isinstance(base, ImplicitQuorumSystem):
+            raise ComputationError("refusing to wrap an implicit system in another one")
+        if num_samples < 1:
+            raise ComputationError(f"num_samples must be >= 1, got {num_samples}")
+        self.base = base
+        self.num_samples = int(num_samples)
+        self.seed = int(seed)
+        self.name = f"Implicit({base.name}, m={num_samples})"
+        self._sample_counts: dict[int, int] | None = None
+
+    # ------------------------------------------------------------------
+    # Structure: the universe is real, the family is sampled.
+    # ------------------------------------------------------------------
+    @property
+    def universe(self) -> Universe:
+        return self.base.universe
+
+    def _ensure_sample(self) -> dict[int, int]:
+        """Draw the frozen support sample once: mask -> multiplicity."""
+        if self._sample_counts is None:
+            rng = np.random.default_rng(self.seed)
+            counts: dict[int, int] = {}
+            for _ in range(self.num_samples):
+                mask = self.base.sample_quorum_mask(rng)
+                counts[mask] = counts.get(mask, 0) + 1
+            self._sample_counts = counts
+        return self._sample_counts
+
+    def iter_quorum_masks(self) -> Iterator[int]:
+        """Yield the *sampled* support masks (deduplicated, first-seen order)."""
+        return iter(self._ensure_sample())
+
+    def iter_quorums(self) -> Iterator[frozenset]:
+        universe = self.universe
+        for mask in self.iter_quorum_masks():
+            yield bitset_mod.mask_to_frozenset(mask, universe)
+
+    def quorum_masks(self, *, limit: int | None = DEFAULT_ENUMERATION_LIMIT) -> tuple[int, ...]:
+        """Return the sampled support masks (NOT the full family; see class docs)."""
+        cached = getattr(self, "_quorum_mask_cache", None)
+        if cached is None:
+            cached = tuple(self._ensure_sample())
+            self._quorum_mask_cache = cached
+        return cached
+
+    def quorums(self, *, limit: int | None = DEFAULT_ENUMERATION_LIMIT) -> tuple[frozenset, ...]:
+        """Return the sampled support (NOT the full family; see class docs)."""
+        cached = getattr(self, "_quorum_cache", None)
+        if cached is None:
+            cached = tuple(self.iter_quorums())
+            self._quorum_cache = cached
+        return cached
+
+    def support_strategy(self):
+        """Return the empirical access strategy over the frozen sample.
+
+        Each sampled mask is weighted by its multiplicity, so the strategy
+        is the empirical (plug-in) estimate of the base construction's
+        access strategy; its induced load converges to the construction's
+        ``L(Q)`` as ``num_samples`` grows.  The strategy's per-universe mask
+        cache is primed, so no frozenset round-trips happen on the hot path.
+        """
+        from repro.core.strategy import Strategy  # local: strategy imports this module
+
+        counts = self._ensure_sample()
+        return Strategy.from_masks(
+            self.universe, tuple(counts), tuple(counts.values()), normalise=True
+        )
+
+    def sampled_optimal_strategy(self):
+        """Return the load-LP-optimal strategy *over the frozen sample*.
+
+        The plain :meth:`support_strategy` inherits the sampling noise of the
+        i.i.d. draw — the busiest server of an empirical strategy sits a few
+        standard deviations above ``L(Q)``.  Solving the load LP restricted
+        to the sampled sub-family rebalances the weights (dropping redundant
+        quorums, evening out row/column collisions), so the induced load
+        converges to ``L(Q)`` much faster in ``num_samples``.  The value is
+        an upper bound on the true ``L(Q)`` (the LP optimises over fewer
+        quorums), and the strategy is supported on genuine quorums, so the
+        workload engines can run it at any scale the sample fits.
+        """
+        cached = getattr(self, "_sampled_optimal_cache", None)
+        if cached is None:
+            from repro.core import load as load_mod  # local: load imports this module
+
+            sampled = ExplicitQuorumSystem(
+                self.universe,
+                self.quorums(),
+                name=f"{self.name}|sample",
+                validate=False,
+            )
+            cached = load_mod.exact_load(sampled, quorum_limit=None).strategy
+            self._sampled_optimal_cache = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Sampling: fresh draws always come from the base construction.
+    # ------------------------------------------------------------------
+    def sample_quorum(self, rng: np.random.Generator) -> frozenset:
+        return self.base.sample_quorum(rng)
+
+    def sample_quorum_avoiding(
+        self,
+        rng: np.random.Generator,
+        excluded: frozenset,
+        *,
+        attempts: int = 50,
+    ) -> frozenset:
+        return self.base.sample_quorum_avoiding(rng, excluded, attempts=attempts)
+
+    def sample_quorum_mask(self, rng: np.random.Generator) -> int:
+        return self.base.sample_quorum_mask(rng)
+
+    # ------------------------------------------------------------------
+    # Measures: delegated to the base construction's closed forms.  A base
+    # without a closed form keeps its own behaviour, including enumeration
+    # guards — nothing here silently computes over the sample.
+    # ------------------------------------------------------------------
+    def num_quorums(self) -> int:
+        return self.base.num_quorums()
+
+    def min_quorum_size(self) -> int:
+        return self.base.min_quorum_size()
+
+    def max_quorum_size(self) -> int:
+        return self.base.max_quorum_size()
+
+    def min_intersection_size(self) -> int:
+        return self.base.min_intersection_size()
+
+    def min_transversal_size(self) -> int:
+        return self.base.min_transversal_size()
+
+    def minimal_transversal(self) -> frozenset:
+        return self.base.minimal_transversal()
+
+    def fairness(self) -> tuple[int, int] | None:
+        return self.base.fairness()
+
+    def masking_bound(self) -> int:
+        return self.base.masking_bound()
+
+    def degree(self, element: Hashable) -> int:
+        return self.base.degree(element)
+
+    def degrees(self) -> dict[Hashable, int]:
+        return self.base.degrees()
+
+    def load(self) -> float:
+        """The base construction's closed-form load (raises if it has none)."""
+        analytic = getattr(self.base, "load", None)
+        if not callable(analytic):
+            raise ComputationError(
+                f"{self.base.name} has no closed-form load; "
+                "use repro.core.analytic.analytic_load or an explicit system"
+            )
+        return float(analytic())
+
+    def crash_probability(self, p: float, **kwargs) -> float:
+        """The closed-form ``Fp`` of the base construction, at any ``n``.
+
+        Routed through
+        :func:`repro.core.analytic.analytic_failure_probability` so the
+        value is the deterministic closed form (e.g. the exact row/column
+        dynamic program for grids) rather than the base's Monte-Carlo
+        estimator.  Passing estimator keyword arguments (``trials``,
+        ``rng``, ...) opts back into the base construction's own method.
+        """
+        if kwargs:
+            estimator = getattr(self.base, "crash_probability", None)
+            if not callable(estimator):
+                raise ComputationError(
+                    f"{self.base.name} has no crash_probability estimator"
+                )
+            return float(estimator(p, **kwargs))
+        from repro.core import analytic as analytic_mod  # local: analytic imports core
+
+        return float(analytic_mod.analytic_failure_probability(self.base, p).value)
+
+    def validate(self) -> None:
+        """Spot-check Definition 3.1 on the sampled support only.
+
+        The full pairwise-intersection check is exactly what an implicit
+        system exists to avoid; validating the sample catches construction
+        bugs (a sampler emitting non-intersecting sets) without enumeration.
+        """
+        engine = self.bitset_engine()
+        if engine.num_quorums == 0:
+            raise InvalidQuorumSystemError("implicit system produced an empty sample")
+        if not engine.all_pairs_intersect():
+            raise InvalidQuorumSystemError(
+                f"two sampled quorums of {self.name} do not intersect; "
+                "the base construction's sampler is broken"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<ImplicitQuorumSystem base={self.base.name!r} n={self.n} "
+            f"num_samples={self.num_samples}>"
         )

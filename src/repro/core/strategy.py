@@ -137,6 +137,61 @@ class Strategy:
         }
         return cls(weights, normalise=False)
 
+    @classmethod
+    def from_masks(
+        cls,
+        universe: Universe,
+        masks: Iterable[int],
+        weights: Iterable[float] | None = None,
+        *,
+        normalise: bool = True,
+    ) -> "Strategy":
+        """Build a strategy directly from ``int`` bitmasks over ``universe``.
+
+        This is the mask-native constructor the implicit layer uses
+        (:meth:`repro.core.quorum_system.ImplicitQuorumSystem.support_strategy`):
+        duplicated masks are merged by summing their weights, and the
+        per-universe mask cache is primed so the sampling hot paths
+        (:meth:`support_masks`, :meth:`support_engine`) never convert a
+        frozenset back into a mask.
+
+        Parameters
+        ----------
+        universe:
+            The universe the mask bit positions refer to.
+        masks:
+            Quorum bitmasks; duplicates are allowed and merged.
+        weights:
+            Optional per-mask weights aligned with ``masks`` (uniform when
+            omitted).
+        normalise:
+            Rescale the merged weights to sum to one (the default), or
+            require them to already be a distribution.
+        """
+        mask_list = list(masks)
+        if weights is None:
+            weight_list = [1.0] * len(mask_list)
+        else:
+            weight_list = [float(weight) for weight in weights]
+            if len(weight_list) != len(mask_list):
+                raise StrategyError(
+                    f"{len(mask_list)} masks but {len(weight_list)} weights"
+                )
+        merged: dict[int, float] = {}
+        for mask, weight in zip(mask_list, weight_list):
+            merged[mask] = merged.get(mask, 0.0) + weight
+        quorum_weights = {
+            bitset_mod.mask_to_frozenset(mask, universe): weight
+            for mask, weight in merged.items()
+        }
+        strategy = cls(quorum_weights, normalise=normalise)
+        # Prime the mask cache; the support keeps the merged dict's
+        # first-seen order minus the non-positive weights __init__ dropped.
+        strategy._mask_cache[universe] = tuple(
+            mask for mask, weight in merged.items() if weight > 0.0
+        )
+        return strategy
+
     # ------------------------------------------------------------------
     # Queries.
     # ------------------------------------------------------------------

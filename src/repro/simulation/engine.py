@@ -138,8 +138,18 @@ def resolve_strategy(system: QuorumSystem, strategy) -> Strategy:
     load-optimal strategy of the :func:`~repro.core.load.exact_load` LP, so
     workloads can be driven at the system's actual ``L(Q)``; a
     :class:`Strategy` instance is used as given.
+
+    For an :class:`~repro.core.quorum_system.ImplicitQuorumSystem` the
+    default resolves to the system's *sampled support strategy* (the
+    empirical estimate of the construction's access strategy — there is no
+    full quorum list to be uniform over), and ``"optimal"`` raises the
+    exact-LP budget :class:`~repro.exceptions.ComputationError` from
+    :func:`~repro.core.load.exact_load` unless the base family is small
+    enough to enumerate.
     """
     if strategy is None or strategy == "uniform":
+        if getattr(system, "is_implicit", False):
+            return system.support_strategy()
         return Strategy.uniform_over_system(system)
     if strategy == "optimal":
         optimal = exact_load(system).strategy

@@ -198,7 +198,12 @@ def run_event_workload(
     :func:`~repro.simulation.history.check_register_history`.
 
     Each client draws quorums from its own generator spawned off ``rng``, so
-    runs are deterministic functions of the seed.  ``request_timeout``
+    runs are deterministic functions of the seed.  An
+    :class:`~repro.core.quorum_system.ImplicitQuorumSystem` deployment works
+    unchanged at ``n = 10^3..10^4``: with the default strategy the clients
+    sample fresh quorums straight from the base construction
+    (``sample_quorum`` / ``sample_quorum_avoiding``), so no quorum family is
+    ever enumerated (see ``docs/analysis.md``).  ``request_timeout``
     defaults to a generous multiple of the latency scale (or 1.0 when the
     latency model is zero).  ``retry_unvouched_reads`` lets reads whose vote
     was split below ``b + 1`` by an interleaved write retry at a fresh

@@ -1,0 +1,187 @@
+"""Cross-validation of the closed-form engine (repro.core.analytic).
+
+Every closed form must agree with the LP/enumeration engine to 1e-9 on a
+small-n matrix covering all construction families — this is the contract
+that lets the implicit layer report *exact* measures at n = 10^4 where no
+enumeration can check them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BoostedFPP,
+    CrumblingWall,
+    ExplicitQuorumSystem,
+    FiniteProjectivePlane,
+    MGrid,
+    MPath,
+    MaskingGrid,
+    RecursiveThreshold,
+    RegularGrid,
+    ThresholdQuorumSystem,
+    analytic_failure_probability,
+    analytic_load,
+    compose,
+    exact_failure_probability,
+    exact_load,
+    majority,
+    masking_threshold,
+    monte_carlo_failure_probability,
+)
+from repro.core.analytic import (
+    crumbling_wall_failure_probability,
+    rowcol_survival_probability,
+)
+from repro.exceptions import ComputationError
+
+TOLERANCE = 1e-9
+
+#: Crash probabilities the agreement matrix sweeps, including both edges.
+PROBABILITIES = (0.0, 0.05, 0.1, 0.25, 0.5, 0.8, 1.0)
+
+
+def _exact_fp_systems():
+    """Small-n instances of every family the exact engine can enumerate."""
+    return [
+        ThresholdQuorumSystem(7, 5),
+        masking_threshold(13, 3),
+        majority(9),
+        RegularGrid(3),
+        RegularGrid(4),
+        MaskingGrid(4, 1),
+        MGrid(4, 1),
+        RecursiveThreshold(4, 3, 2),
+        RecursiveThreshold(3, 2, 2),
+        CrumblingWall([3, 2, 1]),
+        CrumblingWall([2, 3]),
+        CrumblingWall([1, 2, 3]),
+        CrumblingWall([4, 3, 2, 2]),
+        compose(majority(3), majority(3)),
+        compose(majority(3), ThresholdQuorumSystem(4, 3)),
+        FiniteProjectivePlane(2),
+    ]
+
+
+class TestFailureProbabilityAgreement:
+    @pytest.mark.parametrize(
+        "system", _exact_fp_systems(), ids=lambda system: system.name
+    )
+    @pytest.mark.parametrize("p", PROBABILITIES)
+    def test_matches_exact_enumeration(self, system, p):
+        analytic = analytic_failure_probability(system, p)
+        exact = exact_failure_probability(system, p)
+        assert analytic.value == pytest.approx(exact.value, abs=TOLERANCE)
+
+    @pytest.mark.parametrize("p", PROBABILITIES)
+    @pytest.mark.parametrize("side,b", [(3, 0), (4, 1)])
+    def test_mpath_straight_lines_match_subsystem_enumeration(self, side, b, p):
+        mpath = MPath(side, b)
+        analytic = analytic_failure_probability(mpath, p)
+        exact = exact_failure_probability(mpath.straight_line_subsystem(), p)
+        assert analytic.method == "analytic-straight-lines"
+        assert analytic.value == pytest.approx(exact.value, abs=TOLERANCE)
+
+    def test_mpath_straight_lines_upper_bound_full_family(self):
+        # Bent paths only add quorums, so the straight-line Fp must bound the
+        # percolation estimate of the full family from above.
+        mpath = MPath(5, 1)
+        p = 0.2
+        analytic = analytic_failure_probability(mpath, p).value
+        monte = mpath.crash_probability(p, trials=400, rng=np.random.default_rng(3))
+        assert analytic >= monte - 0.1  # 0.1 >> the MC standard error
+
+    def test_boost_fpp_exact_via_modular_decomposition(self):
+        # n = 35: enumeration over 2^35 crash sets is out, but the modular
+        # decomposition (exact inner binomial, exact outer enumeration over
+        # the 7-point plane) is exact — check it against Monte-Carlo.
+        system = BoostedFPP(2, 1)
+        p = 0.15
+        analytic = analytic_failure_probability(system, p)
+        assert analytic.method == "analytic"
+        monte = monte_carlo_failure_probability(
+            system, p, trials=40_000, rng=np.random.default_rng(7)
+        )
+        assert analytic.value == pytest.approx(monte.value, abs=5 * monte.std_error + 1e-4)
+        # ... and it must undercut the Proposition 6.3-style line-death bound.
+        assert analytic.value <= system.crash_probability(p) + TOLERANCE
+
+    def test_composition_decomposition_is_exact_not_a_bound(self):
+        composed = compose(majority(3), majority(5))  # n = 15
+        for p in (0.1, 0.3, 0.6):
+            analytic = analytic_failure_probability(composed, p)
+            exact = exact_failure_probability(composed, p)
+            assert analytic.method == "analytic"
+            assert analytic.value == pytest.approx(exact.value, abs=TOLERANCE)
+
+    def test_generic_fallback_enumeration(self):
+        explicit = ExplicitQuorumSystem(range(5), [{0, 1, 2}, {1, 2, 3}, {2, 3, 4}])
+        result = analytic_failure_probability(explicit, 0.2)
+        assert result.method == "enumeration"
+        assert result.value == pytest.approx(
+            exact_failure_probability(explicit, 0.2).value, abs=TOLERANCE
+        )
+
+    def test_rejects_invalid_probability(self):
+        with pytest.raises(ComputationError):
+            analytic_failure_probability(RegularGrid(3), 1.5)
+        with pytest.raises(ComputationError):
+            rowcol_survival_probability(4, -0.1, 1, 1)
+        with pytest.raises(ComputationError):
+            crumbling_wall_failure_probability([2, 1], 2.0)
+
+    def test_rowcol_requirements_beyond_side_are_impossible(self):
+        assert rowcol_survival_probability(4, 0.0, 5, 1) == 0.0
+
+    def test_values_are_probabilities_at_extreme_p(self):
+        # The DP and wall products must clamp float drift at the edges.
+        for p in (1e-12, 1.0 - 1e-12):
+            for system in (MGrid(6, 1), RegularGrid(5), CrumblingWall([3, 2, 1])):
+                value = analytic_failure_probability(system, p).value
+                assert 0.0 <= value <= 1.0
+
+
+def _load_systems():
+    return [
+        ThresholdQuorumSystem(7, 5),
+        masking_threshold(13, 3),
+        RegularGrid(3),
+        RegularGrid(4),
+        MaskingGrid(4, 1),
+        MGrid(4, 1),
+        MGrid(5, 2),
+        RecursiveThreshold(4, 3, 2),
+        BoostedFPP(2, 1),
+        FiniteProjectivePlane(2),
+    ]
+
+
+class TestLoadAgreement:
+    @pytest.mark.parametrize("system", _load_systems(), ids=lambda system: system.name)
+    def test_matches_exact_lp(self, system):
+        analytic = analytic_load(system)
+        exact = exact_load(system)
+        assert analytic.method == "analytic"
+        assert analytic.load == pytest.approx(exact.load, abs=TOLERANCE)
+
+    @pytest.mark.parametrize("side,b", [(3, 1), (4, 1)])
+    def test_mpath_load_matches_straight_line_lp(self, side, b):
+        mpath = MPath(side, b)
+        analytic = analytic_load(mpath)
+        exact = exact_load(mpath.straight_line_subsystem())
+        assert analytic.load == pytest.approx(exact.load, abs=TOLERANCE)
+
+    def test_fair_explicit_system_uses_proposition_3_9(self):
+        cycle = ExplicitQuorumSystem(
+            range(4), [{0, 1}, {1, 2}, {2, 3}, {3, 0}], validate=False
+        )
+        result = analytic_load(cycle)
+        assert result.method == "fair"
+        assert result.load == pytest.approx(0.5, abs=TOLERANCE)
+
+    def test_unfair_system_without_closed_form_raises(self):
+        lopsided = ExplicitQuorumSystem(range(4), [{0, 1, 2}, {0, 3}])
+        with pytest.raises(ComputationError, match="no closed-form load"):
+            analytic_load(lopsided)

@@ -1,0 +1,295 @@
+"""The implicit construction layer: sample_quorum_mask + ImplicitQuorumSystem.
+
+Covers the sampling protocol's stream-compatibility with the frozenset
+samplers, the implicit system's delegation contract (true measures, sampled
+family), the strategy plumbing (Strategy.from_masks, support_strategy,
+sampled_optimal_strategy), the exact-LP budget guard, and both workload
+engines accepting implicit deployments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CrumblingWall,
+    ExplicitQuorumSystem,
+    ImplicitQuorumSystem,
+    MGrid,
+    MPath,
+    MaskingGrid,
+    RecursiveThreshold,
+    RegularGrid,
+    Strategy,
+    Universe,
+    exact_load,
+    masking_threshold,
+)
+from repro.core import bitset
+from repro.exceptions import ComputationError, StrategyError
+from repro.simulation import FaultScenario, run_event_workload, run_workload
+from repro.simulation.engine import resolve_strategy, run_scenario
+
+SAMPLED_CONSTRUCTIONS = [
+    masking_threshold(13, 3),
+    RegularGrid(4),
+    MaskingGrid(5, 1),
+    MGrid(5, 1),
+    MPath(4, 1),
+    CrumblingWall([3, 2, 2]),
+    RecursiveThreshold(4, 3, 2),
+]
+
+
+class TestSampleQuorumMaskProtocol:
+    @pytest.mark.parametrize(
+        "system", SAMPLED_CONSTRUCTIONS, ids=lambda system: system.name
+    )
+    def test_stream_compatible_with_frozenset_sampler(self, system):
+        # Same seed, same draws: the mask sampler and the frozenset sampler
+        # must produce the same quorum sequence.
+        mask_rng = np.random.default_rng(11)
+        set_rng = np.random.default_rng(11)
+        for _ in range(8):
+            mask = system.sample_quorum_mask(mask_rng)
+            quorum = system.sample_quorum(set_rng)
+            assert mask == bitset.mask_of(quorum, system.universe)
+
+    @pytest.mark.parametrize(
+        "system", SAMPLED_CONSTRUCTIONS, ids=lambda system: system.name
+    )
+    def test_sampled_masks_are_quorums(self, system):
+        family = set(system.iter_quorum_masks())
+        rng = np.random.default_rng(5)
+        for _ in range(8):
+            assert system.sample_quorum_mask(rng) in family
+
+    def test_generic_default_converts_sample_quorum(self):
+        explicit = ExplicitQuorumSystem(range(4), [{0, 1, 2}, {1, 2, 3}])
+        rng = np.random.default_rng(0)
+        masks = {explicit.sample_quorum_mask(rng) for _ in range(20)}
+        assert masks <= set(explicit.iter_quorum_masks())
+
+
+class TestImplicitQuorumSystem:
+    def test_measures_delegate_to_closed_forms(self):
+        base = MGrid(20, 3)  # 36k quorums; measures come from closed forms, not enumeration
+        implicit = ImplicitQuorumSystem(base, num_samples=32, seed=1)
+        assert implicit.n == base.n == 400
+        assert implicit.min_quorum_size() == base.min_quorum_size()
+        assert implicit.min_intersection_size() == base.min_intersection_size()
+        assert implicit.min_transversal_size() == base.min_transversal_size()
+        assert implicit.masking_bound() == base.masking_bound()
+        assert implicit.fairness() == base.fairness()
+        assert implicit.num_quorums() == base.num_quorums()
+        assert implicit.load() == base.load()
+        assert implicit.is_implicit and not base.is_implicit
+
+    def test_sampled_family_is_frozen_and_seed_deterministic(self):
+        base = MGrid(16, 1)
+        first = ImplicitQuorumSystem(base, num_samples=64, seed=9)
+        second = ImplicitQuorumSystem(base, num_samples=64, seed=9)
+        assert first.quorum_masks() == second.quorum_masks()
+        assert len(first.quorum_masks()) <= 64
+        # frozenset view is derived from the same sample
+        assert [bitset.mask_of(q, base.universe) for q in first.quorums()] == list(
+            first.quorum_masks()
+        )
+        different = ImplicitQuorumSystem(base, num_samples=64, seed=10)
+        assert different.quorum_masks() != first.quorum_masks()
+
+    def test_sample_is_made_of_genuine_quorums(self):
+        base = MGrid(6, 1)
+        implicit = ImplicitQuorumSystem(base, num_samples=48, seed=2)
+        family = set(base.iter_quorum_masks())
+        assert set(implicit.quorum_masks()) <= family
+        implicit.validate()  # spot check must pass for a correct sampler
+
+    def test_rejects_nested_wrap_and_bad_sample_count(self):
+        base = RegularGrid(4)
+        implicit = ImplicitQuorumSystem(base, num_samples=8)
+        with pytest.raises(ComputationError):
+            ImplicitQuorumSystem(implicit)
+        with pytest.raises(ComputationError):
+            ImplicitQuorumSystem(base, num_samples=0)
+
+    def test_support_strategy_is_multiplicity_weighted(self):
+        base = RegularGrid(3)  # 9 quorums; 64 samples guarantee collisions
+        implicit = ImplicitQuorumSystem(base, num_samples=64, seed=4)
+        strategy = implicit.support_strategy()
+        assert sum(weight for _, weight in strategy.items()) == pytest.approx(1.0)
+        counts = {}
+        rng = np.random.default_rng(4)
+        for _ in range(64):
+            mask = base.sample_quorum_mask(rng)
+            counts[mask] = counts.get(mask, 0) + 1
+        for quorum, weight in strategy.items():
+            mask = bitset.mask_of(quorum, base.universe)
+            assert weight == pytest.approx(counts[mask] / 64)
+
+    def test_sampled_optimal_strategy_rebalances(self):
+        base = MGrid(8, 1)  # enumerable: C(8,2)^2 = 784 quorums
+        implicit = ImplicitQuorumSystem(base, num_samples=256, seed=6)
+        uniform_load = implicit.support_strategy().induced_system_load(base.universe)
+        optimal = implicit.sampled_optimal_strategy()
+        lp_load = optimal.induced_system_load(base.universe)
+        # The LP can only improve on the empirical weights, and can never
+        # beat the true L(Q) (it optimises over a sub-family).
+        assert lp_load <= uniform_load + 1e-9
+        assert lp_load >= exact_load(base).load - 1e-9
+        # Cached: same object on repeat calls.
+        assert implicit.sampled_optimal_strategy() is optimal
+
+    def test_exact_load_budget_guard(self):
+        big = ImplicitQuorumSystem(MGrid(30, 3), num_samples=16, seed=0)  # C(30,2)^2 = 189,225 quorums
+        with pytest.raises(ComputationError, match="exceeds the exact-LP enumeration"):
+            exact_load(big, quorum_limit=50_000)
+        # A small base family is delegated to the real LP instead.
+        small = ImplicitQuorumSystem(MGrid(8, 1), num_samples=16, seed=0)
+        assert exact_load(small).load == pytest.approx(exact_load(MGrid(8, 1)).load)
+        # quorum_limit=None lifts the budget (no TypeError) and delegates;
+        # a base that cannot enumerate still raises its own clear guard.
+        assert exact_load(small, quorum_limit=None).load == pytest.approx(
+            exact_load(MGrid(8, 1)).load
+        )
+        unbounded = ImplicitQuorumSystem(MPath(12, 3), num_samples=4, seed=0)
+        with pytest.raises(ComputationError, match="cannot enumerate"):
+            exact_load(unbounded, quorum_limit=None)
+
+    def test_load_requires_base_closed_form(self):
+        explicit = ExplicitQuorumSystem(range(4), [{0, 1, 2}, {0, 3}])
+        implicit = ImplicitQuorumSystem(explicit, num_samples=8, seed=0)
+        with pytest.raises(ComputationError, match="no closed-form load"):
+            implicit.load()
+
+    def test_crash_probability_routes_through_analytic_dispatch(self):
+        from repro import exact_failure_probability
+
+        # A small explicit base has no closed form, but the analytic
+        # dispatch falls back to exact enumeration — the implicit view must
+        # report that true value, never the sampled sub-family's.
+        explicit = ExplicitQuorumSystem(range(4), [{0, 1, 2}, {0, 3}])
+        implicit = ImplicitQuorumSystem(explicit, num_samples=2, seed=0)
+        assert implicit.crash_probability(0.3) == pytest.approx(
+            exact_failure_probability(explicit, 0.3).value, abs=1e-12
+        )
+        # Grid bases get the exact row/column DP, not the base's Monte-Carlo.
+        grid = MGrid(10, 1)
+        wrapped = ImplicitQuorumSystem(grid, num_samples=8, seed=0)
+        first = wrapped.crash_probability(0.1)
+        assert first == wrapped.crash_probability(0.1)  # deterministic
+        # Estimator kwargs opt back into the base's Monte-Carlo path.
+        monte = wrapped.crash_probability(
+            0.1, trials=2000, rng=np.random.default_rng(0)
+        )
+        assert abs(monte - first) < 0.05
+
+    def test_fp_estimators_refuse_the_sampled_subfamily(self):
+        from repro import (
+            exact_failure_probability,
+            monte_carlo_failure_probability,
+        )
+        from repro.core.availability import inclusion_exclusion_failure_probability
+
+        implicit = ImplicitQuorumSystem(MGrid(4, 1), num_samples=4, seed=0)
+        for estimator in (
+            exact_failure_probability,
+            monte_carlo_failure_probability,
+            inclusion_exclusion_failure_probability,
+        ):
+            with pytest.raises(ComputationError, match="implicit system"):
+                estimator(implicit, 0.1)
+
+
+class TestEnginesAcceptImplicitSystems:
+    def test_resolve_strategy_default_is_sampled_support(self):
+        implicit = ImplicitQuorumSystem(MGrid(8, 1), num_samples=64, seed=3)
+        strategy = resolve_strategy(implicit, None)
+        assert set(strategy.support) <= set(implicit.quorums())
+        assert resolve_strategy(implicit, "uniform").support == strategy.support
+
+    def test_resolve_strategy_optimal_raises_above_budget(self):
+        implicit = ImplicitQuorumSystem(MGrid(30, 3), num_samples=16, seed=0)
+        with pytest.raises(ComputationError, match="exceeds the exact-LP enumeration"):
+            resolve_strategy(implicit, "optimal")
+
+    def test_vectorised_and_sequential_agree_on_implicit(self):
+        implicit = ImplicitQuorumSystem(MGrid(16, 1), num_samples=128, seed=3)
+        scenario = FaultScenario(crashed=frozenset({(0, 0), (3, 7)}))
+        vectorised = run_scenario(
+            implicit,
+            b=1,
+            num_operations=400,
+            scenario=scenario,
+            rng=np.random.default_rng(9),
+        )
+        sequential = run_scenario(
+            implicit,
+            b=1,
+            num_operations=400,
+            scenario=scenario,
+            rng=np.random.default_rng(9),
+            mode="sequential",
+        )
+        assert vectorised == sequential
+
+    def test_implicit_run_matches_explicit_subfamily_run(self):
+        # The engine only ever sees the strategy's support, so running the
+        # implicit wrapper must equal running the materialised sample.
+        implicit = ImplicitQuorumSystem(MGrid(8, 1), num_samples=64, seed=12)
+        strategy = implicit.support_strategy()
+        explicit = ExplicitQuorumSystem(
+            implicit.universe, implicit.quorums(), name="sample", validate=False
+        )
+        kwargs = dict(b=1, num_operations=300, strategy=strategy)
+        implicit_result = run_workload(
+            implicit, rng=np.random.default_rng(21), **kwargs
+        )
+        explicit_result = run_workload(
+            explicit, rng=np.random.default_rng(21), **kwargs
+        )
+        assert implicit_result == explicit_result
+
+    def test_event_engine_runs_implicit_deployment(self):
+        implicit = ImplicitQuorumSystem(MGrid(8, 1), num_samples=64, seed=5)
+        result = run_event_workload(
+            implicit,
+            b=1,
+            num_clients=4,
+            operations_per_client=5,
+            rng=np.random.default_rng(13),
+        )
+        assert result.operations == 20
+        assert result.failed_operations == 0
+        assert result.check is not None and result.check.ok
+
+
+class TestStrategyFromMasks:
+    def test_merges_duplicates_and_primes_mask_cache(self):
+        universe = Universe.of_size(5)
+        masks = (0b00111, 0b11100, 0b00111)
+        strategy = Strategy.from_masks(universe, masks, (0.25, 0.5, 0.25))
+        assert len(strategy) == 2
+        assert strategy.probability(frozenset({0, 1, 2})) == pytest.approx(0.5)
+        assert strategy.probability(frozenset({2, 3, 4})) == pytest.approx(0.5)
+        # The cache is primed in support order, no frozenset round-trip.
+        assert strategy.support_masks(universe) == (0b00111, 0b11100)
+
+    def test_uniform_default_and_normalisation(self):
+        universe = Universe.of_size(4)
+        strategy = Strategy.from_masks(universe, (0b0111, 0b1110))
+        assert strategy.probability(frozenset({0, 1, 2})) == pytest.approx(0.5)
+        with pytest.raises(StrategyError):
+            Strategy.from_masks(universe, (0b0111, 0b1110), (1.0,))
+        with pytest.raises(StrategyError):
+            Strategy.from_masks(universe, (0b0111,), (-1.0,))
+
+    def test_sampling_consistent_with_engine_rows(self):
+        universe = Universe.of_size(6)
+        masks = (0b000111, 0b011100, 0b110001)
+        strategy = Strategy.from_masks(universe, masks, (0.2, 0.3, 0.5))
+        engine = strategy.support_engine(universe)
+        assert engine.masks == strategy.support_masks(universe)
+        indices = strategy.sample_many(np.random.default_rng(2), 200)
+        assert set(np.unique(indices)) <= {0, 1, 2}
