@@ -1,10 +1,15 @@
 #!/usr/bin/env python3
-"""Quickstart: build masking quorum systems and inspect the paper's measures.
+"""Quickstart: the paper's constructions and measures through the facade.
 
-Builds each of the paper's constructions at a small size, prints their
-combinatorial parameters (quorum size, intersection, transversal), their load
-against the Corollary 4.2 lower bound, and their crash probability at a given
-per-server crash probability.
+Builds each of the paper's constructions by registry name
+(:func:`repro.api.build`), computes the combinatorial parameters, the load
+against the Corollary 4.2 lower bound and the crash probability through the
+one measure dispatcher (:func:`repro.api.measure` — note the provenance it
+reports for every value), and finishes with a workload run through the
+unified runner.  The same calls are available from the shell::
+
+    python -m repro measure mgrid --side 7 --b 3 --measure fp --p 0.1
+    python -m repro run --construction mgrid --side 7 --scenario iid-crash
 
 Run with::
 
@@ -13,38 +18,34 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    BoostedFPP,
-    MGrid,
-    MPath,
-    MaskingGrid,
-    RecursiveThreshold,
-    load_lower_bound,
-    masking_threshold,
-    verify_masking,
-)
+from repro import load_lower_bound, verify_masking
+from repro.api import WorkloadSpec, build, measure, run, spec_of
 
 
-def describe(system, b: int, p: float = 0.1) -> None:
-    """Print one construction's headline numbers."""
+def describe(name: str, p: float = 0.1, **params) -> None:
+    """Print one construction's headline numbers, facade-style."""
+    system = build(name, **params)
+    b = int(measure(system, "masking").value)
     # Lemma 3.6 via the analytic MT and IS values; for the small explicit
     # systems additionally check Definition 3.5 literally.
     verify_masking_ok = system.is_b_masking(b)
     if system.enumerates_all_quorums and system.n <= 50 and system.num_quorums() <= 1500:
         verify_masking(system, b)
 
-    load = system.load()
+    load = measure(system, "load")
+    crash = measure(system, "fp", p=p)
     bound = load_lower_bound(system.n, b)
-    crash = system.crash_probability(p)
-    print(f"{system.name}")
+    print(f"{system.name}   [spec: {spec_of(system).to_dict()}]")
     print(f"  servers            n  = {system.n}")
     print(f"  masks              b  = {b}   (verified: {verify_masking_ok})")
-    print(f"  quorum size        c  = {system.min_quorum_size()}")
-    print(f"  min intersection   IS = {system.min_intersection_size()}")
-    print(f"  min transversal    MT = {system.min_transversal_size()}"
-          f"   (resilience f = {system.min_transversal_size() - 1})")
-    print(f"  load               L  = {load:.4f}   (lower bound sqrt((2b+1)/n) = {bound:.4f})")
-    print(f"  crash probability  Fp = {crash:.6f}   at p = {p}")
+    print(f"  quorum size        c  = {int(measure(system, 'min-quorum').value)}")
+    print(f"  min intersection   IS = {int(measure(system, 'intersection').value)}")
+    print(f"  min transversal    MT = {int(measure(system, 'transversal').value)}"
+          f"   (resilience f = {int(measure(system, 'resilience').value)})")
+    print(f"  load               L  = {load.value:.4f}   via {load.method_used}"
+          f"   (lower bound sqrt((2b+1)/n) = {bound:.4f})")
+    print(f"  crash probability  Fp = {crash.value:.6f}   at p = {p}"
+          f"   via {crash.method_used}")
     print()
 
 
@@ -55,22 +56,39 @@ def main() -> None:
     print()
 
     # The [MR98a] Threshold baseline: optimal resilience, load stuck near 1/2.
-    describe(masking_threshold(n=49, b=3), b=3)
+    describe("threshold", n=49, b=3)
 
     # The [MR98a] Grid baseline: low load, but availability degrades.
-    describe(MaskingGrid(side=7, b=2), b=2)
+    describe("masking-grid", side=7, b=2)
 
     # M-Grid (Section 5.1, Figure 1): optimal load for b = O(sqrt(n)).
-    describe(MGrid(side=7, b=3), b=3)
+    describe("mgrid", side=7, b=3)
 
     # RT(4,3) (Section 5.2, Figure 2): near-optimal availability.
-    describe(RecursiveThreshold(4, 3, depth=3), b=RecursiveThreshold(4, 3, 3).masking_bound())
+    describe("rt", depth=3)
 
     # boostFPP (Section 6): a projective plane boosted by a threshold block.
-    describe(BoostedFPP(q=2, b=2), b=2)
+    describe("boostfpp", q=2, b=2)
 
     # M-Path (Section 7, Figure 3): optimal load *and* optimal availability.
-    describe(MPath(side=7, b=3), b=3)
+    describe("mpath", side=7, b=3)
+
+    # And one workload through the unified runner: the masking-quorum
+    # protocol over M-Grid under iid crashes, vectorised engine.
+    report = run(
+        WorkloadSpec(
+            system="mgrid",
+            params={"side": 7, "b": 3},
+            scenario="iid-crash",
+            operations=500,
+            seed=2026,
+        )
+    )
+    print(f"workload: {report.system} under {report.scenario!r} "
+          f"({report.engine} engine)")
+    print(f"  availability = {report.availability:.3f}   "
+          f"empirical load = {report.empirical_load:.3f}   "
+          f"consistent = {report.consistent}")
 
 
 if __name__ == "__main__":

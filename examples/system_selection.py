@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis import section8_comparison, table2
+from repro.analysis import recommend_construction, section8_comparison, table2
 
 
 def print_profiles(profiles) -> None:
@@ -62,6 +62,20 @@ def main() -> None:
             f"{row.crash_probability:>12.6f} {str(row.load_optimal):>6} "
             f"{str(row.availability_optimal):>6}"
         )
+
+    # When no masking is required (b = 0), the classical regular systems —
+    # tree and wheel — join the candidate pool alongside the paper's
+    # constructions (they are excluded from the masking tables above, where
+    # IS = 1 disqualifies them by definition).
+    print("\nNo Byzantine failures to mask (b = 0), n = 31, p = 0.1 — the "
+          "regular systems compete too:\n")
+    recommendation = recommend_construction(31, 0.1, required_b=0, rng=rng)
+    print_profiles(recommendation.feasible)
+    print(f"\nrecommended: {recommendation.best.name}")
+
+    # The same exercise from the shell:
+    #   python -m repro table --n 1024 --p 0.125
+    #   python -m repro compare threshold mgrid rt --n 49 --depth 3 --p 0.125
 
 
 if __name__ == "__main__":

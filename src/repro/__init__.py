@@ -9,11 +9,16 @@ that runs the masking-quorum protocol over any of them.
 
 Quickstart
 ----------
->>> from repro import MGrid, best_known_load, load_lower_bound
->>> system = MGrid(side=7, b=3)
+The spec-driven facade (:mod:`repro.api`) is the recommended entry point:
+build constructions by name, compute measures through one dispatcher, run
+workloads on either engine — also available from the shell as
+``python -m repro`` (see ``docs/api.md``).
+
+>>> from repro import build, measure, load_lower_bound
+>>> system = build("mgrid", n=49, b=3)
 >>> system.masking_bound() >= 3
 True
->>> best_known_load(system).load <= 2 * load_lower_bound(system.n, 3)
+>>> measure(system, "load").value <= 2 * load_lower_bound(system.n, 3)
 True
 """
 
@@ -68,6 +73,7 @@ from repro.exceptions import (
     ComputationError,
     ConstructionError,
     FieldError,
+    InvalidParameterError,
     InvalidQuorumSystemError,
     MaskingViolationError,
     ReproError,
@@ -75,12 +81,41 @@ from repro.exceptions import (
     StrategyError,
 )
 
+# The facade (imported last: it builds on constructions, core and
+# simulation).  `repro.build` / `repro.measure` / `repro.run_experiment`
+# are the recommended entry points; `repro.api` exposes the full surface.
+from repro import api
+from repro.api import (
+    Budget,
+    MeasureResult,
+    SystemSpec,
+    WorkloadReport,
+    WorkloadSpec,
+    available_constructions,
+    build,
+    measure,
+    spec_of,
+)
+from repro.api import run as run_experiment
+
 __version__ = "1.0.0"
 
 __all__ = [
     "AvailabilityResult",
     "BitsetEngine",
     "BoostedFPP",
+    "Budget",
+    "MeasureResult",
+    "SystemSpec",
+    "WorkloadReport",
+    "WorkloadSpec",
+    "api",
+    "available_constructions",
+    "build",
+    "measure",
+    "run_experiment",
+    "spec_of",
+    "InvalidParameterError",
     "ComposedQuorumSystem",
     "ComputationError",
     "ConstructionError",

@@ -21,7 +21,7 @@ from repro.constructions.mpath import MPath
 from repro.constructions.recursive_threshold import RecursiveThreshold
 from repro.constructions.threshold import masking_threshold
 from repro.core.quorum_system import QuorumSystem
-from repro.exceptions import ConstructionError
+from repro.exceptions import ComputationError, ConstructionError
 
 __all__ = ["SystemProfile", "profile_system", "section8_comparison"]
 
@@ -67,11 +67,25 @@ def profile_system(
     rng: np.random.Generator | None = None,
     mpath_trials: int = 200,
 ) -> SystemProfile:
-    """Return the :class:`SystemProfile` of an already-built construction."""
+    """Return the :class:`SystemProfile` of an already-built construction.
+
+    The load comes from the facade's measure dispatcher
+    (:func:`repro.api.measures.measure` with ``method="auto"``): the
+    construction's closed form when it has one, the exact LP otherwise —
+    which is what lets systems without a closed-form load (tree, wheel)
+    appear in selection tables with a real value instead of ``NaN``.  The
+    crash probability keeps the per-construction bound choices of the
+    paper's Section 8 (the specific kinds reported in Table 2).
+    """
+    from repro.api.measures import measure  # local: analysis sits above the facade
+
     if b is None:
         b = system.masking_bound()
     resilience = system.min_transversal_size() - 1
-    load = float(system.load()) if callable(getattr(system, "load", None)) else float("nan")
+    try:
+        load = float(measure(system, "load").value)
+    except ComputationError:
+        load = float("nan")
 
     if isinstance(system, MGrid):
         crash_value = system.crash_probability_lower_bound(p)
@@ -143,6 +157,17 @@ def section8_comparison(
     include_baselines:
         Also profile the [MR98a] Threshold and Grid baselines at the same
         scale, extending the comparison to all six systems of Table 2.
+
+    Notes
+    -----
+    The classical regular systems (tree, wheel) are deliberately *not* part
+    of this table: Section 8 compares ``b``-masking systems and a regular
+    system has ``IS = 1``, hence ``b = 0`` — it cannot appear in a masking
+    comparison at any scale.  They are registered in the facade
+    (``repro.api.build("tree", depth=...)``, ``build("wheel", n=...)``) and
+    join the selection exercise via
+    :func:`repro.analysis.selector.candidate_constructions` when
+    ``required_b == 0``.
     """
     side = int(round(n ** 0.5))
     if side * side != n:

@@ -23,6 +23,14 @@ the blocking synchronous client and through the event-driven state-machine
 client at zero latency, and verifies they agree **operation for operation**
 (success, value, timestamp, quorum and the real probe count) — the
 synchronous layer really is the zero-latency special case of the event core.
+
+Since the facade landed, the *engine*-level cross-check is a result-vs-result
+comparison: :func:`engine_agreement` runs one
+:class:`~repro.api.workloads.WorkloadSpec` through both engines via
+:func:`repro.api.workloads.run` and diffs the two normalised
+:class:`~repro.api.workloads.WorkloadReport` objects directly, and the
+analytic reference values above come from the facade's measure dispatcher
+(:func:`repro.api.measures.measure` with ``method="exact"``).
 """
 
 from __future__ import annotations
@@ -31,11 +39,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.availability import exact_failure_probability
-from repro.core.load import exact_load
 from repro.core.quorum_system import QuorumSystem
 from repro.core.strategy import Strategy
-from repro.exceptions import ComputationError
+from repro.exceptions import ComputationError, InvalidParameterError
 from repro.simulation.client import AsyncQuorumClient, QuorumClient, RetryPolicy
 from repro.simulation.engine import resolve_strategy, run_scenario
 from repro.simulation.events import EventNetwork, EventScheduler
@@ -47,9 +53,11 @@ from repro.simulation.scenarios import WorkloadScenario
 __all__ = [
     "EmpiricalAvailabilityComparison",
     "EmpiricalLoadComparison",
+    "EngineAgreement",
     "ProtocolAgreement",
     "empirical_availability_comparison",
     "empirical_load_comparison",
+    "engine_agreement",
     "synchronous_event_agreement",
 ]
 
@@ -255,6 +263,83 @@ def synchronous_event_agreement(
     )
 
 
+@dataclass(frozen=True)
+class EngineAgreement:
+    """Result-vs-result comparison of the two workload engines.
+
+    Since the facade normalises both engines into one
+    :class:`~repro.api.workloads.WorkloadReport`, the cross-check reduces to
+    comparing two reports: the experiment coordinates and the consistency
+    verdict must agree exactly, the statistical fields (availability, load)
+    must agree within the sampling tolerance of the shared spec.
+
+    Attributes
+    ----------
+    vectorized / event:
+        The two engines' reports for the same :class:`WorkloadSpec`.
+    mismatched_fields:
+        ``(field, vectorized_value, event_value)`` tuples for every exactly
+        comparable field that diverged (schema keys, ``n``, ``b``,
+        ``operations``, ``consistent``, ``consistency_violations``).
+    availability_gap / load_gap:
+        Absolute differences of the two statistical headline numbers.
+    """
+
+    vectorized: object
+    event: object
+    mismatched_fields: tuple = ()
+    availability_gap: float = 0.0
+    load_gap: float = 0.0
+
+    def ok(self, *, availability_tol: float = 0.05, load_tol: float = 0.1) -> bool:
+        """Whether the engines agree (exact fields + gaps within tolerance)."""
+        return (
+            not self.mismatched_fields
+            and self.availability_gap <= availability_tol
+            and self.load_gap <= load_tol
+        )
+
+
+def engine_agreement(spec) -> EngineAgreement:
+    """Run one :class:`~repro.api.workloads.WorkloadSpec` on both engines.
+
+    The spec's operation count is rounded up to a multiple of its client
+    count so both engines execute the same total (the event engine hands
+    each client ``operations / clients`` operations).  Only untimed
+    scenarios qualify — a timed scenario cannot run vectorised by
+    construction.
+    """
+    from dataclasses import replace
+
+    from repro.api.workloads import WorkloadSpec, run
+
+    if not isinstance(spec, WorkloadSpec):
+        raise ComputationError(
+            f"engine_agreement takes a WorkloadSpec, got {type(spec).__name__}"
+        )
+    operations = spec.clients * -(-spec.operations // spec.clients)
+    spec = replace(spec, operations=operations)
+    vectorized = run(spec, engine="vectorized")
+    event = run(spec, engine="event")
+
+    mismatches = []
+    vec_dict, event_dict = vectorized.to_dict(), event.to_dict()
+    if set(vec_dict) != set(event_dict):
+        mismatches.append(("schema", sorted(vec_dict), sorted(event_dict)))
+    for field_name in ("n", "b", "operations", "consistent", "consistency_violations"):
+        if vec_dict[field_name] != event_dict[field_name]:
+            mismatches.append(
+                (field_name, vec_dict[field_name], event_dict[field_name])
+            )
+    return EngineAgreement(
+        vectorized=vectorized,
+        event=event,
+        mismatched_fields=tuple(mismatches),
+        availability_gap=abs(vectorized.availability - event.availability),
+        load_gap=abs(vectorized.empirical_load - event.empirical_load),
+    )
+
+
 def empirical_load_comparison(
     system: QuorumSystem,
     *,
@@ -271,9 +356,11 @@ def empirical_load_comparison(
     induced load, and ``optimality_gap`` quantifies what ignoring ``L(Q)``
     costs.
     """
+    from repro.api.measures import measure
+
     rng = rng if rng is not None else np.random.default_rng()
     resolved = resolve_strategy(system, strategy)
-    analytic = exact_load(system).load
+    analytic = measure(system, "load", method="exact").value
     expected = resolved.induced_system_load(system.universe)
     result = run_scenario(
         system,
@@ -312,11 +399,13 @@ def empirical_availability_comparison(
     quorum (the default); a strategy with restricted support can only reach
     its own quorums, so its failure rate dominates ``Fp``.
     """
+    from repro.api.measures import measure
+
     if trials <= 0:
-        raise ComputationError(f"trials must be positive, got {trials}")
+        raise InvalidParameterError(f"trials must be positive, got {trials}")
     rng = rng if rng is not None else np.random.default_rng()
     resolved = resolve_strategy(system, strategy)
-    analytic = exact_failure_probability(system, p).value
+    analytic = measure(system, "fp", method="exact", p=p).value
     injector = FaultInjector(system.universe, rng)
     failed = 0
     total = 0

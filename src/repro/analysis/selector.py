@@ -25,6 +25,8 @@ from repro.constructions.mgrid import MGrid
 from repro.constructions.mpath import MPath
 from repro.constructions.recursive_threshold import RecursiveThreshold
 from repro.constructions.threshold import masking_threshold
+from repro.constructions.tree import TreeQuorumSystem
+from repro.constructions.wheel import WheelQuorumSystem
 from repro.exceptions import ConstructionError
 from repro.gf.prime_field import factor_prime_power
 
@@ -69,12 +71,30 @@ def candidate_constructions(n: int, required_b: int) -> list:
     at (roughly) this universe size are silently skipped — that in itself is
     part of the answer the paper's Section 8 gives (e.g. M-Grid simply cannot
     mask ``n/4`` failures).
+
+    The regular systems (tree, wheel — ``IS = 1``, so ``b = 0``) enter the
+    comparison only when no masking is required: a ``required_b >= 1``
+    instantly disqualifies them, so listing them would only add noise to the
+    rejection report.  They are always available through the facade registry
+    (``repro.api.build("tree", ...)``) and as boosting inputs.
     """
     candidates = []
     side = math.isqrt(n)
 
     if 4 * required_b < n:
         candidates.append(masking_threshold(n, required_b))
+
+    if required_b == 0:
+        if n >= 3:
+            candidates.append(WheelQuorumSystem(n))
+        # Depth capped at 3 (255 quorums): the depth-4 family has 2^16 - 1
+        # quorums, which pushes the profile's exact MT/Fp computations from
+        # milliseconds to minutes for no extra insight in a selection table.
+        tree_depth = max(
+            (d for d in range(1, 4) if 2 ** (d + 1) - 1 <= n), default=None
+        )
+        if tree_depth is not None:
+            candidates.append(TreeQuorumSystem(tree_depth))
 
     for builder in (
         lambda: MaskingGrid(side, required_b),

@@ -1,0 +1,418 @@
+"""``python -m repro`` — the facade from the shell.
+
+Four commands drive the facade so paper tables, measure trajectories and
+workload runs are reproducible without writing Python:
+
+* ``python -m repro list`` — the construction registry, the measures and
+  the scenario catalogue;
+* ``python -m repro measure mgrid --n 49 --b 3 [--measure fp --p 0.1]`` —
+  one measure through the dispatch policy (:mod:`repro.api.measures`);
+* ``python -m repro run --construction mgrid --n 4096 --scenario crash`` —
+  one workload experiment through the unified runner
+  (:mod:`repro.api.workloads`);
+* ``python -m repro table`` / ``python -m repro compare grid mgrid rt ...``
+  — the Section 8 comparison and ad-hoc multi-construction comparisons.
+
+``--json`` switches every command to a machine-readable, schema-stable
+payload on stdout.  Argument errors exit with status 2 and a one-line
+message on stderr; infeasible computations (budget exhausted, no path
+applies) exit with status 3.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.api.measures import Budget, available_measures, measure
+from repro.api.registry import available_constructions, build, get_entry
+from repro.api.scenarios import available_scenarios
+from repro.api.workloads import WorkloadSpec, run
+from repro.exceptions import (
+    ComputationError,
+    ConstructionError,
+    InvalidParameterError,
+    ReproError,
+)
+
+__all__ = ["main"]
+
+#: Construction parameters the CLI understands; forwarded to the registry,
+#: which rejects the ones a given construction does not take.
+_PARAM_FLAGS = ("n", "side", "b", "k", "l", "q", "depth")
+
+
+def _add_param_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("construction parameters")
+    for flag in _PARAM_FLAGS:
+        group.add_argument(f"--{flag}", type=int, default=None)
+    group.add_argument(
+        "--rows",
+        type=str,
+        default=None,
+        help="crumbling-wall row widths, comma separated (e.g. 3,4,5)",
+    )
+
+
+def _collect_params(args: argparse.Namespace) -> dict:
+    params = {
+        flag: getattr(args, flag)
+        for flag in _PARAM_FLAGS
+        if getattr(args, flag) is not None
+    }
+    if getattr(args, "rows", None) is not None:
+        try:
+            params["rows"] = [int(part) for part in args.rows.split(",") if part]
+        except ValueError:
+            raise InvalidParameterError(
+                f"--rows must be comma-separated integers, got {args.rows!r}"
+            ) from None
+    return params
+
+
+def _budget_from(args: argparse.Namespace) -> Budget:
+    kwargs = {}
+    if getattr(args, "trials", None) is not None:
+        kwargs["trials"] = args.trials
+    if getattr(args, "num_samples", None) is not None:
+        kwargs["num_samples"] = args.num_samples
+    if getattr(args, "seed", None) is not None:
+        kwargs["seed"] = args.seed
+    return Budget(**kwargs)
+
+
+def _emit(payload, as_json: bool, human) -> None:
+    if as_json:
+        print(json.dumps(payload, indent=2, sort_keys=False))
+    else:
+        human(payload)
+
+
+# ----------------------------------------------------------------------
+# Commands.
+# ----------------------------------------------------------------------
+def _cmd_list(args: argparse.Namespace) -> int:
+    payload = {
+        "constructions": {
+            name: {
+                "summary": get_entry(name).summary,
+                "masking": get_entry(name).masking,
+                "params": [
+                    {
+                        "name": spec.name,
+                        "required": spec.required,
+                        "doc": spec.doc,
+                    }
+                    for spec in get_entry(name).params
+                ],
+            }
+            for name in available_constructions()
+        },
+        "measures": available_measures(),
+        "scenarios": available_scenarios(),
+    }
+
+    def human(data):
+        print("constructions:")
+        for name, info in data["constructions"].items():
+            required = ", ".join(
+                p["name"] + ("" if p["required"] else "?") for p in info["params"]
+            )
+            print(f"  {name:15s} ({required:18s}) {info['summary']}")
+        print("\nmeasures:")
+        for name, doc in data["measures"].items():
+            print(f"  {name:15s} {doc}")
+        print("\nscenarios:")
+        for name, doc in data["scenarios"].items():
+            print(f"  {name:15s} {doc}")
+
+    _emit(payload, args.json, human)
+    return 0
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    result = measure(
+        args.construction,
+        args.measure,
+        method=args.method,
+        p=args.p,
+        budget=_budget_from(args),
+        **_collect_params(args),
+    )
+    payload = result.to_dict()
+
+    def human(data):
+        bound = (
+            ""
+            if data["error_bound"] == 0.0
+            else (
+                "  (bound only)"
+                if data["error_bound"] is None
+                else f"  ± {data['error_bound']:.3g}"
+            )
+        )
+        at_p = f" at p={data['p']}" if "p" in data else ""
+        print(
+            f"{data['system']}  (n={data['n']})\n"
+            f"  {data['measure']}{at_p} = {data['value']:.9g}{bound}\n"
+            f"  via {data['method_used']} (requested {data['method_requested']})"
+        )
+
+    _emit(payload, args.json, human)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = WorkloadSpec(
+        system=args.construction,
+        params=_collect_params(args),
+        b=args.protocol_b,
+        scenario=args.scenario,
+        operations=args.ops,
+        clients=args.clients,
+        write_fraction=args.write_fraction,
+        strategy=args.strategy,
+        seed=args.seed,
+        max_attempts=args.max_attempts,
+        num_samples=args.num_samples if args.num_samples is not None else 256,
+    )
+    report = run(spec, engine=args.engine)
+    payload = report.to_dict()
+
+    def human(data):
+        print(f"{data['system']}  (n={data['n']}, b={data['b']})")
+        print(
+            f"  engine={data['engine']}  scenario={data['scenario']}  "
+            f"strategy={data['strategy']}  seed={data['seed']}"
+            + ("  [sampled quorums]" if data["sampled"] else "")
+        )
+        print(
+            f"  operations={data['operations']}  availability={data['availability']:.4f}  "
+            f"reads={data['successful_reads']}  writes={data['successful_writes']}  "
+            f"failed={data['failed_operations']}"
+        )
+        print(
+            f"  consistent={data['consistent']}  violations={data['consistency_violations']}  "
+            f"stale={data['stale_reads']}"
+        )
+        print(
+            f"  empirical load={data['empirical_load']:.4f}  "
+            f"busiest={data['busiest_server']}"
+        )
+        if data["latency_p50"] is not None:
+            print(
+                f"  latency mean={data['latency_mean']:.3f}  p50={data['latency_p50']:.3f}  "
+                f"p90={data['latency_p90']:.3f}  p99={data['latency_p99']:.3f}  "
+                f"timeouts={data['timeouts']}"
+            )
+
+    _emit(payload, args.json, human)
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.analysis.comparison import section8_comparison
+
+    import numpy as np
+
+    profiles = section8_comparison(
+        n=args.n,
+        p=args.p,
+        rng=np.random.default_rng(args.seed),
+        include_baselines=args.include_baselines,
+    )
+    payload = [
+        {
+            "system": profile.name,
+            "n": profile.n,
+            "b": profile.b,
+            "f": profile.f,
+            "load": profile.load,
+            "fp": profile.crash_probability,
+            "fp_kind": profile.crash_probability_kind,
+        }
+        for profile in profiles
+    ]
+
+    def human(rows):
+        print(f"Section 8 comparison at n≈{args.n}, p={args.p}")
+        print(f"{'system':28s} {'n':>6s} {'b':>4s} {'f':>4s} {'L(Q)':>8s} {'Fp':>12s}  kind")
+        for row in rows:
+            print(
+                f"{row['system']:28s} {row['n']:6d} {row['b']:4d} {row['f']:4d} "
+                f"{row['load']:8.4f} {row['fp']:12.6g}  {row['fp_kind']}"
+            )
+
+    _emit(payload, args.json, human)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    budget = _budget_from(args)
+    shared = _collect_params(args)
+    rows = []
+    for name in args.constructions:
+        entry = get_entry(name)
+        known = {spec.name for spec in entry.params}
+        params = {
+            key: value
+            for key, value in shared.items()
+            if key in known or (key == "n" and entry.accepts_n_alias)
+        }
+        system = build(name, **params)  # one build shared by every measure
+        row: dict = {"construction": name}
+        load = measure(system, "load", method=args.method, budget=budget)
+        row["system"] = load.system
+        row["n"] = load.n
+        row["load"] = load.to_dict()
+        if args.p is not None:
+            row["fp"] = measure(
+                system, "fp", method=args.method, p=args.p, budget=budget
+            ).to_dict()
+        row["masking"] = measure(system, "masking", budget=budget).value
+        row["resilience"] = measure(system, "resilience", budget=budget).value
+        rows.append(row)
+
+    def human(data):
+        has_fp = args.p is not None
+        header = f"{'construction':15s} {'n':>6s} {'b':>4s} {'f':>4s} {'L(Q)':>9s}"
+        if has_fp:
+            header += f" {'Fp':>12s}"
+        print(header + "  method")
+        for row in data:
+            line = (
+                f"{row['construction']:15s} {row['n']:6d} {int(row['masking']):4d} "
+                f"{int(row['resilience']):4d} {row['load']['value']:9.4f}"
+            )
+            methods = row["load"]["method_used"]
+            if has_fp:
+                line += f" {row['fp']['value']:12.6g}"
+                methods += "/" + row["fp"]["method_used"]
+            print(line + f"  {methods}")
+
+    _emit(rows, args.json, human)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser.
+# ----------------------------------------------------------------------
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Masking quorum systems (Malkhi, Reiter & Wool, PODC 1997): "
+            "build constructions, compute the paper's measures, run workloads."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = commands.add_parser(
+        "list", help="show the construction registry, measures and scenarios"
+    )
+    list_parser.add_argument("--json", action="store_true")
+    list_parser.set_defaults(handler=_cmd_list)
+
+    measure_parser = commands.add_parser(
+        "measure", help="compute one measure of one construction"
+    )
+    measure_parser.add_argument("construction", help="registry name (see 'list')")
+    measure_parser.add_argument(
+        "--measure",
+        default="load",
+        choices=sorted(available_measures()),
+        help="which measure (default: load)",
+    )
+    measure_parser.add_argument(
+        "--method",
+        default="auto",
+        choices=("auto", "exact", "analytic", "sampled"),
+        help="computation path (default: auto policy)",
+    )
+    measure_parser.add_argument("--p", type=float, default=None, help="crash probability (fp/availability)")
+    measure_parser.add_argument("--trials", type=int, default=None, help="Monte-Carlo trials budget")
+    measure_parser.add_argument("--num-samples", dest="num_samples", type=int, default=None)
+    measure_parser.add_argument("--seed", type=int, default=None)
+    measure_parser.add_argument("--json", action="store_true")
+    _add_param_flags(measure_parser)
+    measure_parser.set_defaults(handler=_cmd_measure)
+
+    run_parser = commands.add_parser(
+        "run", help="run a workload experiment and print its report"
+    )
+    run_parser.add_argument("--construction", "-c", required=True, help="registry name")
+    run_parser.add_argument(
+        "--scenario", default=None, help="catalogue scenario name (default: fault-free)"
+    )
+    run_parser.add_argument(
+        "--engine", default="auto", choices=("auto", "vectorized", "event")
+    )
+    run_parser.add_argument("--ops", type=int, default=200, help="total operations")
+    run_parser.add_argument("--clients", type=int, default=4)
+    run_parser.add_argument(
+        "--write-fraction", dest="write_fraction", type=float, default=0.5
+    )
+    run_parser.add_argument(
+        "--strategy", default=None, choices=(None, "uniform", "optimal")
+    )
+    run_parser.add_argument(
+        "--protocol-b",
+        dest="protocol_b",
+        type=int,
+        default=None,
+        help="masking parameter for the protocol (default: the system's bound)",
+    )
+    run_parser.add_argument("--max-attempts", dest="max_attempts", type=int, default=10)
+    run_parser.add_argument("--num-samples", dest="num_samples", type=int, default=None)
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--json", action="store_true")
+    _add_param_flags(run_parser)
+    run_parser.set_defaults(handler=_cmd_run)
+
+    table_parser = commands.add_parser(
+        "table", help="the Section 8 comparison table at a given n and p"
+    )
+    table_parser.add_argument("--n", type=int, default=1024)
+    table_parser.add_argument("--p", type=float, default=0.125)
+    table_parser.add_argument("--include-baselines", action="store_true")
+    table_parser.add_argument("--seed", type=int, default=0)
+    table_parser.add_argument("--json", action="store_true")
+    table_parser.set_defaults(handler=_cmd_table)
+
+    compare_parser = commands.add_parser(
+        "compare", help="compare several constructions at shared parameters"
+    )
+    compare_parser.add_argument(
+        "constructions", nargs="+", help="registry names (see 'list')"
+    )
+    compare_parser.add_argument("--p", type=float, default=None)
+    compare_parser.add_argument(
+        "--method", default="auto", choices=("auto", "exact", "analytic", "sampled")
+    )
+    compare_parser.add_argument("--trials", type=int, default=None)
+    compare_parser.add_argument("--num-samples", dest="num_samples", type=int, default=None)
+    compare_parser.add_argument("--seed", type=int, default=None)
+    compare_parser.add_argument("--json", action="store_true")
+    _add_param_flags(compare_parser)
+    compare_parser.set_defaults(handler=_cmd_compare)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (InvalidParameterError, ConstructionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ComputationError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,177 @@
+"""Scenario catalogue: fault schedules by name, for specs and the CLI.
+
+The simulation layer builds scenarios from explicit universes and RNGs
+(:mod:`repro.simulation.scenarios`); the facade needs them *by name* so a
+:class:`~repro.api.workloads.WorkloadSpec` stays declarative.  Each entry
+here is a builder ``(universe, b, rng) -> WorkloadScenario | TimingScenario``
+using the same representative shapes as
+:func:`~repro.simulation.scenarios.scenario_suite` /
+:func:`~repro.simulation.scenarios.timing_scenario_suite`.
+
+Untimed names (``WorkloadScenario``) run on either engine; timed names
+(``TimingScenario``) carry latency models and mid-run fault transitions, so
+they force the event engine (``engine="auto"`` picks it).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.universe import Universe
+from repro.exceptions import InvalidParameterError
+from repro.simulation.faults import FaultInjector
+from repro.simulation.scenarios import (
+    TimingScenario,
+    WorkloadScenario,
+    byzantine_scenario,
+    churn_scenario,
+    correlated_failure_scenario,
+    crash_recover_scenario,
+    crash_scenario,
+    fault_free_scenario,
+    flaky_links_scenario,
+    partition_scenario,
+    slow_server_scenario,
+)
+from repro.simulation.scenarios import _failure_domains
+
+__all__ = ["available_scenarios", "build_scenario", "is_timed"]
+
+Builder = Callable[[Universe, int, np.random.Generator], object]
+
+
+def _crash(universe: Universe, b: int, rng: np.random.Generator):
+    """A deterministic static crash of the first quarter of the universe."""
+    elements = universe.elements
+    return crash_scenario(
+        universe, elements[: max(1, universe.size // 4)], name="crash"
+    )
+
+
+def _iid_crash(universe: Universe, b: int, rng: np.random.Generator):
+    injector = FaultInjector(universe, rng)
+    return WorkloadScenario.from_fault_scenario(
+        injector.independent_crashes(0.1), name="iid-crash"
+    )
+
+
+def _byzantine(universe: Universe, b: int, rng: np.random.Generator):
+    if b < 1:
+        raise InvalidParameterError(
+            "the 'byzantine' scenario needs a masking parameter b >= 1"
+        )
+    injector = FaultInjector(universe, rng)
+    byz = injector.exact(num_byzantine=b).byzantine
+    return byzantine_scenario(universe, byz, model="fabricate", name="byzantine")
+
+
+def _equivocate(universe: Universe, b: int, rng: np.random.Generator):
+    if b < 1:
+        raise InvalidParameterError(
+            "the 'equivocate' scenario needs a masking parameter b >= 1"
+        )
+    injector = FaultInjector(universe, rng)
+    byz = injector.exact(num_byzantine=b).byzantine
+    return byzantine_scenario(universe, byz, model="equivocate", name="equivocate")
+
+
+def _rack_failure(universe: Universe, b: int, rng: np.random.Generator):
+    return correlated_failure_scenario(
+        universe, _failure_domains(universe), [0], name="rack-failure"
+    )
+
+
+def _partition(universe: Universe, b: int, rng: np.random.Generator):
+    elements = universe.elements
+    return partition_scenario(
+        universe, elements[: max(1, (3 * universe.size) // 4)], name="partition"
+    )
+
+
+def _churn(universe: Universe, b: int, rng: np.random.Generator):
+    elements = universe.elements
+    third = max(1, universe.size // 3)
+    return churn_scenario(
+        universe,
+        [
+            elements[:third],
+            elements[third : 2 * third],
+            elements[2 * third : 3 * third],
+        ],
+        name="churn",
+    )
+
+
+def _slow_servers(universe: Universe, b: int, rng: np.random.Generator):
+    slow_count = max(1, universe.size // 10)
+    slow_map = {server: 4.0 for server in universe.elements[:slow_count]}
+    return slow_server_scenario(universe, slow_map)
+
+
+def _flaky_links(universe: Universe, b: int, rng: np.random.Generator):
+    return flaky_links_scenario()
+
+
+def _crash_recover(universe: Universe, b: int, rng: np.random.Generator):
+    elements = universe.elements
+    return crash_recover_scenario(
+        universe,
+        elements[: max(1, universe.size // 4)],
+        down_at=10.0,
+        up_at=40.0,
+    )
+
+
+#: name -> (builder, timed?, one-line description)
+_CATALOGUE: dict[str, tuple[Builder, bool, str]] = {
+    "fault-free": (lambda u, b, r: fault_free_scenario(), False, "no faults at all"),
+    "crash": (_crash, False, "first quarter of the servers crashed throughout"),
+    "iid-crash": (_iid_crash, False, "each server crashed independently (p = 0.1)"),
+    "byzantine": (_byzantine, False, "b colluding liars vouching for one forged pair"),
+    "equivocate": (_equivocate, False, "b liars split into two conflicting camps"),
+    "rack-failure": (_rack_failure, False, "one whole failure domain down"),
+    "partition": (_partition, False, "clients reach only 3/4 of the universe"),
+    "churn": (_churn, False, "a different third of the servers down per phase"),
+    "slow-servers": (_slow_servers, True, "10% of servers 4x slower (timed)"),
+    "flaky-links": (_flaky_links, True, "5% loss / 2% duplication links (timed)"),
+    "crash-recover": (_crash_recover, True, "mid-run crash at t=10, recovery at t=40 (timed)"),
+}
+
+
+def available_scenarios() -> dict[str, str]:
+    """Return scenario names with one-line descriptions (timed ones marked)."""
+    return {name: doc for name, (_, _, doc) in sorted(_CATALOGUE.items())}
+
+
+def is_timed(scenario) -> bool:
+    """Whether a scenario (name or object) needs the event engine's clock."""
+    if isinstance(scenario, str):
+        if scenario not in _CATALOGUE:
+            raise InvalidParameterError(
+                f"unknown scenario {scenario!r}; available: "
+                f"{', '.join(sorted(_CATALOGUE))}"
+            )
+        return _CATALOGUE[scenario][1]
+    return isinstance(scenario, TimingScenario)
+
+
+def build_scenario(
+    name: str, universe: Universe, *, b: int, rng: np.random.Generator
+):
+    """Instantiate a catalogue scenario over the given universe.
+
+    Raises
+    ------
+    InvalidParameterError
+        For unknown names, or when the scenario needs ``b >= 1`` (the
+        Byzantine ones) and the deployment masks nothing.
+    """
+    if name not in _CATALOGUE:
+        raise InvalidParameterError(
+            f"unknown scenario {name!r}; available: "
+            f"{', '.join(sorted(_CATALOGUE))}"
+        )
+    builder, _, _ = _CATALOGUE[name]
+    return builder(universe, b, rng)

@@ -1,0 +1,423 @@
+"""Unified workload runner: one spec, two engines, one report.
+
+PRs 2–3 left the repo with two workload engines with different call
+conventions and result shapes: the vectorised scenario engine
+(:func:`repro.simulation.runner.run_workload` returning
+:class:`~repro.simulation.engine.WorkloadResult`) and the event-driven
+concurrent core (:func:`repro.simulation.runner.run_event_workload`
+returning :class:`~repro.simulation.runner.EventWorkloadResult`).  The
+facade accepts one declarative :class:`WorkloadSpec`, picks the engine
+(``engine="auto"``: timed scenarios need the event core's clock, everything
+else runs vectorised), transparently switches to sampled-quorum mode for
+universes whose family cannot be enumerated
+(:class:`~repro.core.quorum_system.ImplicitQuorumSystem`, the PR-4
+machinery), and normalises both engines' outputs into one JSON-stable
+:class:`WorkloadReport` — so cross-engine checks reduce to comparing two
+reports (see :func:`repro.analysis.empirical.engine_agreement`).
+
+>>> from repro.api import WorkloadSpec, run
+>>> report = run(WorkloadSpec(system="mgrid", params={"side": 4, "b": 1},
+...                           scenario="crash", operations=50, seed=7))
+>>> report.engine
+'vectorized'
+>>> report.consistent and 0.0 <= report.availability <= 1.0
+True
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.api.registry import SystemSpec, build, spec_of
+from repro.api.scenarios import build_scenario
+from repro.core.quorum_system import ImplicitQuorumSystem, QuorumSystem
+from repro.core.strategy import Strategy
+from repro.exceptions import ComputationError, InvalidParameterError
+from repro.simulation.faults import FaultScenario
+from repro.simulation.runner import run_event_workload, run_workload
+from repro.simulation.scenarios import TimingScenario, WorkloadScenario
+
+__all__ = ["WorkloadReport", "WorkloadSpec", "run"]
+
+#: Above this family size the facade switches to sampled-quorum mode
+#: (ImplicitQuorumSystem) instead of enumerating.
+ENUMERATION_CEILING = 100_000
+
+ENGINES = ("auto", "vectorized", "event")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A declarative description of one workload experiment.
+
+    Attributes
+    ----------
+    system:
+        A registry name, a :class:`~repro.api.registry.SystemSpec` or an
+        already-built :class:`~repro.core.quorum_system.QuorumSystem`.
+    params:
+        Construction parameters, when ``system`` is a registry name.
+    b:
+        Masking parameter for the protocol; default is the system's own
+        masking bound.
+    scenario:
+        A catalogue name (:func:`repro.api.scenarios.available_scenarios`),
+        a :class:`~repro.simulation.scenarios.WorkloadScenario`, a
+        :class:`~repro.simulation.scenarios.TimingScenario`, a static
+        :class:`~repro.simulation.faults.FaultScenario`, or ``None`` for
+        fault-free.
+    operations:
+        Total operations across all clients.  The event engine hands every
+        client the same share, so a count that is not a multiple of
+        ``clients`` is rounded **up** there (``report.operations`` records
+        what actually ran); the vectorised engine runs the count exactly.
+    clients:
+        Concurrent clients (event engine; the vectorised engine's
+        accounting is client-count independent).
+    write_fraction:
+        Probability that an operation is a write.
+    strategy:
+        ``None`` (the system's natural strategy), ``"uniform"``,
+        ``"optimal"`` (the load LP's strategy) or an explicit
+        :class:`~repro.core.strategy.Strategy`.
+    seed:
+        The single seed every random draw of the run derives from.
+    max_attempts:
+        Probe budget per operation.
+    allow_overload:
+        Permit more Byzantine servers than ``b`` (negative tests).
+    num_samples:
+        Sample size when the facade must switch to sampled-quorum mode.
+    """
+
+    system: SystemSpec | QuorumSystem | str
+    params: dict = field(default_factory=dict)
+    b: int | None = None
+    scenario: object = None
+    operations: int = 200
+    clients: int = 4
+    write_fraction: float = 0.5
+    strategy: object = None
+    seed: int = 0
+    max_attempts: int = 10
+    allow_overload: bool = False
+    num_samples: int = 256
+
+    def __post_init__(self):
+        if self.operations < 1:
+            raise InvalidParameterError(
+                f"operations must be >= 1, got {self.operations}"
+            )
+        if self.clients < 1:
+            raise InvalidParameterError(f"clients must be >= 1, got {self.clients}")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise InvalidParameterError(
+                f"write_fraction must lie in [0, 1], got {self.write_fraction}"
+            )
+        if self.num_samples < 1:
+            raise InvalidParameterError(
+                f"num_samples must be >= 1, got {self.num_samples}"
+            )
+
+
+@dataclass(frozen=True)
+class WorkloadReport:
+    """Engine-independent summary of one workload run (JSON-stable).
+
+    Both engines produce exactly this shape: fields only one engine can
+    measure (latency percentiles, timeouts, simulated duration) are
+    ``None`` on the other engine's reports, but the key set never changes —
+    that is what lets ``analysis/empirical.py`` compare engines
+    result-vs-result and lets ``python -m repro run --json`` feed dashboards.
+
+    Attributes
+    ----------
+    engine:
+        ``"vectorized"`` or ``"event"`` — which engine actually ran.
+    system / n / b / scenario / strategy / seed:
+        The resolved experiment coordinates (``spec`` carries the registry
+        spec when the system came from one).
+    sampled:
+        Whether the run used sampled-quorum mode
+        (:class:`~repro.core.quorum_system.ImplicitQuorumSystem`).
+    operations / successful_reads / successful_writes / failed_operations:
+        Operation accounting.
+    availability:
+        Fraction of operations that completed.
+    consistent / consistency_violations / stale_reads:
+        The consistency verdict (violations must be 0 whenever the
+        Byzantine count is within ``b``).
+    empirical_load / busiest_server:
+        The busiest server's measured access frequency over successful
+        operations (Definition 3.8's empirical counterpart) and which
+        server it was.
+    latency_mean / latency_p50 / latency_p90 / latency_p99 / duration /
+    timeouts / events_processed:
+        Event-engine clock measurements (``None`` under the vectorised
+        engine).
+    """
+
+    engine: str
+    system: str
+    n: int
+    b: int
+    scenario: str
+    strategy: str
+    seed: int
+    sampled: bool
+    operations: int
+    successful_reads: int
+    successful_writes: int
+    failed_operations: int
+    availability: float
+    consistent: bool
+    consistency_violations: int
+    stale_reads: int
+    empirical_load: float
+    busiest_server: str
+    spec: dict | None = None
+    latency_mean: float | None = None
+    latency_p50: float | None = None
+    latency_p90: float | None = None
+    latency_p99: float | None = None
+    duration: float | None = None
+    timeouts: int | None = None
+    events_processed: int | None = None
+
+    #: The key set every report's to_dict() emits, in order (schema contract).
+    SCHEMA = (
+        "engine", "system", "spec", "n", "b", "scenario", "strategy", "seed",
+        "sampled", "operations", "successful_reads", "successful_writes",
+        "failed_operations", "availability", "consistent",
+        "consistency_violations", "stale_reads", "empirical_load",
+        "busiest_server", "latency_mean", "latency_p50", "latency_p90",
+        "latency_p99", "duration", "timeouts", "events_processed",
+    )
+
+    def to_dict(self) -> dict:
+        """Return the JSON-stable dict (always the full :data:`SCHEMA`)."""
+        return {key: getattr(self, key) for key in self.SCHEMA}
+
+
+def _scenario_label(scenario) -> str:
+    if scenario is None:
+        return "fault-free"
+    if isinstance(scenario, str):
+        return scenario
+    name = getattr(scenario, "name", None)
+    return name if name else type(scenario).__name__
+
+
+def _strategy_label(strategy) -> str:
+    if strategy is None:
+        return "default"
+    if isinstance(strategy, str):
+        return strategy
+    if isinstance(strategy, Strategy):
+        return "explicit"
+    return type(strategy).__name__
+
+
+def _resolve_system(spec: WorkloadSpec) -> tuple[QuorumSystem, dict | None]:
+    if isinstance(spec.system, QuorumSystem):
+        if spec.params:
+            raise InvalidParameterError(
+                "WorkloadSpec.params only applies when system is a registry name"
+            )
+        system = spec.system
+    else:
+        system = build(spec.system, **spec.params)
+    try:
+        registry_spec = spec_of(system).to_dict()
+    except InvalidParameterError:
+        registry_spec = None
+    return system, registry_spec
+
+
+def _resolve_b(spec: WorkloadSpec, system: QuorumSystem) -> int:
+    if spec.b is not None:
+        if spec.b < 0:
+            raise InvalidParameterError(f"b must be >= 0, got {spec.b}")
+        return spec.b
+    base = system.base if isinstance(system, ImplicitQuorumSystem) else system
+    return base.masking_bound()
+
+
+def _maybe_sampled(spec: WorkloadSpec, system: QuorumSystem) -> tuple[QuorumSystem, bool]:
+    """Switch to sampled-quorum mode when the family cannot be enumerated."""
+    if isinstance(system, ImplicitQuorumSystem):
+        return system, True
+    base_enumerable = system.enumerates_all_quorums
+    if base_enumerable:
+        try:
+            if system.num_quorums() <= ENUMERATION_CEILING:
+                return system, False
+        except ComputationError:
+            pass
+    if not callable(getattr(system, "sample_quorum_mask", None)):
+        raise ComputationError(
+            f"{system.name} can neither enumerate its family nor sample from it"
+        )
+    implicit = ImplicitQuorumSystem(
+        system, num_samples=spec.num_samples, seed=spec.seed
+    )
+    return implicit, True
+
+
+def _resolve_scenario(spec: WorkloadSpec, system: QuorumSystem, b: int):
+    scenario = spec.scenario
+    if scenario is None:
+        scenario = "fault-free"
+    if isinstance(scenario, str):
+        # A stream separate from the workload's own rng, so scenario
+        # placement never perturbs the operation draws.
+        rng = np.random.default_rng([spec.seed, 0x5CE7A210])
+        return build_scenario(scenario, system.universe, b=b, rng=rng)
+    if isinstance(scenario, (WorkloadScenario, TimingScenario, FaultScenario)):
+        return scenario
+    raise InvalidParameterError(
+        "scenario must be a catalogue name, WorkloadScenario, TimingScenario "
+        f"or FaultScenario, got {type(scenario).__name__}"
+    )
+
+
+def _pick_engine(engine: str, scenario) -> str:
+    if engine not in ENGINES:
+        raise InvalidParameterError(
+            f"unknown engine {engine!r}; choose one of {', '.join(ENGINES)}"
+        )
+    timed = isinstance(scenario, TimingScenario)
+    if engine == "auto":
+        return "event" if timed else "vectorized"
+    if engine == "vectorized" and timed:
+        raise InvalidParameterError(
+            f"scenario {getattr(scenario, 'name', scenario)!r} carries timing "
+            "(latency models, mid-run transitions); it needs engine='event'"
+        )
+    return engine
+
+
+def _event_scenario(scenario):
+    """Translate an untimed scenario for the event engine.
+
+    Single-phase :class:`WorkloadScenario` unwraps to its fault state (plus
+    the matching replica behaviour); multi-phase schedules are fractions of
+    an *operation batch*, which a clock-driven engine cannot honour, so they
+    are rejected rather than silently misinterpreted.
+    """
+    if isinstance(scenario, (TimingScenario, FaultScenario)):
+        return scenario, None
+    if isinstance(scenario, WorkloadScenario):
+        if scenario.num_phases != 1:
+            raise InvalidParameterError(
+                f"scenario {scenario.name!r} has {scenario.num_phases} "
+                "operation-fraction phases; the event engine needs a timed "
+                "scenario (TimingScenario) for mid-run transitions"
+            )
+        behaviour = (
+            "equivocate"
+            if scenario.byzantine_model == "equivocate"
+            else "fabricate-timestamp"
+        )
+        return scenario.phases[0], behaviour
+    raise InvalidParameterError(f"cannot run {type(scenario).__name__} on the event engine")
+
+
+def run(spec: WorkloadSpec, *, engine: str = "auto") -> WorkloadReport:
+    """Run one workload experiment and return its :class:`WorkloadReport`.
+
+    ``engine="auto"`` routes timed scenarios (latency models, mid-run
+    crash/recover) to the event-driven core and everything else to the
+    vectorised engine; forcing ``"vectorized"`` on a timed scenario is an
+    error, while forcing ``"event"`` on an untimed one runs it at zero
+    latency.  On the event engine each client runs
+    ``ceil(operations / clients)`` operations, so a non-divisible total is
+    rounded up — ``report.operations`` always records the executed count
+    (:func:`repro.analysis.empirical.engine_agreement` pre-rounds specs so
+    both engines execute identical totals).  Universes whose quorum family
+    exceeds the enumeration ceiling
+    are switched to sampled-quorum mode automatically (``report.sampled``
+    records it), which is what lets
+    ``python -m repro run --construction mgrid --n 4096 --scenario crash``
+    complete without materialising the ``> 10^6``-quorum family.
+    """
+    if not isinstance(spec, WorkloadSpec):
+        raise InvalidParameterError(
+            f"run() takes a WorkloadSpec, got {type(spec).__name__}"
+        )
+    system, registry_spec = _resolve_system(spec)
+    b = _resolve_b(spec, system)
+    system, sampled = _maybe_sampled(spec, system)
+    scenario = _resolve_scenario(spec, system, b)
+    chosen = _pick_engine(engine, scenario)
+    rng = np.random.default_rng(spec.seed)
+
+    if chosen == "vectorized":
+        if isinstance(scenario, FaultScenario):
+            scenario = WorkloadScenario.from_fault_scenario(scenario)
+        result = run_workload(
+            system,
+            b=b,
+            num_operations=spec.operations,
+            scenario=scenario,
+            strategy=spec.strategy,
+            rng=rng,
+            write_fraction=spec.write_fraction,
+            max_attempts=spec.max_attempts,
+            allow_overload=spec.allow_overload,
+        )
+        extras: dict = {}
+    else:
+        event_scenario, behaviour = _event_scenario(scenario)
+        per_client = max(1, math.ceil(spec.operations / spec.clients))
+        result = run_event_workload(
+            system,
+            b=b,
+            num_clients=spec.clients,
+            operations_per_client=per_client,
+            scenario=event_scenario,
+            byzantine_behaviour=behaviour,
+            write_fraction=spec.write_fraction,
+            max_attempts=spec.max_attempts,
+            strategy=spec.strategy,
+            rng=rng,
+            allow_overload=spec.allow_overload,
+        )
+        extras = {
+            "latency_mean": float(result.latency_mean),
+            "latency_p50": float(result.latency_p50),
+            "latency_p90": float(result.latency_p90),
+            "latency_p99": float(result.latency_p99),
+            "duration": float(result.duration),
+            "timeouts": int(result.timeouts),
+            "events_processed": int(result.events_processed),
+        }
+
+    busiest = ""
+    if result.per_server_load and result.empirical_load > 0.0:
+        busiest = repr(max(result.per_server_load, key=result.per_server_load.get))
+    return WorkloadReport(
+        engine=chosen,
+        system=system.name,
+        n=system.n,
+        b=b,
+        scenario=_scenario_label(spec.scenario),
+        strategy=_strategy_label(spec.strategy),
+        seed=spec.seed,
+        sampled=sampled,
+        operations=int(result.operations),
+        successful_reads=int(result.successful_reads),
+        successful_writes=int(result.successful_writes),
+        failed_operations=int(result.failed_operations),
+        availability=float(result.availability),
+        consistent=bool(result.is_consistent),
+        consistency_violations=int(result.consistency_violations),
+        stale_reads=int(result.stale_reads),
+        empirical_load=float(result.empirical_load),
+        busiest_server=busiest,
+        spec=registry_spec,
+        **extras,
+    )

@@ -31,7 +31,7 @@ import math
 
 from repro.core.composition import ComposedQuorumSystem
 from repro.core.quorum_system import QuorumSystem
-from repro.exceptions import ComputationError, ConstructionError
+from repro.exceptions import ComputationError, ConstructionError, InvalidParameterError
 from repro.constructions.fpp import FiniteProjectivePlane
 from repro.constructions.threshold import ThresholdQuorumSystem, boosting_block
 
@@ -105,7 +105,7 @@ class BoostedFPP(ComposedQuorumSystem):
         comparison uses.
         """
         if not 0.0 <= p <= 1.0:
-            raise ComputationError(f"crash probability must lie in [0, 1], got {p}")
+            raise InvalidParameterError(f"crash probability must lie in [0, 1], got {p}")
         inner_failure = self.threshold_block.crash_probability(p)
         return 1.0 - (1.0 - inner_failure) ** (self.q + 1)
 
@@ -115,7 +115,7 @@ class BoostedFPP(ComposedQuorumSystem):
         Only meaningful for ``p < 1/4`` (the bound is clipped at 1 otherwise).
         """
         if not 0.0 <= p <= 1.0:
-            raise ComputationError(f"crash probability must lie in [0, 1], got {p}")
+            raise InvalidParameterError(f"crash probability must lie in [0, 1], got {p}")
         if p >= 0.25:
             return 1.0
         bound = (self.q + 1) * math.exp(-self.b * (1.0 - 4.0 * p) ** 2 / 2.0)

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.core.quorum_system import QuorumSystem
 from repro.core.universe import Universe
-from repro.exceptions import ComputationError
+from repro.exceptions import ComputationError, InvalidParameterError
 from repro.gf.projective_plane import ProjectivePlane, projective_plane
 
 __all__ = ["FiniteProjectivePlane"]
@@ -95,5 +95,5 @@ class FiniteProjectivePlane(QuorumSystem):
         good for ``p < 1/4``.
         """
         if not 0.0 <= p <= 1.0:
-            raise ComputationError(f"crash probability must lie in [0, 1], got {p}")
+            raise InvalidParameterError(f"crash probability must lie in [0, 1], got {p}")
         return min(1.0, (self.q + 1) * p)

@@ -25,7 +25,7 @@ import numpy as np
 from repro.core import bitset
 from repro.core.quorum_system import QuorumSystem
 from repro.core.universe import Universe
-from repro.exceptions import ComputationError, ConstructionError
+from repro.exceptions import ComputationError, ConstructionError, InvalidParameterError
 
 __all__ = ["RegularGrid", "MaskingGrid", "grid_side_for", "render_grid_quorum"]
 
@@ -139,7 +139,7 @@ class RegularGrid(QuorumSystem):
         """Estimate ``Fp`` by Monte-Carlo: the grid survives iff some row and some
         column are completely alive (that row plus that column is an untouched quorum)."""
         if not 0.0 <= p <= 1.0:
-            raise ComputationError(f"crash probability must lie in [0, 1], got {p}")
+            raise InvalidParameterError(f"crash probability must lie in [0, 1], got {p}")
         rng = rng if rng is not None else np.random.default_rng()
         crashed = rng.random((trials, self.side, self.side)) < p
         alive_rows = (~crashed).all(axis=2).any(axis=1)
@@ -258,7 +258,7 @@ class MaskingGrid(QuorumSystem):
         tends to one as the grid grows (Table 2).
         """
         if not 0.0 <= p <= 1.0:
-            raise ComputationError(f"crash probability must lie in [0, 1], got {p}")
+            raise InvalidParameterError(f"crash probability must lie in [0, 1], got {p}")
         rng = rng if rng is not None else np.random.default_rng()
         crashed = rng.random((trials, self.side, self.side)) < p
         alive_rows = (~crashed).all(axis=2).sum(axis=1)

@@ -20,7 +20,7 @@ from repro.core import bitset
 from repro.core.quorum_system import QuorumSystem
 from repro.core.universe import Universe
 from repro.constructions.grid import _column_mask, _row_mask
-from repro.exceptions import ComputationError, ConstructionError
+from repro.exceptions import ComputationError, ConstructionError, InvalidParameterError
 
 __all__ = ["MGrid"]
 
@@ -157,7 +157,7 @@ class MGrid(QuorumSystem):
         the grid grows, which is M-Grid's weakness.
         """
         if not 0.0 <= p <= 1.0:
-            raise ComputationError(f"crash probability must lie in [0, 1], got {p}")
+            raise InvalidParameterError(f"crash probability must lie in [0, 1], got {p}")
         return (1.0 - (1.0 - p) ** self.side) ** self.side
 
     def crash_probability(
@@ -174,7 +174,7 @@ class MGrid(QuorumSystem):
         quorum); otherwise every quorum is hit.
         """
         if not 0.0 <= p <= 1.0:
-            raise ComputationError(f"crash probability must lie in [0, 1], got {p}")
+            raise InvalidParameterError(f"crash probability must lie in [0, 1], got {p}")
         rng = rng if rng is not None else np.random.default_rng()
         crashed = rng.random((trials, self.side, self.side)) < p
         alive_rows = (~crashed).all(axis=2).sum(axis=1)

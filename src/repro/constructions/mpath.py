@@ -31,7 +31,7 @@ import numpy as np
 from repro.core import bitset
 from repro.core.quorum_system import ExplicitQuorumSystem, QuorumSystem
 from repro.core.universe import Universe
-from repro.exceptions import ComputationError, ConstructionError
+from repro.exceptions import ComputationError, ConstructionError, InvalidParameterError
 from repro.percolation.lattice import TriangularGrid
 from repro.percolation.site import count_disjoint_crossings, sample_open_vertices
 
@@ -243,9 +243,9 @@ class MPath(QuorumSystem):
         and checks quorum survival with two max-flow computations.
         """
         if not 0.0 <= p <= 1.0:
-            raise ComputationError(f"crash probability must lie in [0, 1], got {p}")
+            raise InvalidParameterError(f"crash probability must lie in [0, 1], got {p}")
         if trials <= 0:
-            raise ComputationError(f"trials must be positive, got {trials}")
+            raise InvalidParameterError(f"trials must be positive, got {trials}")
         rng = rng if rng is not None else np.random.default_rng()
         failures = 0
         for _ in range(trials):

@@ -29,7 +29,7 @@ from scipy import stats
 from repro.core import bitset
 from repro.core.quorum_system import QuorumSystem
 from repro.core.universe import Universe
-from repro.exceptions import ComputationError, ConstructionError
+from repro.exceptions import ComputationError, ConstructionError, InvalidParameterError
 from repro.percolation.critical import fixed_point_of_reliability
 
 __all__ = ["RecursiveThreshold"]
@@ -178,7 +178,7 @@ class RecursiveThreshold(QuorumSystem):
         polynomial ``6p^2 - 8p^3 + 3p^4`` quoted in the paper.
         """
         if not 0.0 <= p <= 1.0:
-            raise ComputationError(f"crash probability must lie in [0, 1], got {p}")
+            raise InvalidParameterError(f"crash probability must lie in [0, 1], got {p}")
         return float(stats.binom.sf(self.k - self.l, self.k, p))
 
     def crash_probability(self, p: float) -> float:

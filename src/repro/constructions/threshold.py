@@ -26,7 +26,7 @@ from scipy import stats
 from repro.core import bitset
 from repro.core.quorum_system import QuorumSystem
 from repro.core.universe import Universe
-from repro.exceptions import ConstructionError
+from repro.exceptions import ConstructionError, InvalidParameterError
 
 __all__ = ["ThresholdQuorumSystem", "masking_threshold", "majority", "boosting_block"]
 
@@ -142,6 +142,8 @@ class ThresholdQuorumSystem(QuorumSystem):
 
     def crash_probability(self, p: float) -> float:
         """Return the exact ``Fp``: the binomial tail ``P(#crashed >= n - k + 1)``."""
+        if not 0.0 <= p <= 1.0:
+            raise InvalidParameterError(f"crash probability must lie in [0, 1], got {p}")
         threshold_crashes = self._n - self.k + 1
         return float(stats.binom.sf(threshold_crashes - 1, self._n, p))
 

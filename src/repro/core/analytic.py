@@ -56,7 +56,7 @@ from repro.core.availability import (
 )
 from repro.core.load import LoadResult
 from repro.core.quorum_system import QuorumSystem
-from repro.exceptions import ComputationError
+from repro.exceptions import ComputationError, InvalidParameterError
 
 __all__ = [
     "analytic_load",
@@ -145,7 +145,7 @@ def rowcol_survival_probability(
     if side < 1:
         raise ComputationError(f"grid side must be >= 1, got {side}")
     if not 0.0 <= p <= 1.0:
-        raise ComputationError(f"crash probability must lie in [0, 1], got {p}")
+        raise InvalidParameterError(f"crash probability must lie in [0, 1], got {p}")
     if min_rows > side or min_cols > side:
         return 0.0
     alive = 1.0 - p
@@ -189,7 +189,7 @@ def crumbling_wall_failure_probability(row_widths, p: float) -> float:
     own index instead.
     """
     if not 0.0 <= p <= 1.0:
-        raise ComputationError(f"crash probability must lie in [0, 1], got {p}")
+        raise InvalidParameterError(f"crash probability must lie in [0, 1], got {p}")
     widths = [int(width) for width in row_widths]
     if not widths or any(width <= 0 for width in widths):
         raise ComputationError(f"row widths must be positive, got {row_widths}")
@@ -235,7 +235,7 @@ def analytic_failure_probability(
         When no closed form applies and the exact fallbacks are infeasible.
     """
     if not 0.0 <= p <= 1.0:
-        raise ComputationError(f"crash probability must lie in [0, 1], got {p}")
+        raise InvalidParameterError(f"crash probability must lie in [0, 1], got {p}")
     # Local imports: repro.constructions imports repro.core, so dispatching
     # on the concrete construction classes must not run at module-import
     # time.

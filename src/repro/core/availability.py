@@ -36,7 +36,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.quorum_system import QuorumSystem
-from repro.exceptions import ComputationError
+from repro.exceptions import ComputationError, InvalidParameterError
 
 __all__ = [
     "AvailabilityResult",
@@ -79,7 +79,7 @@ class AvailabilityResult:
 
 def _validate_probability(p: float) -> float:
     if not 0.0 <= p <= 1.0:
-        raise ComputationError(f"crash probability must lie in [0, 1], got {p}")
+        raise InvalidParameterError(f"crash probability must lie in [0, 1], got {p}")
     return float(p)
 
 
@@ -191,7 +191,7 @@ def monte_carlo_failure_probability(
     _reject_implicit(system, "Monte-Carlo estimation")
     p = _validate_probability(p)
     if trials <= 0:
-        raise ComputationError(f"trials must be positive, got {trials}")
+        raise InvalidParameterError(f"trials must be positive, got {trials}")
     rng = rng if rng is not None else np.random.default_rng()
     engine = system.bitset_engine()
 

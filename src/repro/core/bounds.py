@@ -25,7 +25,7 @@ from __future__ import annotations
 import math
 
 from repro.core.quorum_system import QuorumSystem
-from repro.exceptions import ComputationError
+from repro.exceptions import ComputationError, InvalidParameterError
 
 __all__ = [
     "load_lower_bound",
@@ -100,7 +100,7 @@ def crash_probability_lower_bound(
       system satisfies ``MT <= (IS+1)/2`` (Proposition 4.5).
     """
     if not 0.0 <= p <= 1.0:
-        raise ComputationError(f"crash probability must lie in [0, 1], got {p}")
+        raise InvalidParameterError(f"crash probability must lie in [0, 1], got {p}")
     candidates: list[float] = []
     if min_transversal is not None:
         if min_transversal <= 0:
@@ -147,7 +147,7 @@ def resilience_upper_bound_from_load(n: int, load: float) -> float:
     if n <= 0:
         raise ComputationError(f"universe size must be positive, got {n}")
     if not 0.0 <= load <= 1.0:
-        raise ComputationError(f"load must lie in [0, 1], got {load}")
+        raise InvalidParameterError(f"load must lie in [0, 1], got {load}")
     return n * load
 
 

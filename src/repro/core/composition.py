@@ -39,6 +39,7 @@ from repro.core import availability as availability_mod
 from repro.core import load as load_mod
 from repro.core.quorum_system import ExplicitQuorumSystem, QuorumSystem
 from repro.core.universe import Universe
+from repro.exceptions import InvalidParameterError
 
 __all__ = ["ComposedQuorumSystem", "compose", "self_compose"]
 
@@ -222,7 +223,7 @@ def self_compose(system: QuorumSystem, depth: int, *, name: str | None = None) -
     RT systems of Section 5.2.
     """
     if depth < 1:
-        raise ValueError(f"depth must be >= 1, got {depth}")
+        raise InvalidParameterError(f"depth must be >= 1, got {depth}")
     result: QuorumSystem = system
     for _ in range(depth - 1):
         result = ComposedQuorumSystem(system, result)

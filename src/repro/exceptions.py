@@ -55,6 +55,19 @@ class ComputationError(ReproError):
     """
 
 
+class InvalidParameterError(ComputationError, ValueError):
+    """A user-supplied argument is out of its valid range.
+
+    The single type for argument validation across the library: bad crash
+    probabilities (``p`` outside ``[0, 1]``), non-positive trial or sample
+    counts, malformed budgets.  It subclasses both
+    :class:`ComputationError` (which the constructions historically raised
+    for these errors) and :class:`ValueError` (which the core modules
+    raised), so callers written against either convention keep working.
+    The registry-wide contract is asserted in ``tests/test_api.py``.
+    """
+
+
 class SimulationError(ReproError):
     """The replicated-service simulation was configured inconsistently.
 

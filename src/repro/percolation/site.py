@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.exceptions import ComputationError
+from repro.exceptions import ComputationError, InvalidParameterError
 from repro.graphs.disjoint_paths import max_vertex_disjoint_paths
 from repro.percolation.lattice import TriangularGrid, Vertex
 
@@ -43,7 +43,7 @@ def sample_open_vertices(
     Each vertex is closed independently with probability ``p_closed``.
     """
     if not 0.0 <= p_closed <= 1.0:
-        raise ComputationError(f"closure probability must lie in [0, 1], got {p_closed}")
+        raise InvalidParameterError(f"closure probability must lie in [0, 1], got {p_closed}")
     draws = rng.random((grid.side, grid.side))
     open_vertices: set[Vertex] = set()
     for i in range(1, grid.side + 1):
@@ -146,7 +146,7 @@ def estimate_crossing_probability(
     computation counts disjoint crossings.
     """
     if trials <= 0:
-        raise ComputationError(f"trials must be positive, got {trials}")
+        raise InvalidParameterError(f"trials must be positive, got {trials}")
     rng = rng if rng is not None else np.random.default_rng()
     successes = 0
     for _ in range(trials):
