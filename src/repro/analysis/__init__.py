@@ -15,6 +15,17 @@ from repro.analysis.asymptotics import (
     sweep,
 )
 from repro.analysis.comparison import SystemProfile, profile_system, section8_comparison
+from repro.analysis.conformance import (
+    ConformanceCheck,
+    ConformanceReport,
+    adversarial_conformance,
+    availability_conformance,
+    load_conformance,
+    masking_conformance,
+    percolation_conformance,
+    restricted_induced_loads,
+    worst_case_induced_load,
+)
 from repro.analysis.empirical import (
     EmpiricalAvailabilityComparison,
     EmpiricalLoadComparison,
@@ -28,6 +39,8 @@ from repro.analysis.tradeoffs import TradeoffPoint, tradeoff_point, verify_trade
 __all__ = [
     "ASYMPTOTIC_FAMILIES",
     "AsymptoticPoint",
+    "ConformanceCheck",
+    "ConformanceReport",
     "EmpiricalAvailabilityComparison",
     "EmpiricalLoadComparison",
     "ExponentialDecayFit",
@@ -38,6 +51,8 @@ __all__ = [
     "SystemProfile",
     "Table2Row",
     "TradeoffPoint",
+    "adversarial_conformance",
+    "availability_conformance",
     "availability_trend",
     "candidate_constructions",
     "family_system",
@@ -45,12 +60,17 @@ __all__ = [
     "fit_power_law",
     "empirical_availability_comparison",
     "empirical_load_comparison",
+    "load_conformance",
+    "masking_conformance",
+    "percolation_conformance",
     "profile_system",
     "recommend_construction",
+    "restricted_induced_loads",
     "section45_comparison",
     "section8_comparison",
     "sweep",
     "table2",
     "tradeoff_point",
     "verify_tradeoff",
+    "worst_case_induced_load",
 ]

@@ -1,0 +1,511 @@
+"""Conformance checks: empirical metrics against the paper's proven bounds.
+
+The repo measures (empirical load, availability, stale/fabricated reads) and
+computes (LP load, closed-form ``Fp``) the same quantities; this module
+turns "the measurement must stay inside the proven envelope" into reusable,
+test-callable assertions.  Each check is a :class:`ConformanceCheck` — an
+observed value, a bound, a direction and the statistical slack the finite
+sample is allowed — and a run's checks bundle into a
+:class:`ConformanceReport` whose :meth:`~ConformanceReport.require` raises
+:class:`~repro.exceptions.ConformanceError` on any violation.
+
+What is checked, and why it is sound:
+
+* **Load upper envelope** — for an adversarial run, the aggregate empirical
+  load cannot exceed (beyond sampling noise) the largest load the access
+  strategy *restricted to the quorums that survived each round* induces
+  (:func:`restricted_induced_loads`): that restricted-and-renormalised
+  strategy is exactly what the engine's steering retry samples from, so the
+  per-round expectation is the restricted induced load and the aggregate is
+  a convex combination over rounds.
+* **Load worst case** — the same restricted load maximised over *every*
+  crash set of size up to ``b`` (:func:`worst_case_induced_load`): the
+  bound no adaptive crash adversary with budget ``b`` can beat, whatever it
+  observes.
+* **Load lower bound** — ``L(Q)`` of the Definition 3.8 LP
+  (:func:`~repro.core.load.exact_load`).  Any strategy over any subfamily
+  of the quorums induces at least ``L(Q)`` (restricting the family only
+  shrinks the LP's feasible set), so the observed load must sit *above*
+  ``L(Q)`` minus noise — the two-sided squeeze that pins the measurement to
+  the theory.
+* **Masking envelope** — with at most ``b`` Byzantine servers per round,
+  Lemma 3.6 guarantees zero fabricated and zero stale reads; the bound is
+  exact, so the tolerance is zero.
+* **Availability** — the failure rate observed under independent
+  per-server faults (e.g. the site-percolation phases of
+  :func:`~repro.simulation.scenarios.percolation_scenario`) must agree with
+  the closed-form ``Fp`` of :mod:`repro.core.analytic` within a binomial
+  confidence interval.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb, sqrt
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.analytic import analytic_failure_probability
+from repro.core.load import exact_load
+from repro.core.quorum_system import QuorumSystem
+from repro.core.strategy import Strategy
+from repro.core.universe import Universe
+from repro.exceptions import ComputationError, ConformanceError, InvalidParameterError
+from repro.simulation.adversary import (
+    AdversarialResult,
+    AdversaryPolicy,
+    run_adversarial_workload,
+)
+from repro.simulation.engine import WorkloadResult, resolve_strategy, run_scenario
+from repro.simulation.scenarios import percolation_scenario
+
+__all__ = [
+    "ConformanceCheck",
+    "ConformanceReport",
+    "adversarial_conformance",
+    "availability_conformance",
+    "load_conformance",
+    "masking_conformance",
+    "percolation_conformance",
+    "restricted_induced_loads",
+    "worst_case_induced_load",
+]
+
+#: Default z-score for statistical slacks (one-in-millions false alarms).
+DEFAULT_Z = 5.0
+
+#: Default cap on the number of crash sets :func:`worst_case_induced_load`
+#: will enumerate.
+ENUMERATION_LIMIT = 200_000
+
+
+@dataclass(frozen=True)
+class ConformanceCheck:
+    """One "empirical metric vs paper bound" comparison.
+
+    Attributes
+    ----------
+    metric:
+        What was measured (e.g. ``"empirical-load"``).
+    observed / bound:
+        The measurement and the theoretical bound it is held against.
+    direction:
+        ``"<="`` (observed must not exceed the bound) or ``">="``.
+    slack:
+        Statistical tolerance granted on the permissive side (0 for exact
+        bounds like the masking envelope).
+    detail:
+        Human-readable context for reports and error messages.
+    """
+
+    metric: str
+    observed: float
+    bound: float
+    direction: str = "<="
+    slack: float = 0.0
+    detail: str = ""
+
+    def __post_init__(self):
+        if self.direction not in ("<=", ">="):
+            raise InvalidParameterError(
+                f"direction must be '<=' or '>=', got {self.direction!r}"
+            )
+        if self.slack < 0.0:
+            raise InvalidParameterError(f"slack must be >= 0, got {self.slack}")
+
+    @property
+    def ok(self) -> bool:
+        """Whether the observation respects the bound within the slack."""
+        if self.direction == "<=":
+            return self.observed <= self.bound + self.slack
+        return self.observed >= self.bound - self.slack
+
+    @property
+    def margin(self) -> float:
+        """Distance from the slackened bound (positive = inside the envelope)."""
+        if self.direction == "<=":
+            return self.bound + self.slack - self.observed
+        return self.observed - (self.bound - self.slack)
+
+    def require(self) -> None:
+        """Raise :class:`~repro.exceptions.ConformanceError` unless :attr:`ok`."""
+        if not self.ok:
+            raise ConformanceError(
+                f"{self.metric}: observed {self.observed:.6g} violates bound "
+                f"{self.direction} {self.bound:.6g} (slack {self.slack:.3g})"
+                + (f" — {self.detail}" if self.detail else "")
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "metric": self.metric,
+            "observed": self.observed,
+            "bound": self.bound,
+            "direction": self.direction,
+            "slack": self.slack,
+            "ok": self.ok,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class ConformanceReport:
+    """All conformance checks of one run."""
+
+    checks: tuple
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    @property
+    def failures(self) -> tuple:
+        return tuple(check for check in self.checks if not check.ok)
+
+    def require(self) -> None:
+        """Raise on the first violated check."""
+        for check in self.checks:
+            check.require()
+
+    def check(self, metric: str) -> ConformanceCheck:
+        """Return the (first) check with the given metric name."""
+        for entry in self.checks:
+            if entry.metric == metric:
+                return entry
+        raise InvalidParameterError(
+            f"no conformance check named {metric!r}; have "
+            f"{', '.join(sorted({c.metric for c in self.checks}))}"
+        )
+
+    def to_dict(self) -> dict:
+        return {"ok": self.ok, "checks": [check.to_dict() for check in self.checks]}
+
+
+# ----------------------------------------------------------------------
+# Restricted-strategy load bounds.
+# ----------------------------------------------------------------------
+def restricted_induced_loads(
+    strategy: Strategy,
+    universe: Universe,
+    crash_sets: Sequence[Iterable],
+) -> np.ndarray:
+    """Max induced load of the strategy restricted to each crash set's survivors.
+
+    For each crash set ``B``, the strategy is conditioned on its supported
+    quorums that avoid ``B`` (renormalised) — exactly the distribution the
+    engine's steering retry samples from — and the maximum per-server access
+    probability of that conditional strategy is returned.  Entries are
+    ``NaN`` when no supported quorum survives (operations fail; no load is
+    induced at all).
+    """
+    engine = strategy.support_engine(universe)
+    n = universe.size
+    crashed_rows = np.zeros((len(crash_sets), n), dtype=bool)
+    for row, crash_set in enumerate(crash_sets):
+        positions = universe.indices_of(crash_set)
+        if positions:
+            crashed_rows[row, list(positions)] = True
+    alive = engine.quorums_alive(crashed_rows)  # (num_sets, num_quorums)
+    weights = strategy.probabilities[None, :] * alive
+    totals = weights.sum(axis=1)
+    safe_totals = np.where(totals > 0.0, totals, 1.0)
+    loads = (weights / safe_totals[:, None]) @ engine.incidence_matrix().astype(float)
+    per_set = loads.max(axis=1)
+    per_set[totals <= 0.0] = np.nan
+    return per_set
+
+
+def worst_case_induced_load(
+    system: QuorumSystem,
+    strategy: Strategy | str | None = None,
+    *,
+    b: int,
+    limit: int = ENUMERATION_LIMIT,
+) -> float:
+    """The restricted induced load maximised over every crash set of size <= b.
+
+    This is the load envelope no crash adversary with budget ``b`` can
+    exceed against the given strategy, however adaptively it chooses its
+    victims.  Enumerates all ``sum_k C(n, k)`` crash sets, so it is meant
+    for the test-sized systems the conformance suite runs on; a budget
+    beyond ``limit`` sets raises
+    :class:`~repro.exceptions.ComputationError`.
+    """
+    if b < 0:
+        raise InvalidParameterError(f"b must be >= 0, got {b}")
+    universe = system.universe
+    n = universe.size
+    total_sets = sum(comb(n, k) for k in range(min(b, n) + 1))
+    if total_sets > limit:
+        raise ComputationError(
+            f"worst-case load bound needs {total_sets} crash sets at n={n}, "
+            f"b={b}; limit is {limit}"
+        )
+    resolved = resolve_strategy(system, strategy)
+    crash_sets: list[tuple] = []
+    for k in range(min(b, n) + 1):
+        crash_sets.extend(combinations(universe.elements, k))
+    per_set = restricted_induced_loads(resolved, universe, crash_sets)
+    finite = per_set[~np.isnan(per_set)]
+    return float(finite.max()) if finite.size else 0.0
+
+
+def _binomial_slack(rate: float, trials: int, z: float) -> float:
+    """A z-sigma binomial half-width plus one-count discretisation slack."""
+    trials = max(1, trials)
+    clipped = min(max(rate, 0.0), 1.0)
+    return z * sqrt(clipped * (1.0 - clipped) / trials) + 1.0 / trials
+
+
+# ----------------------------------------------------------------------
+# Run-level conformance checks.
+# ----------------------------------------------------------------------
+def load_conformance(
+    result: AdversarialResult,
+    system: QuorumSystem,
+    *,
+    b: int | None = None,
+    z: float = DEFAULT_Z,
+    worst_case_limit: int = ENUMERATION_LIMIT,
+) -> ConformanceReport:
+    """Check an adversarial run's empirical load against the load bounds.
+
+    Three checks: the trajectory envelope (observed load <= the largest
+    restricted induced load over the rounds the adversary actually played),
+    the global worst case over every crash set of size up to ``b`` when the
+    enumeration fits the budget, and the ``L(Q)`` lower bound when the LP is
+    available for the system.
+    """
+    if not isinstance(result, AdversarialResult):
+        raise InvalidParameterError(
+            f"load_conformance takes an AdversarialResult, got {type(result).__name__}"
+        )
+    if result.strategy is None:
+        raise InvalidParameterError(
+            "the adversarial result carries no strategy; rerun through "
+            "run_adversarial_workload"
+        )
+    universe = system.universe
+    successful = result.successful_reads + result.successful_writes
+    observed = result.empirical_load
+
+    crash_sets = [round_.fault.crashed for round_ in result.rounds]
+    per_round = restricted_induced_loads(result.strategy, universe, crash_sets)
+    finite = per_round[~np.isnan(per_round)]
+    envelope = float(finite.max()) if finite.size else 0.0
+    checks = [
+        ConformanceCheck(
+            metric="load-envelope",
+            observed=observed,
+            bound=envelope,
+            direction="<=",
+            slack=_binomial_slack(envelope, successful, z),
+            detail=(
+                "restricted induced load maximised over the adversary's "
+                f"{len(result.rounds)} realised crash sets"
+            ),
+        )
+    ]
+
+    budget = b if b is not None else max(
+        (round_.fault.num_crashed for round_ in result.rounds), default=0
+    )
+    try:
+        worst = worst_case_induced_load(
+            system, result.strategy, b=budget, limit=worst_case_limit
+        )
+    except ComputationError:
+        worst = None
+    if worst is not None:
+        checks.append(
+            ConformanceCheck(
+                metric="load-worst-case",
+                observed=observed,
+                bound=worst,
+                direction="<=",
+                slack=_binomial_slack(worst, successful, z),
+                detail=f"restricted induced load over every crash set of size <= {budget}",
+            )
+        )
+
+    try:
+        lp_load = float(exact_load(system).load)
+    except ComputationError:
+        lp_load = None
+    if lp_load is not None:
+        checks.append(
+            ConformanceCheck(
+                metric="load-lp-lower-bound",
+                observed=observed,
+                bound=lp_load,
+                direction=">=",
+                slack=_binomial_slack(lp_load, successful, z),
+                detail="L(Q) of the Definition 3.8 LP — no strategy induces less",
+            )
+        )
+    return ConformanceReport(checks=tuple(checks))
+
+
+def masking_conformance(result: WorkloadResult, *, b: int) -> ConformanceReport:
+    """Check the Lemma 3.6 zero-violation guarantee on any workload result.
+
+    Within ``b`` Byzantine servers the masking rule admits no fabricated and
+    no stale reads, so both counters are held to an exact zero bound.  For
+    an :class:`~repro.simulation.adversary.AdversarialResult` the per-round
+    Byzantine counts are verified to actually stay within ``b`` (otherwise
+    the guarantee does not apply and the check is vacuous by construction —
+    overloaded negative runs should expect failures here).
+    """
+    successful_reads = max(1, result.successful_reads)
+    rounds = getattr(result, "rounds", ())
+    max_byzantine = max(
+        (round_.fault.num_byzantine for round_ in rounds), default=0
+    )
+    checks = [
+        ConformanceCheck(
+            metric="fabricated-reads",
+            observed=float(result.consistency_violations),
+            bound=0.0,
+            direction="<=",
+            detail=f"Lemma 3.6: no fabrication with <= b={b} liars",
+        ),
+        ConformanceCheck(
+            metric="stale-read-rate",
+            observed=result.stale_reads / successful_reads,
+            bound=0.0,
+            direction="<=",
+            detail="Lemma 3.6: reads see the latest completed write",
+        ),
+    ]
+    if rounds:
+        checks.append(
+            ConformanceCheck(
+                metric="byzantine-budget",
+                observed=float(max_byzantine),
+                bound=float(b),
+                direction="<=",
+                detail="the adversary stayed within the masking parameter",
+            )
+        )
+    return ConformanceReport(checks=tuple(checks))
+
+
+def availability_conformance(
+    observed_failure_rate: float,
+    system: QuorumSystem,
+    *,
+    p: float,
+    trials: int,
+    z: float = DEFAULT_Z,
+) -> ConformanceReport:
+    """Check a measured failure rate against the closed-form ``Fp``.
+
+    ``observed_failure_rate`` is the fraction of independent fault draws
+    (phases, trials) in which no quorum survived; under the Definition 3.10
+    model it is a binomial proportion with mean ``Fp``, so it must sit
+    inside a ``z``-sigma interval around the analytic value of
+    :func:`~repro.core.analytic.analytic_failure_probability`.
+    """
+    fp = float(analytic_failure_probability(system, p).value)
+    slack = _binomial_slack(fp, trials, z)
+    checks = (
+        ConformanceCheck(
+            metric="failure-rate-upper",
+            observed=observed_failure_rate,
+            bound=fp,
+            direction="<=",
+            slack=slack,
+            detail=f"closed-form Fp({p}) = {fp:.6g} over {trials} trials",
+        ),
+        ConformanceCheck(
+            metric="failure-rate-lower",
+            observed=observed_failure_rate,
+            bound=fp,
+            direction=">=",
+            slack=slack,
+            detail=f"closed-form Fp({p}) = {fp:.6g} over {trials} trials",
+        ),
+    )
+    return ConformanceReport(checks=checks)
+
+
+# ----------------------------------------------------------------------
+# One-call backbones for tests, CI and benchmarks.
+# ----------------------------------------------------------------------
+def adversarial_conformance(
+    system: QuorumSystem,
+    *,
+    b: int,
+    policy: AdversaryPolicy,
+    num_operations: int = 400,
+    rounds: int = 8,
+    strategy: Strategy | str | None = None,
+    seed: int = 0,
+    write_fraction: float = 0.5,
+    z: float = DEFAULT_Z,
+) -> tuple[AdversarialResult, ConformanceReport]:
+    """Run an adaptive adversary and check every applicable bound.
+
+    The backbone call of the adversarial test suite and the CI smoke job:
+    one seed-deterministic :func:`run_adversarial_workload` run, followed by
+    :func:`load_conformance` and :func:`masking_conformance` on its result.
+    """
+    result = run_adversarial_workload(
+        system,
+        b=b,
+        policy=policy,
+        num_operations=num_operations,
+        rounds=rounds,
+        strategy=strategy,
+        rng=np.random.default_rng(seed),
+        write_fraction=write_fraction,
+    )
+    checks = (
+        load_conformance(result, system, b=b, z=z).checks
+        + masking_conformance(result, b=b).checks
+    )
+    return result, ConformanceReport(checks=checks)
+
+
+def percolation_conformance(
+    system: QuorumSystem,
+    *,
+    p: float,
+    phases: int = 200,
+    operations_per_phase: int = 4,
+    b: int | None = None,
+    seed: int = 0,
+    z: float = DEFAULT_Z,
+) -> tuple[WorkloadResult, ConformanceReport]:
+    """Run a site-percolation workload and check availability against ``Fp``.
+
+    Builds a :func:`~repro.simulation.scenarios.percolation_scenario` with
+    ``phases`` independent lattice draws at closure probability ``p``, runs
+    it through the scenario engine with ``operations_per_phase`` operations
+    per phase, and compares the observed failure rate to the closed-form
+    ``Fp`` with a binomial envelope over ``phases`` trials (within one phase
+    survival is deterministic, so the phases are the independent trials).
+    """
+    if operations_per_phase < 1:
+        raise InvalidParameterError(
+            f"operations_per_phase must be >= 1, got {operations_per_phase}"
+        )
+    masking = b if b is not None else system.masking_bound()
+    rng = np.random.default_rng(seed)
+    scenario = percolation_scenario(
+        system.universe, p_closed=p, rng=rng, phases=phases
+    )
+    result = run_scenario(
+        system,
+        b=masking,
+        num_operations=phases * operations_per_phase,
+        scenario=scenario,
+        rng=rng,
+    )
+    observed_failure = result.failed_operations / result.operations
+    report = availability_conformance(
+        observed_failure, system, p=p, trials=phases, z=z
+    )
+    return result, report

@@ -45,7 +45,7 @@ from repro.api.registry import (
     register,
     spec_of,
 )
-from repro.api.scenarios import available_scenarios, build_scenario
+from repro.api.scenarios import available_scenarios, build_scenario, is_timed
 from repro.api.workloads import WorkloadReport, WorkloadSpec, run
 
 __all__ = [
@@ -62,6 +62,7 @@ __all__ = [
     "build",
     "build_scenario",
     "get_entry",
+    "is_timed",
     "measure",
     "register",
     "run",

@@ -163,12 +163,41 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_trace(path: str):
+    """Load a ``--trace`` JSON file into a TraceScenario."""
+    from pathlib import Path
+
+    from repro.simulation.traces import TraceScenario
+
+    trace_path = Path(path)
+    try:
+        records = json.loads(trace_path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise InvalidParameterError(f"cannot read trace file {path!r}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise InvalidParameterError(f"trace file {path!r} is not valid JSON: {exc}") from None
+    if not isinstance(records, list):
+        raise InvalidParameterError(
+            f"trace file {path!r} must hold a JSON array of "
+            '{"t": <time>, "op": "read"|"write"} records'
+        )
+    try:
+        return TraceScenario.from_records(trace_path.stem, records)
+    except ReproError as exc:
+        raise InvalidParameterError(f"trace file {path!r}: {exc}") from None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = args.scenario
+    if args.trace is not None:
+        if scenario is not None:
+            raise InvalidParameterError("--trace and --scenario are mutually exclusive")
+        scenario = _load_trace(args.trace)
     spec = WorkloadSpec(
         system=args.construction,
         params=_collect_params(args),
         b=args.protocol_b,
-        scenario=args.scenario,
+        scenario=scenario,
         operations=args.ops,
         clients=args.clients,
         write_fraction=args.write_fraction,
@@ -344,6 +373,15 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--construction", "-c", required=True, help="registry name")
     run_parser.add_argument(
         "--scenario", default=None, help="catalogue scenario name (default: fault-free)"
+    )
+    run_parser.add_argument(
+        "--trace",
+        default=None,
+        help=(
+            "JSON trace file of open-loop arrivals "
+            '([{"t": <time>, "op": "read"|"write"}, ...]); replayed on the '
+            "event engine (mutually exclusive with --scenario)"
+        ),
     )
     run_parser.add_argument(
         "--engine", default="auto", choices=("auto", "vectorized", "event")

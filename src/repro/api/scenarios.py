@@ -10,21 +10,32 @@ using the same representative shapes as
 
 Untimed names (``WorkloadScenario``) run on either engine; timed names
 (``TimingScenario``) carry latency models and mid-run fault transitions, so
-they force the event engine (``engine="auto"`` picks it).
+they force the event engine (``engine="auto"`` picks it).  Two further
+kinds joined with the adversarial layer: :class:`AdaptiveScenario` entries
+(``adaptive-*``) re-choose the fault set between rounds from observed load
+and run on the vectorised engine, and :class:`TraceScenario` entries
+(``diurnal``) replay open-loop arrival traces on the event engine.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable
+from math import isqrt
 
 import numpy as np
 
 from repro.core.universe import Universe
 from repro.exceptions import InvalidParameterError
+from repro.simulation.adversary import (
+    AdaptiveScenario,
+    GreedyLoadAdversary,
+    StaleReadAdversary,
+)
 from repro.simulation.faults import FaultInjector
 from repro.simulation.scenarios import (
     TimingScenario,
     WorkloadScenario,
+    blast_radius_scenario,
     byzantine_scenario,
     churn_scenario,
     correlated_failure_scenario,
@@ -33,9 +44,11 @@ from repro.simulation.scenarios import (
     fault_free_scenario,
     flaky_links_scenario,
     partition_scenario,
+    percolation_scenario,
     slow_server_scenario,
 )
 from repro.simulation.scenarios import _failure_domains
+from repro.simulation.traces import TraceScenario
 
 __all__ = ["available_scenarios", "build_scenario", "is_timed"]
 
@@ -124,6 +137,41 @@ def _crash_recover(universe: Universe, b: int, rng: np.random.Generator):
     )
 
 
+def _adaptive_load(universe: Universe, b: int, rng: np.random.Generator):
+    return AdaptiveScenario(name="adaptive-load", policy=GreedyLoadAdversary(), rounds=8)
+
+
+def _adaptive_stale(universe: Universe, b: int, rng: np.random.Generator):
+    if b < 1:
+        raise InvalidParameterError(
+            "the 'adaptive-stale' scenario needs a masking parameter b >= 1"
+        )
+    return AdaptiveScenario(name="adaptive-stale", policy=StaleReadAdversary(), rounds=8)
+
+
+def _require_square(universe: Universe, name: str) -> None:
+    side = isqrt(universe.size)
+    if side * side != universe.size or side < 2:
+        raise InvalidParameterError(
+            f"the {name!r} scenario embeds the universe into a percolation "
+            f"lattice and needs a square n of side >= 2, got n={universe.size}"
+        )
+
+
+def _percolation(universe: Universe, b: int, rng: np.random.Generator):
+    _require_square(universe, "percolation")
+    return percolation_scenario(universe, p_closed=0.15, rng=rng, phases=8)
+
+
+def _blast_radius(universe: Universe, b: int, rng: np.random.Generator):
+    _require_square(universe, "blast-radius")
+    return blast_radius_scenario(universe, rng=rng, radius=1, phases=6)
+
+
+def _diurnal(universe: Universe, b: int, rng: np.random.Generator):
+    return TraceScenario(name="diurnal", period=120.0, peak_ratio=4.0, skew=1.1)
+
+
 #: name -> (builder, timed?, one-line description)
 _CATALOGUE: dict[str, tuple[Builder, bool, str]] = {
     "fault-free": (lambda u, b, r: fault_free_scenario(), False, "no faults at all"),
@@ -137,6 +185,31 @@ _CATALOGUE: dict[str, tuple[Builder, bool, str]] = {
     "slow-servers": (_slow_servers, True, "10% of servers 4x slower (timed)"),
     "flaky-links": (_flaky_links, True, "5% loss / 2% duplication links (timed)"),
     "crash-recover": (_crash_recover, True, "mid-run crash at t=10, recovery at t=40 (timed)"),
+    "adaptive-load": (
+        _adaptive_load,
+        False,
+        "adaptive adversary crashing the b busiest servers each round",
+    ),
+    "adaptive-stale": (
+        _adaptive_stale,
+        False,
+        "adaptive adversary corrupting the b busiest servers into liars",
+    ),
+    "percolation": (
+        _percolation,
+        False,
+        "correlated crashes from site percolation on the lattice (p = 0.15)",
+    ),
+    "blast-radius": (
+        _blast_radius,
+        False,
+        "a random lattice neighbourhood (rack/zone) down per phase",
+    ),
+    "diurnal": (
+        _diurnal,
+        True,
+        "open-loop diurnal arrivals with hot-quorum skew (timed)",
+    ),
 }
 
 
@@ -154,7 +227,7 @@ def is_timed(scenario) -> bool:
                 f"{', '.join(sorted(_CATALOGUE))}"
             )
         return _CATALOGUE[scenario][1]
-    return isinstance(scenario, TimingScenario)
+    return isinstance(scenario, (TimingScenario, TraceScenario))
 
 
 def build_scenario(

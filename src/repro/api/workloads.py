@@ -36,9 +36,11 @@ from repro.api.scenarios import build_scenario
 from repro.core.quorum_system import ImplicitQuorumSystem, QuorumSystem
 from repro.core.strategy import Strategy
 from repro.exceptions import ComputationError, InvalidParameterError
+from repro.simulation.adversary import AdaptiveScenario, run_adversarial_workload
 from repro.simulation.faults import FaultScenario
 from repro.simulation.runner import run_event_workload, run_workload
 from repro.simulation.scenarios import TimingScenario, WorkloadScenario
+from repro.simulation.traces import TraceScenario, run_trace_workload
 
 __all__ = ["WorkloadReport", "WorkloadSpec", "run"]
 
@@ -276,11 +278,14 @@ def _resolve_scenario(spec: WorkloadSpec, system: QuorumSystem, b: int):
         # placement never perturbs the operation draws.
         rng = np.random.default_rng([spec.seed, 0x5CE7A210])
         return build_scenario(scenario, system.universe, b=b, rng=rng)
-    if isinstance(scenario, (WorkloadScenario, TimingScenario, FaultScenario)):
+    if isinstance(
+        scenario,
+        (WorkloadScenario, TimingScenario, FaultScenario, AdaptiveScenario, TraceScenario),
+    ):
         return scenario
     raise InvalidParameterError(
-        "scenario must be a catalogue name, WorkloadScenario, TimingScenario "
-        f"or FaultScenario, got {type(scenario).__name__}"
+        "scenario must be a catalogue name, WorkloadScenario, TimingScenario, "
+        f"AdaptiveScenario, TraceScenario or FaultScenario, got {type(scenario).__name__}"
     )
 
 
@@ -289,13 +294,19 @@ def _pick_engine(engine: str, scenario) -> str:
         raise InvalidParameterError(
             f"unknown engine {engine!r}; choose one of {', '.join(ENGINES)}"
         )
-    timed = isinstance(scenario, TimingScenario)
+    timed = isinstance(scenario, (TimingScenario, TraceScenario))
     if engine == "auto":
         return "event" if timed else "vectorized"
     if engine == "vectorized" and timed:
         raise InvalidParameterError(
             f"scenario {getattr(scenario, 'name', scenario)!r} carries timing "
             "(latency models, mid-run transitions); it needs engine='event'"
+        )
+    if engine == "event" and isinstance(scenario, AdaptiveScenario):
+        raise InvalidParameterError(
+            f"scenario {scenario.name!r} adapts between operation rounds, which "
+            "only the vectorised engine's batch semantics express; use "
+            "engine='auto' or 'vectorized'"
         )
     return engine
 
@@ -355,7 +366,44 @@ def run(spec: WorkloadSpec, *, engine: str = "auto") -> WorkloadReport:
     chosen = _pick_engine(engine, scenario)
     rng = np.random.default_rng(spec.seed)
 
-    if chosen == "vectorized":
+    if isinstance(scenario, AdaptiveScenario):
+        result = run_adversarial_workload(
+            system,
+            b=b,
+            policy=scenario.policy,
+            num_operations=spec.operations,
+            rounds=scenario.rounds,
+            strategy=spec.strategy,
+            rng=rng,
+            write_fraction=spec.write_fraction,
+            max_attempts=spec.max_attempts,
+            allow_overload=spec.allow_overload,
+            byzantine_model=scenario.byzantine_model,
+        )
+        extras: dict = {}
+    elif isinstance(scenario, TraceScenario):
+        result = run_trace_workload(
+            system,
+            b=b,
+            trace=scenario,
+            num_operations=spec.operations,
+            num_clients=spec.clients,
+            write_fraction=spec.write_fraction,
+            strategy=spec.strategy,
+            rng=rng,
+            max_attempts=spec.max_attempts,
+            allow_overload=spec.allow_overload,
+        )
+        extras = {
+            "latency_mean": float(result.latency_mean),
+            "latency_p50": float(result.latency_p50),
+            "latency_p90": float(result.latency_p90),
+            "latency_p99": float(result.latency_p99),
+            "duration": float(result.duration),
+            "timeouts": int(result.timeouts),
+            "events_processed": int(result.events_processed),
+        }
+    elif chosen == "vectorized":
         if isinstance(scenario, FaultScenario):
             scenario = WorkloadScenario.from_fault_scenario(scenario)
         result = run_workload(

@@ -78,6 +78,19 @@ class SimulationError(ReproError):
     """
 
 
+class ConformanceError(ReproError):
+    """An empirical metric escaped the paper's proven envelope.
+
+    Raised by :meth:`repro.analysis.conformance.ConformanceCheck.require`
+    when an observed quantity (empirical load, stale-read rate, measured
+    availability) violates the corresponding bound — the LP load bound of
+    Definition 3.8, the zero-violation guarantee of Lemma 3.6, or the
+    ``Fp`` confidence envelope of Definition 3.10 — beyond the declared
+    statistical slack.  In a correct implementation this should only ever
+    fire on deliberately overloaded negative tests.
+    """
+
+
 class FieldError(ReproError):
     """Finite-field arithmetic was requested with invalid parameters.
 

@@ -24,6 +24,15 @@ Three layers are provided:
   :func:`run_workload`.  See ``docs/simulation.md``.
 """
 
+from repro.simulation.adversary import (
+    AdaptiveScenario,
+    AdversarialResult,
+    AdversarialRound,
+    AdversaryPolicy,
+    GreedyLoadAdversary,
+    StaleReadAdversary,
+    run_adversarial_workload,
+)
 from repro.simulation.client import (
     AsyncQuorumClient,
     OperationResult,
@@ -58,6 +67,7 @@ from repro.simulation.scenarios import (
     BYZANTINE_MODELS,
     TimingScenario,
     WorkloadScenario,
+    blast_radius_scenario,
     byzantine_scenario,
     churn_scenario,
     correlated_failure_scenario,
@@ -65,17 +75,29 @@ from repro.simulation.scenarios import (
     crash_scenario,
     fault_free_scenario,
     flaky_links_scenario,
+    lattice_embedding,
     partition_scenario,
+    percolation_scenario,
     random_crash_scenario,
     scenario_suite,
     slow_server_scenario,
     timing_scenario_suite,
 )
 from repro.simulation.server import BYZANTINE_BEHAVIOURS, ByzantineReplicaServer, ReplicaServer
+from repro.simulation.traces import (
+    TraceScenario,
+    TraceWorkloadResult,
+    hot_quorum_strategy,
+    run_trace_workload,
+)
 
 __all__ = [
     "BYZANTINE_BEHAVIOURS",
     "BYZANTINE_MODELS",
+    "AdaptiveScenario",
+    "AdversarialResult",
+    "AdversarialRound",
+    "AdversaryPolicy",
     "AsyncQuorumClient",
     "ByzantineReplicaServer",
     "EventNetwork",
@@ -84,6 +106,7 @@ __all__ = [
     "FaultInjector",
     "FaultScenario",
     "FaultTimeline",
+    "GreedyLoadAdversary",
     "HistoryCheck",
     "HistoryRecorder",
     "LatencyModel",
@@ -94,12 +117,16 @@ __all__ = [
     "ReplicaServer",
     "ReplicatedRegister",
     "RetryPolicy",
+    "StaleReadAdversary",
     "SynchronousNetwork",
     "Timestamp",
     "TimingScenario",
+    "TraceScenario",
+    "TraceWorkloadResult",
     "ValueTimestampPair",
     "WorkloadResult",
     "WorkloadScenario",
+    "blast_radius_scenario",
     "build_replicas",
     "byzantine_scenario",
     "check_register_history",
@@ -109,11 +136,16 @@ __all__ = [
     "crash_scenario",
     "fault_free_scenario",
     "flaky_links_scenario",
+    "hot_quorum_strategy",
+    "lattice_embedding",
     "partition_scenario",
+    "percolation_scenario",
     "random_crash_scenario",
     "resolve_strategy",
+    "run_adversarial_workload",
     "run_event_workload",
     "run_scenario",
+    "run_trace_workload",
     "run_workload",
     "scenario_suite",
     "slow_server_scenario",

@@ -1,0 +1,312 @@
+"""Adaptive adversaries: fault placement chosen *online* from observed load.
+
+The paper's guarantees are worst-case claims: the load bound ``L(Q)``
+(Definition 3.8) and the masking property (Lemma 3.6) must hold however the
+``b`` faulty servers are chosen — including by an adversary that watches the
+running system and corrupts exactly the servers that hurt most.  The static
+scenarios of :mod:`repro.simulation.scenarios` fix the fault set up front;
+this module closes the gap with *adaptive* policies that re-choose the
+corruption set between rounds of a workload, based on the per-server access
+counts observed so far:
+
+* :class:`GreedyLoadAdversary` crashes the ``b`` busiest servers — silence
+  is within a Byzantine server's power — forcing the steering retry to pile
+  the traffic onto the survivors.  This is the load attack the renormalised
+  restricted strategy bounds (checked by
+  :func:`repro.analysis.conformance.load_conformance`).
+* :class:`StaleReadAdversary` turns the ``b`` busiest servers Byzantine
+  with the ``"fabricate"`` vouching model — hot servers sit in the most
+  quorum intersections, so corrupting them maximises the forged votes a
+  read can collect.  Within ``b`` liars the masking rule must still yield
+  zero fabricated or stale reads (Lemma 3.6); the conformance layer asserts
+  exactly that.
+
+:func:`run_adversarial_workload` drives the round loop over the vectorised
+scenario engine; the whole run is a deterministic function of the ``rng``
+state (policies are deterministic given the observations, ties broken by
+universe order), so adversarial runs replay exactly under a fixed seed.
+:class:`AdaptiveScenario` is the declarative wrapper that lets a
+:class:`~repro.api.workloads.WorkloadSpec` name an adaptive run like any
+other scenario.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.quorum_system import QuorumSystem
+from repro.core.strategy import Strategy
+from repro.core.universe import Universe
+from repro.exceptions import SimulationError
+from repro.simulation.engine import WorkloadResult, resolve_strategy, run_scenario
+from repro.simulation.faults import FaultScenario
+from repro.simulation.scenarios import BYZANTINE_MODELS, WorkloadScenario
+
+__all__ = [
+    "AdaptiveScenario",
+    "AdversarialRound",
+    "AdversarialResult",
+    "AdversaryPolicy",
+    "GreedyLoadAdversary",
+    "StaleReadAdversary",
+    "run_adversarial_workload",
+]
+
+
+@dataclass(frozen=True)
+class AdversaryPolicy:
+    """Base class for adaptive fault-placement policies.
+
+    A policy is a pure function of the observations: given the universe, the
+    corruption budget and the per-server successful-access counts accumulated
+    over previous rounds, it returns the :class:`FaultScenario` for the next
+    round.  Policies hold no mutable state, so replaying a run replays its
+    corruption trajectory.
+
+    Attributes
+    ----------
+    corruptions:
+        How many servers to corrupt per round; ``None`` means the protocol's
+        masking parameter ``b``.  Values above ``b`` model an over-strong
+        adversary (negative tests; combine with ``allow_overload`` for
+        Byzantine policies).
+    """
+
+    corruptions: int | None = None
+
+    def budget(self, b: int, universe: Universe) -> int:
+        """The number of servers this policy corrupts each round."""
+        count = self.corruptions if self.corruptions is not None else b
+        return max(0, min(count, universe.size))
+
+    def hottest(
+        self, universe: Universe, counts: dict[Hashable, int], budget: int
+    ) -> frozenset:
+        """The ``budget`` servers with the highest observed access counts.
+
+        Ties (including the all-zero cold start of round 0) are broken by
+        universe position, so the choice is deterministic.
+        """
+        if budget <= 0:
+            return frozenset()
+        ranked = sorted(
+            universe.elements,
+            key=lambda server: (-counts.get(server, 0), universe.index_of(server)),
+        )
+        return frozenset(ranked[:budget])
+
+    def choose(
+        self, universe: Universe, b: int, counts: dict[Hashable, int]
+    ) -> FaultScenario:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class GreedyLoadAdversary(AdversaryPolicy):
+    """Crash the busiest servers to concentrate load on the survivors."""
+
+    def choose(
+        self, universe: Universe, b: int, counts: dict[Hashable, int]
+    ) -> FaultScenario:
+        return FaultScenario(crashed=self.hottest(universe, counts, self.budget(b, universe)))
+
+
+@dataclass(frozen=True)
+class StaleReadAdversary(AdversaryPolicy):
+    """Corrupt the busiest servers into colluding liars.
+
+    The busiest servers appear in the most quorum intersections, so turning
+    them Byzantine maximises the forged votes present in any read quorum —
+    the strongest permitted attempt at a fabricated or stale read.
+    """
+
+    def choose(
+        self, universe: Universe, b: int, counts: dict[Hashable, int]
+    ) -> FaultScenario:
+        return FaultScenario(byzantine=self.hottest(universe, counts, self.budget(b, universe)))
+
+
+@dataclass(frozen=True)
+class AdaptiveScenario:
+    """Declarative description of an adaptive-adversary run.
+
+    The facade's analogue of a :class:`~repro.simulation.scenarios.WorkloadScenario`
+    for adversarial workloads: a policy, a round count and the Byzantine
+    vouching model.  ``WorkloadSpec(scenario=AdaptiveScenario(...))`` routes
+    to :func:`run_adversarial_workload` on the vectorised engine.
+    """
+
+    name: str
+    policy: AdversaryPolicy
+    rounds: int = 8
+    byzantine_model: str = "fabricate"
+
+    def __post_init__(self):
+        if self.rounds < 1:
+            raise SimulationError(f"rounds must be >= 1, got {self.rounds}")
+        if self.byzantine_model not in BYZANTINE_MODELS:
+            raise SimulationError(
+                f"unknown Byzantine model {self.byzantine_model!r}; "
+                f"choose one of {sorted(BYZANTINE_MODELS)}"
+            )
+
+
+@dataclass(frozen=True)
+class AdversarialRound:
+    """One round of an adversarial run: the fault set chosen and its outcome."""
+
+    index: int
+    fault: FaultScenario
+    result: WorkloadResult
+
+
+@dataclass
+class AdversarialResult(WorkloadResult):
+    """Aggregate of an adversarial run, with the per-round trajectory.
+
+    The inherited fields follow the engine's accounting summed over rounds
+    (``per_server_load`` normalised by total successful operations, so it
+    remains a genuine access frequency); ``rounds`` keeps each round's fault
+    set and :class:`WorkloadResult` so the conformance layer can rebuild the
+    exact worst-case envelope the adversary realised, and ``strategy`` is
+    the resolved access strategy the clients actually used.
+    """
+
+    rounds: tuple = ()
+    strategy: Strategy | None = None
+
+    @property
+    def corruption_trajectory(self) -> tuple[frozenset, ...]:
+        """The corrupted (Byzantine ∪ crashed) set of every round, in order."""
+        return tuple(
+            round_.fault.byzantine | round_.fault.crashed for round_ in self.rounds
+        )
+
+
+def _counts_from(result: WorkloadResult, universe: Universe) -> dict[Hashable, int]:
+    """Recover integer per-server successful-access counts from a result.
+
+    The engine normalises counts by the successful-operation total; the
+    division is exact in floating point for any realistic count, so rounding
+    recovers the integers.
+    """
+    successful = max(1, result.successful_reads + result.successful_writes)
+    return {
+        server: int(round(result.per_server_load[server] * successful))
+        for server in universe
+    }
+
+
+def _round_sizes(num_operations: int, rounds: int) -> list[int]:
+    """Split ``num_operations`` into ``rounds`` near-equal positive chunks."""
+    boundaries = [(index * num_operations) // rounds for index in range(rounds + 1)]
+    return [b - a for a, b in zip(boundaries, boundaries[1:])]
+
+
+def run_adversarial_workload(
+    system: QuorumSystem,
+    *,
+    b: int,
+    policy: AdversaryPolicy,
+    num_operations: int = 200,
+    rounds: int = 8,
+    strategy: Strategy | str | None = None,
+    rng: np.random.Generator | None = None,
+    write_fraction: float = 0.5,
+    max_attempts: int = 10,
+    allow_overload: bool = False,
+    byzantine_model: str = "fabricate",
+) -> AdversarialResult:
+    """Run a workload against an adaptive adversary.
+
+    The operation batch is split into ``rounds`` near-equal chunks.  Before
+    each chunk the policy inspects the per-server successful-access counts
+    accumulated so far and picks the fault set for the chunk; the chunk then
+    runs through :func:`~repro.simulation.engine.run_scenario` on the shared
+    ``rng`` (sequential consumption — the run is a deterministic function of
+    the seed, corruption trajectory included).
+
+    At least one operation per round is required, so every round observes
+    something.  Returns an :class:`AdversarialResult`
+    whose aggregate fields match the engine's accounting summed over rounds.
+    """
+    if rounds < 1:
+        raise SimulationError(f"rounds must be >= 1, got {rounds}")
+    if num_operations < rounds:
+        raise SimulationError(
+            f"need at least one operation per round: {num_operations} operations "
+            f"over {rounds} rounds"
+        )
+    if not isinstance(policy, AdversaryPolicy):
+        raise SimulationError(
+            f"policy must be an AdversaryPolicy, got {type(policy).__name__}"
+        )
+    rng = rng if rng is not None else np.random.default_rng()
+    universe = system.universe
+    resolved = resolve_strategy(system, strategy)
+
+    counts: dict[Hashable, int] = {server: 0 for server in universe}
+    round_records: list[AdversarialRound] = []
+    totals = {
+        "successful_reads": 0,
+        "successful_writes": 0,
+        "failed_operations": 0,
+        "consistency_violations": 0,
+        "stale_reads": 0,
+    }
+    attempted = {server: 0.0 for server in universe}
+    messages = {server: 0.0 for server in universe}
+
+    for index, chunk in enumerate(_round_sizes(num_operations, rounds)):
+        fault = policy.choose(universe, b, counts)
+        scenario = WorkloadScenario.from_fault_scenario(
+            fault,
+            name=f"adaptive-round-{index}",
+            byzantine_model=byzantine_model,
+        )
+        result = run_scenario(
+            system,
+            b=b,
+            num_operations=chunk,
+            scenario=scenario,
+            strategy=resolved,
+            rng=rng,
+            write_fraction=write_fraction,
+            max_attempts=max_attempts,
+            allow_overload=allow_overload,
+        )
+        round_records.append(AdversarialRound(index=index, fault=fault, result=result))
+        round_counts = _counts_from(result, universe)
+        for server in universe:
+            counts[server] += round_counts[server]
+            attempted[server] += result.per_server_attempted[server] * chunk
+            messages[server] += result.per_server_messages[server] * chunk
+        totals["successful_reads"] += result.successful_reads
+        totals["successful_writes"] += result.successful_writes
+        totals["failed_operations"] += result.failed_operations
+        totals["consistency_violations"] += result.consistency_violations
+        totals["stale_reads"] += result.stale_reads
+
+    successful = max(1, totals["successful_reads"] + totals["successful_writes"])
+    per_server_load = {server: counts[server] / successful for server in universe}
+    return AdversarialResult(
+        operations=num_operations,
+        successful_reads=totals["successful_reads"],
+        successful_writes=totals["successful_writes"],
+        failed_operations=totals["failed_operations"],
+        consistency_violations=totals["consistency_violations"],
+        stale_reads=totals["stale_reads"],
+        empirical_load=max(per_server_load.values()),
+        per_server_load=per_server_load,
+        per_server_messages={
+            server: messages[server] / num_operations for server in universe
+        },
+        per_server_attempted={
+            server: attempted[server] / num_operations for server in universe
+        },
+        rounds=tuple(round_records),
+        strategy=resolved,
+    )

@@ -30,11 +30,14 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Sequence
 from dataclasses import dataclass
+from math import isqrt
 
 import numpy as np
 
 from repro.core.universe import Universe
 from repro.exceptions import SimulationError
+from repro.percolation.lattice import TriangularGrid
+from repro.percolation.site import sample_open_vertices
 from repro.simulation.events import FaultTimeline, LatencyModel, LinkFaults
 from repro.simulation.faults import FaultInjector, FaultScenario
 
@@ -42,6 +45,7 @@ __all__ = [
     "BYZANTINE_MODELS",
     "TimingScenario",
     "WorkloadScenario",
+    "blast_radius_scenario",
     "byzantine_scenario",
     "churn_scenario",
     "correlated_failure_scenario",
@@ -49,7 +53,9 @@ __all__ = [
     "crash_scenario",
     "fault_free_scenario",
     "flaky_links_scenario",
+    "lattice_embedding",
     "partition_scenario",
+    "percolation_scenario",
     "random_crash_scenario",
     "scenario_suite",
     "slow_server_scenario",
@@ -285,6 +291,116 @@ def churn_scenario(
     )
     fractions = tuple(phase_fractions) if phase_fractions is not None else ()
     return WorkloadScenario(name=name, phases=phases, phase_fractions=fractions)
+
+
+def lattice_embedding(universe: Universe) -> tuple[TriangularGrid, dict]:
+    """Embed a square universe into the triangulated lattice of Section 7.
+
+    Returns a :class:`~repro.percolation.lattice.TriangularGrid` of side
+    ``sqrt(n)`` and a map from lattice vertices to universe elements, pairing
+    both in enumeration order.  The six-neighbour adjacency of the lattice
+    becomes a physical-locality model for the deployment — nearby servers
+    share racks, switches and power — which is what lets site-percolation
+    draws act as correlated fault scenarios on any square universe (the
+    M-Path universe *is* the lattice, so there the embedding is the
+    identity).
+    """
+    side = isqrt(universe.size)
+    if side * side != universe.size or side < 2:
+        raise SimulationError(
+            "percolation fault models need a square universe of side >= 2, "
+            f"got n={universe.size}"
+        )
+    grid = TriangularGrid(side)
+    return grid, dict(zip(grid.vertices(), universe.elements))
+
+
+def percolation_scenario(
+    universe: Universe,
+    *,
+    p_closed: float,
+    rng: np.random.Generator,
+    phases: int = 8,
+    name: str = "percolation",
+) -> WorkloadScenario:
+    """Correlated-failure phases drawn from site percolation on the lattice.
+
+    Each phase is one independent site-percolation sample at closure
+    probability ``p_closed``: closed vertices crash for the phase, open ones
+    stay up.  Because sites close independently, each phase is exactly one
+    trial of the Definition 3.10 crash model — the fraction of phases in
+    which no quorum survives is a Monte-Carlo estimate of ``Fp``, which is
+    what :func:`repro.analysis.conformance.availability_conformance` checks
+    against the closed forms of :mod:`repro.core.analytic`.
+    """
+    if phases < 1:
+        raise SimulationError(f"phases must be >= 1, got {phases}")
+    grid, vertex_to_server = lattice_embedding(universe)
+    states = []
+    for _ in range(phases):
+        open_vertices = sample_open_vertices(grid, p_closed, rng)
+        crashed = frozenset(
+            server
+            for vertex, server in vertex_to_server.items()
+            if vertex not in open_vertices
+        )
+        states.append(FaultScenario(crashed=crashed))
+    return WorkloadScenario(name=name, phases=tuple(states))
+
+
+def _lattice_ball(grid: TriangularGrid, centre, radius: int) -> set:
+    """All vertices within ``radius`` lattice hops of ``centre``."""
+    ball = {centre}
+    frontier = {centre}
+    for _ in range(radius):
+        frontier = {
+            neighbour
+            for vertex in frontier
+            for neighbour in grid.neighbours(vertex)
+        } - ball
+        ball |= frontier
+    return ball
+
+
+def blast_radius_scenario(
+    universe: Universe,
+    *,
+    rng: np.random.Generator,
+    radius: int = 1,
+    blasts: int = 1,
+    phases: int = 6,
+    name: str = "blast-radius",
+) -> WorkloadScenario:
+    """Rack/zone blast radius: whole lattice neighbourhoods down per phase.
+
+    Each phase picks ``blasts`` random epicentres on the lattice embedding
+    and crashes every server within ``radius`` hops — the failure geometry
+    of a dead rack or switch, where the damage is spatially contiguous
+    rather than independent.  The counterpart of
+    :func:`correlated_failure_scenario` with lattice locality instead of
+    explicit domain lists.
+    """
+    if radius < 0:
+        raise SimulationError(f"radius must be >= 0, got {radius}")
+    if blasts < 1:
+        raise SimulationError(f"blasts must be >= 1, got {blasts}")
+    if phases < 1:
+        raise SimulationError(f"phases must be >= 1, got {phases}")
+    grid, vertex_to_server = lattice_embedding(universe)
+    vertices = list(grid.vertices())
+    if blasts > len(vertices):
+        raise SimulationError(
+            f"cannot place {blasts} blasts on {len(vertices)} vertices"
+        )
+    states = []
+    for _ in range(phases):
+        epicentres = rng.choice(len(vertices), size=blasts, replace=False)
+        crashed: set = set()
+        for index in epicentres:
+            for vertex in _lattice_ball(grid, vertices[int(index)], radius):
+                crashed.add(vertex_to_server[vertex])
+        states.append(FaultScenario(crashed=frozenset(crashed)))
+    return WorkloadScenario(name=name, phases=tuple(states))
 
 
 @dataclass(frozen=True)

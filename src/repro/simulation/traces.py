@@ -1,0 +1,409 @@
+"""Trace-driven workloads: open-loop arrivals through the event core.
+
+The event runner (:func:`~repro.simulation.runner.run_event_workload`) is
+*closed-loop*: each client issues its next operation when the previous one
+completes, so the offered rate adapts to the service rate and queueing never
+builds up.  Real traffic is open-loop — operations arrive on a clock,
+whether or not the system has caught up — and that is where latency
+percentiles become interesting: under a diurnal peak the sojourn time
+(arrival to completion, queueing included) departs from the bare service
+time.
+
+A :class:`TraceScenario` describes the arrival process: either an explicit
+trace (``(time, "read"|"write")`` pairs, e.g. loaded from JSON via
+:meth:`TraceScenario.from_records`) or a synthetic *diurnal* process — a
+sinusoidal intensity with a configurable peak-to-trough ratio, sampled by
+inverse-transform so exactly ``operations`` arrivals land in one period.
+``skew`` adds hot-key concentration: the access strategy is re-weighted by a
+Zipf law over its support, modelling clients that hammer a few popular
+quorums (the load the busiest server sees under skew is exactly what the
+paper's ``L(Q)`` optimisation is about).
+
+:func:`run_trace_workload` replays the arrivals over the event stack with a
+fixed pool of :class:`~repro.simulation.client.AsyncQuorumClient` workers
+and a FIFO queue (a register client is a single sequential process, so an
+arrival waits for a free client).  The reported latency statistics are
+**sojourn times** — queueing delay plus protocol latency — which is what an
+open-loop trace uniquely measures; the queueing delay is also reported
+separately.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.quorum_system import QuorumSystem
+from repro.core.strategy import Strategy
+from repro.exceptions import SimulationError
+from repro.simulation.client import AsyncQuorumClient, RetryPolicy
+from repro.simulation.engine import resolve_strategy
+from repro.simulation.events import (
+    EventNetwork,
+    EventScheduler,
+    FaultTimeline,
+    LatencyModel,
+    LinkFaults,
+)
+from repro.simulation.faults import FaultScenario
+from repro.simulation.history import HistoryRecorder
+from repro.simulation.messages import Timestamp, ValueTimestampPair
+from repro.simulation.runner import EventWorkloadResult, build_replicas
+from repro.simulation.server import BYZANTINE_BEHAVIOURS
+
+__all__ = [
+    "TraceScenario",
+    "TraceWorkloadResult",
+    "hot_quorum_strategy",
+    "run_trace_workload",
+]
+
+_OP_KINDS = frozenset({"read", "write"})
+
+
+@dataclass(frozen=True)
+class TraceScenario:
+    """An open-loop arrival trace plus the timing environment to replay it in.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label used in tables and reports.
+    arrivals:
+        Explicit trace: ``(time, kind)`` pairs with non-decreasing times and
+        ``kind`` in ``{"read", "write"}``.  When empty, a diurnal process is
+        generated instead (see below) with exactly the requested operation
+        count.
+    period:
+        Length of the diurnal cycle in simulated time units; the generated
+        arrivals span one period.
+    peak_ratio:
+        Peak-to-trough intensity ratio of the diurnal cycle (``1`` recovers
+        a uniform arrival process).
+    skew:
+        Zipf exponent for hot-quorum concentration; ``0`` leaves the access
+        strategy untouched (see :func:`hot_quorum_strategy`).
+    fault_state:
+        The (static) fault environment during the replay.
+    latency / link_faults / byzantine_behaviour:
+        The event layer's timing environment, as for
+        :class:`~repro.simulation.scenarios.TimingScenario`.
+    """
+
+    name: str
+    arrivals: tuple = ()
+    period: float = 120.0
+    peak_ratio: float = 4.0
+    skew: float = 0.0
+    fault_state: FaultScenario = field(default_factory=FaultScenario.fault_free)
+    latency: LatencyModel = field(default_factory=lambda: LatencyModel.uniform(1.0, 0.5))
+    link_faults: LinkFaults = field(default_factory=LinkFaults)
+    byzantine_behaviour: str = "fabricate-timestamp"
+
+    def __post_init__(self):
+        if self.period <= 0.0:
+            raise SimulationError(f"period must be positive, got {self.period}")
+        if self.peak_ratio < 1.0:
+            raise SimulationError(
+                f"peak_ratio must be >= 1, got {self.peak_ratio}"
+            )
+        if self.skew < 0.0:
+            raise SimulationError(f"skew must be >= 0, got {self.skew}")
+        if self.byzantine_behaviour not in BYZANTINE_BEHAVIOURS:
+            raise SimulationError(
+                f"unknown Byzantine behaviour {self.byzantine_behaviour!r}; "
+                f"choose one of {sorted(BYZANTINE_BEHAVIOURS)}"
+            )
+        arrivals = tuple((float(time), kind) for time, kind in self.arrivals)
+        object.__setattr__(self, "arrivals", arrivals)
+        previous = 0.0
+        for time, kind in arrivals:
+            if time < 0.0:
+                raise SimulationError(f"arrival times must be >= 0, got {time}")
+            if time < previous:
+                raise SimulationError("arrival times must be non-decreasing")
+            if kind not in _OP_KINDS:
+                raise SimulationError(
+                    f"arrival kind must be 'read' or 'write', got {kind!r}"
+                )
+            previous = time
+
+    @classmethod
+    def from_records(cls, name: str, records, **kwargs) -> "TraceScenario":
+        """Build a trace from ``{"t": float, "op": "read"|"write"}`` records.
+
+        This is the on-disk trace format ``python -m repro run --trace``
+        accepts: a JSON array of such objects, sorted by ``t``.
+        """
+        try:
+            arrivals = tuple((float(item["t"]), str(item["op"])) for item in records)
+        except (TypeError, KeyError) as exc:
+            raise SimulationError(
+                "trace records must be objects with 't' and 'op' fields"
+            ) from exc
+        return cls(name=name, arrivals=arrivals, **kwargs)
+
+    @property
+    def max_byzantine(self) -> int:
+        return self.fault_state.num_byzantine
+
+    def arrival_schedule(
+        self,
+        num_operations: int,
+        rng: np.random.Generator,
+        *,
+        write_fraction: float = 0.5,
+    ) -> tuple:
+        """The ``(time, kind)`` arrivals this trace replays.
+
+        An explicit trace is returned verbatim (``num_operations`` is
+        ignored; the trace defines the workload).  Otherwise exactly
+        ``num_operations`` diurnal arrivals are sampled over one period by
+        inverse-transform from the intensity
+        ``1 + (peak_ratio - 1) * (1 - cos(2*pi*t/period)) / 2`` and each is
+        a write with probability ``write_fraction``.
+        """
+        if self.arrivals:
+            return self.arrivals
+        if num_operations < 1:
+            raise SimulationError(
+                f"num_operations must be >= 1, got {num_operations}"
+            )
+        grid = np.linspace(0.0, self.period, 2049)
+        intensity = 1.0 + (self.peak_ratio - 1.0) * 0.5 * (
+            1.0 - np.cos(2.0 * np.pi * grid / self.period)
+        )
+        cumulative = np.concatenate(
+            [[0.0], np.cumsum(0.5 * (intensity[1:] + intensity[:-1]) * np.diff(grid))]
+        )
+        cumulative /= cumulative[-1]
+        times = np.interp(np.sort(rng.random(num_operations)), cumulative, grid)
+        writes = rng.random(num_operations) < write_fraction
+        return tuple(
+            (float(time), "write" if is_write else "read")
+            for time, is_write in zip(times, writes)
+        )
+
+
+@dataclass
+class TraceWorkloadResult(EventWorkloadResult):
+    """An :class:`~repro.simulation.runner.EventWorkloadResult` for a trace replay.
+
+    The inherited latency statistics are **sojourn times** (arrival to
+    completion, queueing included); the queueing component and the offered
+    arrival rate are reported separately.
+    """
+
+    queue_delay_mean: float = 0.0
+    queue_delay_p99: float = 0.0
+    arrival_rate: float = 0.0
+
+
+def hot_quorum_strategy(
+    system: QuorumSystem,
+    *,
+    skew: float,
+    base: Strategy | None = None,
+) -> Strategy:
+    """Re-weight an access strategy by a Zipf law over its support.
+
+    Quorum ``i`` of the base strategy's support (in support order) has its
+    probability multiplied by ``(i + 1) ** -skew`` and the result is
+    renormalised — a handful of "popular" quorums soak up most accesses,
+    the hot-key pattern of real key-value traffic.  ``skew = 0`` returns the
+    base strategy unchanged.
+    """
+    if skew < 0.0:
+        raise SimulationError(f"skew must be >= 0, got {skew}")
+    resolved = base if base is not None else resolve_strategy(system, None)
+    if skew == 0.0:
+        return resolved
+    ranks = np.arange(1, len(resolved) + 1, dtype=float)
+    weights = resolved.probabilities * ranks ** (-skew)
+    return Strategy(
+        dict(zip(resolved.support, weights)),
+        normalise=True,
+    )
+
+
+def run_trace_workload(
+    system: QuorumSystem,
+    *,
+    b: int,
+    trace: TraceScenario,
+    num_operations: int = 200,
+    num_clients: int = 8,
+    write_fraction: float = 0.5,
+    strategy: Strategy | str | None = None,
+    rng: np.random.Generator | None = None,
+    max_attempts: int = 10,
+    request_timeout: float | None = None,
+    allow_overload: bool = False,
+    keep_history: bool = False,
+) -> TraceWorkloadResult:
+    """Replay an open-loop arrival trace over the event-driven protocol stack.
+
+    Arrivals join a FIFO queue served by a pool of ``num_clients`` resumable
+    clients; an arrival whose turn comes starts its protocol operation
+    immediately, so the measured sojourn time is queueing delay plus
+    protocol latency.  Everything is a deterministic function of the ``rng``
+    state (arrival sampling first, then the event stack's draws).
+
+    Returns a :class:`TraceWorkloadResult`; the base-class accounting
+    matches :func:`~repro.simulation.runner.run_event_workload`, so trace
+    runs drop into the same report/comparison tooling.
+    """
+    if num_clients < 1:
+        raise SimulationError(f"num_clients must be >= 1, got {num_clients}")
+    if not 0.0 <= write_fraction <= 1.0:
+        raise SimulationError(
+            f"write_fraction must lie in [0, 1], got {write_fraction}"
+        )
+    if not isinstance(trace, TraceScenario):
+        raise SimulationError(
+            f"trace must be a TraceScenario, got {type(trace).__name__}"
+        )
+    if not allow_overload and trace.max_byzantine > b:
+        raise SimulationError(
+            f"trace has {trace.max_byzantine} Byzantine servers but the "
+            f"deployment only masks b={b}; pass allow_overload=True to force it"
+        )
+    rng = rng if rng is not None else np.random.default_rng()
+    universe = system.universe
+    unknown = (trace.fault_state.byzantine | trace.fault_state.crashed) - universe.as_frozenset()
+    if unknown:
+        raise SimulationError(
+            f"trace mentions servers outside the universe: {sorted(unknown, key=repr)[:4]}"
+        )
+
+    arrivals = trace.arrival_schedule(
+        num_operations, rng, write_fraction=write_fraction
+    )
+    resolved = hot_quorum_strategy(
+        system, skew=trace.skew, base=resolve_strategy(system, strategy)
+    )
+
+    latency = trace.latency
+    if request_timeout is None:
+        scale = latency.base + latency.jitter + 2.0 * latency.tail_mean
+        slowest = max([1.0] + [factor for _, factor in trace.fault_state.slow])
+        request_timeout = 1.0 if scale == 0.0 else 8.0 * scale * slowest
+
+    timeline = FaultTimeline.static(trace.fault_state)
+    scheduler = EventScheduler()
+    servers = build_replicas(
+        system,
+        timeline.byzantine,
+        byzantine_behaviour=trace.byzantine_behaviour,
+        rng=rng,
+    )
+    network = EventNetwork(
+        servers,
+        timeline,
+        scheduler=scheduler,
+        latency=latency,
+        faults=trace.link_faults,
+        rng=np.random.default_rng(rng.integers(2**63)),
+    )
+    recorder = HistoryRecorder(
+        initial_pair=ValueTimestampPair(value=None, timestamp=Timestamp.zero())
+    )
+    policy = RetryPolicy(max_attempts=max_attempts, request_timeout=request_timeout)
+    clients = [
+        AsyncQuorumClient(
+            client_id,
+            system,
+            network,
+            b=b,
+            policy=policy,
+            rng=np.random.default_rng(rng.integers(2**63)),
+            strategy=resolved,
+            history=recorder,
+        )
+        for client_id in range(num_clients)
+    ]
+
+    idle: deque = deque(clients)
+    pending: deque = deque()
+    sojourns: list[float] = []
+    queue_delays: list[float] = []
+    dispatched = {"count": 0}
+
+    def try_dispatch() -> None:
+        while idle and pending:
+            arrived_at, kind = pending.popleft()
+            client = idle.popleft()
+            queue_delays.append(scheduler.now - arrived_at)
+            sequence = dispatched["count"]
+            dispatched["count"] += 1
+
+            def finish(_result, client=client, arrived_at=arrived_at) -> None:
+                sojourns.append(scheduler.now - arrived_at)
+                idle.append(client)
+                try_dispatch()
+
+            if kind == "write":
+                client.write((client.client_id, sequence), finish)
+            else:
+                client.read(finish)
+
+    for arrived_at, kind in arrivals:
+        scheduler.schedule(
+            arrived_at,
+            lambda arrived_at=arrived_at, kind=kind: (
+                pending.append((arrived_at, kind)),
+                try_dispatch(),
+            ),
+        )
+    scheduler.run()
+
+    records = recorder.records
+    check = recorder.check()
+    total_operations = len(records)
+    successful = [record for record in records if record.success]
+    total_success = max(1, len(successful))
+    per_server_load = {
+        server_id: sum(client.successful_access_counts[server_id] for client in clients)
+        / total_success
+        for server_id in universe
+    }
+    per_server_attempted = {
+        server_id: sum(client.attempted_access_counts[server_id] for client in clients)
+        / max(1, total_operations)
+        for server_id in universe
+    }
+    per_server_messages = {
+        server_id: network.attempted_counts[server_id] / max(1, total_operations)
+        for server_id in universe
+    }
+    sojourn_array = np.array(sojourns) if sojourns else np.array([])
+    queue_array = np.array(queue_delays) if queue_delays else np.array([])
+    span = arrivals[-1][0] - arrivals[0][0] if len(arrivals) > 1 else 0.0
+    return TraceWorkloadResult(
+        operations=total_operations,
+        successful_reads=sum(1 for r in successful if r.kind == "read"),
+        successful_writes=sum(1 for r in successful if r.kind == "write"),
+        failed_operations=total_operations - len(successful),
+        consistency_violations=check.fabricated_reads,
+        stale_reads=check.stale_reads,
+        empirical_load=max(per_server_load.values()),
+        per_server_load=per_server_load,
+        per_server_messages=per_server_messages,
+        per_server_attempted=per_server_attempted,
+        duration=(
+            max(r.responded_at for r in records) - arrivals[0][0] if records else 0.0
+        ),
+        events_processed=scheduler.events_processed,
+        timeouts=sum(client.timeouts for client in clients),
+        latency_mean=float(sojourn_array.mean()) if sojourn_array.size else 0.0,
+        latency_p50=float(np.percentile(sojourn_array, 50)) if sojourn_array.size else 0.0,
+        latency_p90=float(np.percentile(sojourn_array, 90)) if sojourn_array.size else 0.0,
+        latency_p99=float(np.percentile(sojourn_array, 99)) if sojourn_array.size else 0.0,
+        check=check,
+        history=tuple(records) if keep_history else (),
+        queue_delay_mean=float(queue_array.mean()) if queue_array.size else 0.0,
+        queue_delay_p99=float(np.percentile(queue_array, 99)) if queue_array.size else 0.0,
+        arrival_rate=len(arrivals) / span if span > 0.0 else 0.0,
+    )

@@ -1,0 +1,184 @@
+"""Conformance-layer tests: the check algebra and the load/availability math.
+
+:mod:`repro.analysis.conformance` turns "empirical metric vs paper bound"
+into reusable assertions.  These tests pin the algebra (directions, slack,
+margins, ``require`` raising) and the two mathematical facts the load checks
+stand on:
+
+* the restricted induced load of any crash set is at least the LP value
+  ``L(Q)`` — restricting the quorum family only shrinks the feasible set of
+  the Definition 3.8 LP; and
+* the worst case over all crash sets of size up to ``b`` dominates every
+  individual one and grows with the budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MGrid, majority
+from repro.analysis import (
+    ConformanceCheck,
+    ConformanceReport,
+    availability_conformance,
+    masking_conformance,
+    percolation_conformance,
+    restricted_induced_loads,
+    worst_case_induced_load,
+)
+from repro.core.load import exact_load
+from repro.exceptions import (
+    ComputationError,
+    ConformanceError,
+    InvalidParameterError,
+)
+from repro.simulation import run_scenario
+from repro.simulation.engine import resolve_strategy
+
+
+@pytest.fixture
+def system():
+    return MGrid(5, 1)
+
+
+# ----------------------------------------------------------------------
+# The check algebra.
+# ----------------------------------------------------------------------
+class TestCheckAlgebra:
+    def test_upper_bound_direction(self):
+        assert ConformanceCheck("m", observed=0.5, bound=0.6).ok
+        assert not ConformanceCheck("m", observed=0.7, bound=0.6).ok
+        assert ConformanceCheck("m", observed=0.7, bound=0.6, slack=0.2).ok
+
+    def test_lower_bound_direction(self):
+        check = ConformanceCheck("m", observed=0.5, bound=0.6, direction=">=")
+        assert not check.ok
+        assert ConformanceCheck(
+            "m", observed=0.5, bound=0.6, direction=">=", slack=0.15
+        ).ok
+
+    def test_margin_is_signed_distance_from_slackened_bound(self):
+        check = ConformanceCheck("m", observed=0.5, bound=0.6, slack=0.1)
+        assert check.margin == pytest.approx(0.2)
+        failing = ConformanceCheck("m", observed=0.9, bound=0.6)
+        assert failing.margin == pytest.approx(-0.3)
+
+    def test_require_raises_with_context(self):
+        check = ConformanceCheck("load", observed=0.9, bound=0.6, detail="why")
+        with pytest.raises(ConformanceError, match="load.*why"):
+            check.require()
+        ConformanceCheck("load", observed=0.5, bound=0.6).require()  # no raise
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ConformanceCheck("m", observed=0.5, bound=0.6, direction="<")
+        with pytest.raises(InvalidParameterError):
+            ConformanceCheck("m", observed=0.5, bound=0.6, slack=-0.1)
+
+    def test_report_collects_failures_and_lookups(self):
+        good = ConformanceCheck("a", observed=0.1, bound=0.2)
+        bad = ConformanceCheck("b", observed=0.3, bound=0.2)
+        report = ConformanceReport(checks=(good, bad))
+        assert not report.ok
+        assert report.failures == (bad,)
+        assert report.check("a") is good
+        with pytest.raises(InvalidParameterError):
+            report.check("missing")
+        with pytest.raises(ConformanceError):
+            report.require()
+
+    def test_to_dict_is_json_stable(self):
+        import json
+
+        report = ConformanceReport(
+            checks=(ConformanceCheck("a", observed=0.1, bound=0.2, detail="d"),)
+        )
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["ok"] is True
+        assert payload["checks"][0]["metric"] == "a"
+        assert payload["checks"][0]["observed"] == pytest.approx(0.1)
+
+
+# ----------------------------------------------------------------------
+# Restricted / worst-case load math.
+# ----------------------------------------------------------------------
+class TestLoadBounds:
+    def test_empty_crash_set_recovers_the_strategy_load(self, system):
+        strategy = resolve_strategy(system, None)
+        loads = restricted_induced_loads(strategy, system.universe, [frozenset()])
+        assert loads[0] == pytest.approx(exact_load(system).load)
+
+    def test_restriction_never_beats_the_lp(self, system):
+        """L(restricted) >= L(Q): the LP optimises over every strategy, and
+        conditioning on surviving quorums is just another strategy."""
+        strategy = resolve_strategy(system, None)
+        lp = exact_load(system).load
+        universe = system.universe
+        singles = [frozenset([server]) for server in universe.elements]
+        loads = restricted_induced_loads(strategy, universe, singles)
+        assert np.all(loads[~np.isnan(loads)] >= lp - 1e-12)
+
+    def test_total_wipeout_yields_nan(self, system):
+        strategy = resolve_strategy(system, None)
+        loads = restricted_induced_loads(
+            strategy, system.universe, [frozenset(system.universe.elements)]
+        )
+        assert np.isnan(loads[0])
+
+    def test_worst_case_grows_with_the_budget(self, system):
+        strategy = resolve_strategy(system, None)
+        b0 = worst_case_induced_load(system, strategy, b=0)
+        b1 = worst_case_induced_load(system, strategy, b=1)
+        b2 = worst_case_induced_load(system, strategy, b=2)
+        assert b0 == pytest.approx(exact_load(system).load)
+        assert b0 <= b1 <= b2 <= 1.0
+
+    def test_worst_case_respects_the_enumeration_limit(self, system):
+        with pytest.raises(ComputationError):
+            worst_case_induced_load(system, b=10, limit=100)
+        with pytest.raises(InvalidParameterError):
+            worst_case_induced_load(system, b=-1)
+
+
+# ----------------------------------------------------------------------
+# Availability and masking checks.
+# ----------------------------------------------------------------------
+class TestAvailabilityAndMasking:
+    def test_availability_brackets_the_analytic_fp(self):
+        system = majority(9)
+        report = availability_conformance(0.1, system, p=0.3, trials=200)
+        upper = report.check("failure-rate-upper")
+        lower = report.check("failure-rate-lower")
+        assert upper.bound == lower.bound  # both anchored at the same Fp
+        assert upper.slack > 0
+
+    def test_availability_flags_an_impossible_rate(self):
+        system = majority(9)
+        report = availability_conformance(0.9, system, p=0.1, trials=10_000)
+        assert not report.ok
+        assert report.check("failure-rate-upper") in report.failures
+
+    def test_masking_on_a_clean_run(self, system):
+        result = run_scenario(
+            system, b=1, num_operations=100, rng=np.random.default_rng(0)
+        )
+        report = masking_conformance(result, b=1)
+        report.require()
+        # A plain (non-adversarial) result carries no rounds, so there is no
+        # byzantine-budget check to make.
+        assert {check.metric for check in report.checks} == {
+            "fabricated-reads",
+            "stale-read-rate",
+        }
+
+    def test_percolation_conformance_end_to_end(self, system):
+        result, report = percolation_conformance(
+            system, p=0.15, phases=120, operations_per_phase=3, seed=5
+        )
+        report.require()
+        assert result.operations == 360
+
+    def test_percolation_conformance_validates_inputs(self, system):
+        with pytest.raises(InvalidParameterError):
+            percolation_conformance(system, p=0.15, operations_per_phase=0)

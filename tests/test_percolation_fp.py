@@ -1,0 +1,105 @@
+"""Correlated-failure scenarios vs the closed-form ``Fp`` and each other.
+
+The dormant percolation lattice becomes a fault model here: each phase of a
+:func:`~repro.simulation.scenarios.percolation_scenario` is one independent
+site-percolation draw (closed vertex = crashed server), so the per-phase
+quorum-survival indicator is exactly a Definition 3.10 trial and the
+observed failure rate must match :func:`~repro.core.analytic.
+analytic_failure_probability` within a binomial envelope.  The
+:func:`~repro.simulation.scenarios.blast_radius_scenario` variant crashes a
+lattice neighbourhood per phase — genuinely correlated (rack/zone) faults
+that the i.i.d. closed form does *not* describe; the test asserts the
+spatial structure instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MGrid, RegularGrid, majority
+from repro.analysis import percolation_conformance
+from repro.exceptions import SimulationError
+from repro.simulation import (
+    blast_radius_scenario,
+    lattice_embedding,
+    percolation_scenario,
+)
+
+SYSTEMS = [
+    pytest.param(lambda: RegularGrid(4), "grid-4", id="grid"),
+    pytest.param(lambda: MGrid(5, 1), "mgrid-5", id="mgrid"),
+    pytest.param(lambda: majority(9), "majority-9", id="majority"),
+]
+
+
+# ----------------------------------------------------------------------
+# Site percolation agrees with the analytic Fp.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("make, label", SYSTEMS)
+@pytest.mark.parametrize("p", [0.15, 0.3])
+def test_percolation_failure_rate_matches_fp(make, label, p):
+    system = make()
+    result, report = percolation_conformance(
+        system, p=p, phases=160, operations_per_phase=3, seed=9
+    )
+    report.require()
+    assert result.operations == 480
+
+
+def test_more_phases_tighten_the_envelope():
+    system = MGrid(5, 1)
+    _, loose = percolation_conformance(system, p=0.2, phases=50, seed=1)
+    _, tight = percolation_conformance(system, p=0.2, phases=400, seed=1)
+    assert (
+        tight.check("failure-rate-upper").slack
+        < loose.check("failure-rate-upper").slack
+    )
+    tight.require()
+
+
+# ----------------------------------------------------------------------
+# The lattice embedding and scenario structure.
+# ----------------------------------------------------------------------
+def test_lattice_embedding_pairs_grid_with_universe():
+    system = MGrid(5, 1)
+    grid, placement = lattice_embedding(system.universe)
+    assert len(placement) == system.universe.size
+    assert set(placement.values()) == set(system.universe.elements)
+    assert sorted(placement) == sorted(grid.vertices())
+
+
+def test_lattice_embedding_rejects_non_square_universes():
+    system = RegularGrid(4)  # n = 16 is square; build a non-square one
+    from repro.core.universe import Universe
+
+    with pytest.raises(SimulationError):
+        lattice_embedding(Universe(range(15)))
+    with pytest.raises(SimulationError):
+        lattice_embedding(Universe(range(1)))  # side 1 < 2
+
+
+def test_percolation_scenario_draws_fresh_faults_per_phase():
+    system = MGrid(5, 1)
+    scenario = percolation_scenario(
+        system.universe, p_closed=0.3, rng=np.random.default_rng(2), phases=12
+    )
+    assert len(scenario.phases) == 12
+    crash_sets = [phase.crashed for phase in scenario.phases]
+    assert len(set(crash_sets)) > 1  # independent draws, not one frozen set
+
+
+def test_blast_radius_crashes_a_connected_neighbourhood():
+    system = MGrid(5, 1)
+    grid, placement = lattice_embedding(system.universe)
+    by_server = {server: vertex for vertex, server in placement.items()}
+    scenario = blast_radius_scenario(
+        system.universe, rng=np.random.default_rng(4), radius=1, phases=6
+    )
+    for phase in scenario.phases:
+        vertices = {by_server[server] for server in phase.crashed}
+        assert 2 <= len(vertices) <= 7  # a radius-1 ball on the 6-neighbour lattice
+        # Spatially correlated: every crashed vertex is within one hop of
+        # some other crashed vertex (connectivity of the ball).
+        for vertex in vertices:
+            assert set(grid.neighbours(vertex)) & vertices
