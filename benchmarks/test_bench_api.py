@@ -17,9 +17,9 @@ from conftest import format_table
 
 from repro import analytic_load, exact_load
 from repro.api import Budget, WorkloadSpec, build, measure, run
-from repro.exceptions import ComputationError
 from repro.core.analytic import analytic_failure_probability
 from repro.core.availability import exact_failure_probability
+from repro.exceptions import ComputationError
 
 #: The small-n dispatch matrix: every registered masking construction at a
 #: size where all three paths are feasible.

@@ -8,8 +8,6 @@ confidence interval on every system tested.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from conftest import format_table
 
@@ -20,8 +18,8 @@ from repro import (
     masking_threshold,
     monte_carlo_failure_probability,
 )
-from repro.core.bounds import crash_probability_lower_bound_for_system
 from repro.constructions.threshold import ThresholdQuorumSystem, boosting_block
+from repro.core.bounds import crash_probability_lower_bound_for_system
 
 
 def test_propositions_4_3_to_4_5(benchmark):

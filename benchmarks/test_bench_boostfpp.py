@@ -7,9 +7,7 @@ two scaling policies discussed after it, and Proposition 6.3 (availability
 
 from __future__ import annotations
 
-import math
 
-import numpy as np
 import pytest
 
 from conftest import format_table

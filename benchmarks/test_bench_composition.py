@@ -8,7 +8,6 @@ and by brute force on the materialised composed system.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from conftest import format_table

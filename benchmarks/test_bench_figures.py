@@ -11,7 +11,6 @@ sample quorum analogous to the shaded quorums in the figures.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import MGrid, MPath, RecursiveThreshold
 from repro.constructions.grid import render_grid_quorum

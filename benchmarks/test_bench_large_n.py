@@ -29,7 +29,6 @@ from conftest import format_table
 from repro import ImplicitQuorumSystem, MGrid, analytic_failure_probability, analytic_load
 from repro.analysis.asymptotics import (
     fit_exponential_decay,
-    fit_power_law,
     section45_comparison,
     sweep,
 )

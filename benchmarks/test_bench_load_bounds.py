@@ -9,7 +9,6 @@ numerical precision.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from conftest import format_table

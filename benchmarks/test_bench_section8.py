@@ -15,7 +15,6 @@ availability, who masks the most, who is the all-round winner).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from conftest import format_table

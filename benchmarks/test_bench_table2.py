@@ -17,7 +17,6 @@ The second benchmark sweeps ``n`` to reproduce the asymptotic column
 
 from __future__ import annotations
 
-import numpy as np
 
 from conftest import format_table
 

@@ -8,7 +8,6 @@ frontier.
 
 from __future__ import annotations
 
-import numpy as np
 
 from conftest import format_table
 

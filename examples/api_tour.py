@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 
+from repro.analysis.empirical import engine_agreement
 from repro.api import (
     Budget,
     SystemSpec,
@@ -32,7 +33,6 @@ from repro.api import (
     run,
     spec_of,
 )
-from repro.analysis.empirical import engine_agreement
 
 
 def main() -> None:

@@ -81,6 +81,7 @@ from repro.exceptions import (
     StrategyError,
 )
 
+# isort: split
 # The facade (imported last: it builds on constructions, core and
 # simulation).  `repro.build` / `repro.measure` / `repro.run_experiment`
 # are the recommended entry points; `repro.api` exposes the full surface.

@@ -32,8 +32,8 @@ from repro.analysis.empirical import (
     empirical_availability_comparison,
     empirical_load_comparison,
 )
-from repro.analysis.tables import TABLE2_SYSTEMS, Table2Row, availability_trend, table2
 from repro.analysis.selector import Recommendation, candidate_constructions, recommend_construction
+from repro.analysis.tables import TABLE2_SYSTEMS, Table2Row, availability_trend, table2
 from repro.analysis.tradeoffs import TradeoffPoint, tradeoff_point, verify_tradeoff
 
 __all__ = [

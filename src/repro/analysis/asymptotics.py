@@ -29,6 +29,7 @@ worked example.
 from __future__ import annotations
 
 import math
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 import numpy as np
@@ -40,6 +41,7 @@ from repro.constructions.recursive_threshold import RecursiveThreshold
 from repro.constructions.threshold import masking_threshold
 from repro.core.analytic import analytic_failure_probability, analytic_load
 from repro.core.bounds import load_lower_bound
+from repro.core.floats import is_zero
 from repro.core.quorum_system import QuorumSystem
 from repro.exceptions import ComputationError
 
@@ -122,7 +124,9 @@ class AsymptoticPoint:
     fp_method: str
 
 
-def sweep(name: str, sizes, *, b: int = 1, p: float = 0.1) -> list[AsymptoticPoint]:
+def sweep(
+    name: str, sizes: Iterable[int], *, b: int = 1, p: float = 0.1
+) -> list[AsymptoticPoint]:
     """Evaluate one family across universe sizes, closed forms only.
 
     Parameters
@@ -182,11 +186,11 @@ def _linear_fit(x: np.ndarray, y: np.ndarray) -> tuple[float, float, float]:
     predicted = slope * x + intercept
     residual = float(((y - predicted) ** 2).sum())
     total = float(((y - y.mean()) ** 2).sum())
-    r_squared = 1.0 if total == 0.0 else 1.0 - residual / total
+    r_squared = 1.0 if is_zero(total) else 1.0 - residual / total
     return float(slope), float(intercept), r_squared
 
 
-def fit_power_law(sizes, values) -> PowerLawFit:
+def fit_power_law(sizes: Iterable[float], values: Iterable[float]) -> PowerLawFit:
     """Fit ``values[i] ~ c * sizes[i]^alpha`` (e.g. measured load vs ``c/sqrt(n)``).
 
     All values must be positive — power laws live in log-log space.  An
@@ -222,7 +226,9 @@ class ExponentialDecayFit:
         return float(np.exp(self.log_prefactor - self.rate * float(n) ** self.size_exponent))
 
 
-def fit_exponential_decay(sizes, values, *, size_exponent: float = 1.0) -> ExponentialDecayFit:
+def fit_exponential_decay(
+    sizes: Iterable[float], values: Iterable[float], *, size_exponent: float = 1.0
+) -> ExponentialDecayFit:
     """Fit ``log values[i] ~ log A - rate * sizes[i]^size_exponent``.
 
     ``size_exponent = 1`` tests plain ``e^(-Omega(n))`` decay (Threshold);
@@ -281,7 +287,7 @@ def _classify_trend(values, *, tolerance: float = 1e-12) -> str:
 
 
 def section45_comparison(
-    sizes=None, *, p: float = 0.1, b: int = 1
+    sizes: Iterable[int] | None = None, *, p: float = 0.1, b: int = 1
 ) -> dict[str, FamilyAsymptotics]:
     """Reproduce the paper's Section 4–5 comparison as data.
 

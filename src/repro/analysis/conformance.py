@@ -40,10 +40,10 @@ What is checked, and why it is sound:
 
 from __future__ import annotations
 
-from itertools import combinations
-from math import comb, sqrt
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
+from itertools import combinations
+from math import comb, sqrt
 
 import numpy as np
 

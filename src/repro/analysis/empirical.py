@@ -36,10 +36,12 @@ analytic reference values above come from the facade's measure dispatcher
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.quorum_system import QuorumSystem
+from repro.core.rng import ensure_rng
 from repro.core.strategy import Strategy
 from repro.exceptions import ComputationError, InvalidParameterError
 from repro.simulation.client import AsyncQuorumClient, QuorumClient, RetryPolicy
@@ -49,6 +51,9 @@ from repro.simulation.faults import FaultInjector, FaultScenario
 from repro.simulation.network import SynchronousNetwork
 from repro.simulation.runner import build_replicas
 from repro.simulation.scenarios import WorkloadScenario
+
+if TYPE_CHECKING:  # circular at runtime: the facade imports this module
+    from repro.api.workloads import WorkloadSpec
 
 __all__ = [
     "EmpiricalAvailabilityComparison",
@@ -300,7 +305,7 @@ class EngineAgreement:
         )
 
 
-def engine_agreement(spec) -> EngineAgreement:
+def engine_agreement(spec: WorkloadSpec) -> EngineAgreement:
     """Run one :class:`~repro.api.workloads.WorkloadSpec` on both engines.
 
     The spec's operation count is rounded up to a multiple of its client
@@ -358,7 +363,7 @@ def empirical_load_comparison(
     """
     from repro.api.measures import measure
 
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = ensure_rng(rng)
     resolved = resolve_strategy(system, strategy)
     analytic = measure(system, "load", method="exact").value
     expected = resolved.induced_system_load(system.universe)
@@ -403,7 +408,7 @@ def empirical_availability_comparison(
 
     if trials <= 0:
         raise InvalidParameterError(f"trials must be positive, got {trials}")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = ensure_rng(rng)
     resolved = resolve_strategy(system, strategy)
     analytic = measure(system, "fp", method="exact", p=p).value
     injector = FaultInjector(system.universe, rng)

@@ -27,6 +27,7 @@ from repro.constructions.recursive_threshold import RecursiveThreshold
 from repro.constructions.threshold import masking_threshold
 from repro.constructions.tree import TreeQuorumSystem
 from repro.constructions.wheel import WheelQuorumSystem
+from repro.core.rng import ensure_rng
 from repro.exceptions import ConstructionError
 from repro.gf.prime_field import factor_prime_power
 
@@ -161,7 +162,7 @@ def recommend_construction(
         raise ConstructionError(f"required_b must be >= 0, got {required_b}")
     if n < 4:
         raise ConstructionError(f"need at least 4 servers, got {n}")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = ensure_rng(rng)
 
     feasible: list[SystemProfile] = []
     rejected: list[SystemProfile] = []

@@ -23,6 +23,7 @@ from repro.constructions.mpath import MPath
 from repro.constructions.recursive_threshold import RecursiveThreshold
 from repro.constructions.threshold import masking_threshold
 from repro.core.bounds import load_lower_bound
+from repro.core.rng import ensure_rng
 from repro.exceptions import ConstructionError
 
 __all__ = ["Table2Row", "table2", "TABLE2_SYSTEMS", "availability_trend"]
@@ -170,7 +171,7 @@ def table2(
     side = math.isqrt(n)
     if side * side != n:
         raise ConstructionError(f"Table 2 reproduction expects a perfect-square n; got {n}")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = ensure_rng(rng)
     rows: list[Table2Row] = []
 
     # Threshold [MR98a].
@@ -335,7 +336,7 @@ def availability_trend(
     >>> [f"{value:.8f}" for value in availability_trend("RT(4,3)", [16, 64], 0.1)]
     ['0.01528974', '0.00137423']
     """
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = ensure_rng(rng)
     values: list[float] = []
     for n in sizes:
         side = math.isqrt(n)

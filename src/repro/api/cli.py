@@ -11,7 +11,10 @@ workload runs are reproducible without writing Python:
   one workload experiment through the unified runner
   (:mod:`repro.api.workloads`);
 * ``python -m repro table`` / ``python -m repro compare grid mgrid rt ...``
-  — the Section 8 comparison and ad-hoc multi-construction comparisons.
+  — the Section 8 comparison and ad-hoc multi-construction comparisons;
+* ``python -m repro lint [--json]`` — the AST invariant linter and strict
+  typing gate (:mod:`repro.lint`), machine-checking the code-level
+  contracts the reproduction relies on.
 
 ``--json`` switches every command to a machine-readable, schema-stable
 payload on stdout.  Argument errors exit with status 2 and a one-line
@@ -24,17 +27,23 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
 
 from repro.api.measures import Budget, available_measures, measure
 from repro.api.registry import available_constructions, build, get_entry
 from repro.api.scenarios import available_scenarios
 from repro.api.workloads import WorkloadSpec, run
+from repro.core.floats import is_zero
 from repro.exceptions import (
     ComputationError,
     ConstructionError,
     InvalidParameterError,
     ReproError,
 )
+
+if TYPE_CHECKING:
+    from repro.simulation.traces import TraceScenario
 
 __all__ = ["main"]
 
@@ -82,7 +91,7 @@ def _budget_from(args: argparse.Namespace) -> Budget:
     return Budget(**kwargs)
 
 
-def _emit(payload, as_json: bool, human) -> None:
+def _emit(payload: Any, as_json: bool, human: Callable[[Any], None]) -> None:
     if as_json:
         print(json.dumps(payload, indent=2, sort_keys=False))
     else:
@@ -113,7 +122,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "scenarios": available_scenarios(),
     }
 
-    def human(data):
+    def human(data: Any) -> None:
         print("constructions:")
         for name, info in data["constructions"].items():
             required = ", ".join(
@@ -142,16 +151,13 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     )
     payload = result.to_dict()
 
-    def human(data):
-        bound = (
-            ""
-            if data["error_bound"] == 0.0
-            else (
-                "  (bound only)"
-                if data["error_bound"] is None
-                else f"  ± {data['error_bound']:.3g}"
-            )
-        )
+    def human(data: Any) -> None:
+        if data["error_bound"] is None:
+            bound = "  (bound only)"
+        elif is_zero(data["error_bound"]):
+            bound = ""
+        else:
+            bound = f"  ± {data['error_bound']:.3g}"
         at_p = f" at p={data['p']}" if "p" in data else ""
         print(
             f"{data['system']}  (n={data['n']})\n"
@@ -163,7 +169,7 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_trace(path: str):
+def _load_trace(path: str) -> "TraceScenario":
     """Load a ``--trace`` JSON file into a TraceScenario."""
     from pathlib import Path
 
@@ -209,7 +215,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     report = run(spec, engine=args.engine)
     payload = report.to_dict()
 
-    def human(data):
+    def human(data: Any) -> None:
         print(f"{data['system']}  (n={data['n']}, b={data['b']})")
         print(
             f"  engine={data['engine']}  scenario={data['scenario']}  "
@@ -240,6 +246,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import main as lint_main
+
+    return lint_main(list(args.lint_args))
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     from repro.analysis.comparison import section8_comparison
 
@@ -264,7 +276,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
         for profile in profiles
     ]
 
-    def human(rows):
+    def human(rows: Any) -> None:
         print(f"Section 8 comparison at n≈{args.n}, p={args.p}")
         print(f"{'system':28s} {'n':>6s} {'b':>4s} {'f':>4s} {'L(Q)':>8s} {'Fp':>12s}  kind")
         for row in rows:
@@ -290,7 +302,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             if key in known or (key == "n" and entry.accepts_n_alias)
         }
         system = build(name, **params)  # one build shared by every measure
-        row: dict = {"construction": name}
+        row: dict[str, object] = {"construction": name}
         load = measure(system, "load", method=args.method, budget=budget)
         row["system"] = load.system
         row["n"] = load.n
@@ -303,7 +315,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         row["resilience"] = measure(system, "resilience", budget=budget).value
         rows.append(row)
 
-    def human(data):
+    def human(data: Any) -> None:
         has_fp = args.p is not None
         header = f"{'construction':15s} {'n':>6s} {'b':>4s} {'f':>4s} {'L(Q)':>9s}"
         if has_fp:
@@ -408,6 +420,14 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_param_flags(run_parser)
     run_parser.set_defaults(handler=_cmd_run)
 
+    lint_parser = commands.add_parser(
+        "lint",
+        help="run the AST invariant linter and strict typing gate (repro.lint)",
+        add_help=False,
+    )
+    lint_parser.add_argument("lint_args", nargs=argparse.REMAINDER)
+    lint_parser.set_defaults(handler=_cmd_lint)
+
     table_parser = commands.add_parser(
         "table", help="the Section 8 comparison table at a given n and p"
     )
@@ -440,8 +460,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit status."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "lint":
+        # Hand the whole tail to the linter's own parser before argparse sees
+        # it: nargs=REMAINDER does not reliably swallow leading option flags
+        # (``lint --json`` would error at the top level otherwise).
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(arguments[1:])
     parser = _build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     try:
         return args.handler(args)
     except (InvalidParameterError, ConstructionError) as exc:

@@ -166,7 +166,9 @@ class MeasureResult:
         return payload
 
 
-def _resolve_system(system_or_spec, params: dict) -> QuorumSystem:
+def _resolve_system(
+    system_or_spec: QuorumSystem | SystemSpec | str, params: dict
+) -> QuorumSystem:
     if isinstance(system_or_spec, QuorumSystem):
         if params:
             raise InvalidParameterError(
@@ -202,11 +204,15 @@ def _enumerable_within(system: QuorumSystem, budget: Budget) -> bool:
         return False
 
 
+#: (value, method_used, error_bound, details) — the shape every path returns.
+_Outcome = tuple[float, str, float, dict[str, object]]
+
+
 # ----------------------------------------------------------------------
 # Per-measure paths.  Each returns (value, method_used, error_bound, details)
 # or raises ComputationError when the path cannot run.
 # ----------------------------------------------------------------------
-def _load_exact(system: QuorumSystem, budget: Budget):
+def _load_exact(system: QuorumSystem, budget: Budget) -> _Outcome:
     base = _base_of(system)
     if not _enumerable_within(base, budget):
         raise ComputationError(
@@ -217,12 +223,12 @@ def _load_exact(system: QuorumSystem, budget: Budget):
     return float(result.load), "lp", 0.0, {"lp_method": result.method}
 
 
-def _load_analytic(system: QuorumSystem, budget: Budget):
+def _load_analytic(system: QuorumSystem, budget: Budget) -> _Outcome:
     result = analytic_mod.analytic_load(_base_of(system))
     return float(result.load), result.method, 0.0, {}
 
 
-def _load_sampled(system: QuorumSystem, budget: Budget):
+def _load_sampled(system: QuorumSystem, budget: Budget) -> _Outcome:
     if isinstance(system, ImplicitQuorumSystem):
         implicit = system
     else:
@@ -239,7 +245,7 @@ def _load_sampled(system: QuorumSystem, budget: Budget):
     )
 
 
-def _fp_exact(system: QuorumSystem, p: float, budget: Budget):
+def _fp_exact(system: QuorumSystem, p: float, budget: Budget) -> _Outcome:
     base = _base_of(system)
     if base.n > budget.max_universe:
         raise ComputationError(
@@ -252,10 +258,10 @@ def _fp_exact(system: QuorumSystem, p: float, budget: Budget):
     return float(result.value), "enumeration", 0.0, {}
 
 
-def _fp_analytic(system: QuorumSystem, p: float, budget: Budget):
+def _fp_analytic(system: QuorumSystem, p: float, budget: Budget) -> _Outcome:
     result = analytic_mod.analytic_failure_probability(_base_of(system), p)
     error_bound = 0.0 if result.method == "analytic" else float("inf")
-    details = {}
+    details: dict[str, object] = {}
     if result.method == "analytic-straight-lines":
         details["kind"] = "upper-bound (exact for the straight-line family)"
     elif result.method == "analytic-bound":
@@ -265,7 +271,7 @@ def _fp_analytic(system: QuorumSystem, p: float, budget: Budget):
     return float(result.value), result.method, error_bound, details
 
 
-def _fp_sampled(system: QuorumSystem, p: float, budget: Budget):
+def _fp_sampled(system: QuorumSystem, p: float, budget: Budget) -> _Outcome:
     base = _base_of(system)
     rng = np.random.default_rng(budget.seed)
     estimator = getattr(base, "crash_probability", None)
@@ -308,7 +314,7 @@ def _fp_sampled(system: QuorumSystem, p: float, budget: Budget):
     )
 
 
-def _combinatorial(system: QuorumSystem, measure_name: str, budget: Budget):
+def _combinatorial(system: QuorumSystem, measure_name: str, budget: Budget) -> _Outcome:
     """c / IS / MT / f / b — closed form when the construction has one,
     else enumeration within the budget."""
     base = _base_of(system)
@@ -324,13 +330,13 @@ def _combinatorial(system: QuorumSystem, measure_name: str, budget: Budget):
 
 
 def measure(
-    system_or_spec,
+    system_or_spec: QuorumSystem | SystemSpec | str,
     measure_name: str = "load",
     *,
     method: str = "auto",
     p: float | None = None,
     budget: Budget | None = None,
-    **params,
+    **params: object,
 ) -> MeasureResult:
     """Compute one of the paper's measures through the dispatch policy.
 
@@ -421,7 +427,7 @@ def measure(
     )
 
 
-def _dispatch(paths: dict, method: str, system: QuorumSystem, budget: Budget):
+def _dispatch(paths: dict, method: str, system: QuorumSystem, budget: Budget) -> _Outcome:
     """Run the requested path, or the ``auto`` order analytic → exact → sampled."""
     if method != "auto":
         return paths[method](system, budget)

@@ -77,7 +77,7 @@ class ParamSpec:
     default: object = None
     doc: str = ""
 
-    def coerce(self, value):
+    def coerce(self, value: object) -> object:
         """Coerce/validate one user-supplied value to the declared type."""
         if self.type is int:
             if isinstance(value, bool) or not isinstance(value, (int, float)):
@@ -275,7 +275,7 @@ def get_entry(name: str) -> ConstructionEntry:
         ) from None
 
 
-def build(spec: SystemSpec | str, /, **params) -> QuorumSystem:
+def build(spec: SystemSpec | str, /, **params: object) -> QuorumSystem:
     """Build a quorum system from a registry name or a :class:`SystemSpec`.
 
     ``build("mgrid", n=49, b=3)`` and
@@ -344,7 +344,9 @@ def _threshold_params(system: ThresholdQuorumSystem) -> dict:
     return {"n": n, "k": k}
 
 
-def _make_threshold(n: int, b: int | None = None, k: int | None = None):
+def _make_threshold(
+    n: int, b: int | None = None, k: int | None = None
+) -> ThresholdQuorumSystem:
     if n < 1:
         raise InvalidParameterError(f"universe size must be >= 1, got {n}")
     if b is not None and k is not None:

@@ -35,6 +35,7 @@ from repro.simulation.faults import FaultInjector
 from repro.simulation.scenarios import (
     TimingScenario,
     WorkloadScenario,
+    _failure_domains,
     blast_radius_scenario,
     byzantine_scenario,
     churn_scenario,
@@ -47,15 +48,18 @@ from repro.simulation.scenarios import (
     percolation_scenario,
     slow_server_scenario,
 )
-from repro.simulation.scenarios import _failure_domains
 from repro.simulation.traces import TraceScenario
 
 __all__ = ["available_scenarios", "build_scenario", "is_timed"]
 
-Builder = Callable[[Universe, int, np.random.Generator], object]
+#: Everything the catalogue can hand back: untimed workloads, timed/event
+#: scenarios, adaptive adversaries and replayed traces.
+AnyScenario = WorkloadScenario | TimingScenario | AdaptiveScenario | TraceScenario
+
+Builder = Callable[[Universe, int, np.random.Generator], AnyScenario]
 
 
-def _crash(universe: Universe, b: int, rng: np.random.Generator):
+def _crash(universe: Universe, b: int, rng: np.random.Generator) -> AnyScenario:
     """A deterministic static crash of the first quarter of the universe."""
     elements = universe.elements
     return crash_scenario(
@@ -63,14 +67,14 @@ def _crash(universe: Universe, b: int, rng: np.random.Generator):
     )
 
 
-def _iid_crash(universe: Universe, b: int, rng: np.random.Generator):
+def _iid_crash(universe: Universe, b: int, rng: np.random.Generator) -> AnyScenario:
     injector = FaultInjector(universe, rng)
     return WorkloadScenario.from_fault_scenario(
         injector.independent_crashes(0.1), name="iid-crash"
     )
 
 
-def _byzantine(universe: Universe, b: int, rng: np.random.Generator):
+def _byzantine(universe: Universe, b: int, rng: np.random.Generator) -> AnyScenario:
     if b < 1:
         raise InvalidParameterError(
             "the 'byzantine' scenario needs a masking parameter b >= 1"
@@ -80,7 +84,7 @@ def _byzantine(universe: Universe, b: int, rng: np.random.Generator):
     return byzantine_scenario(universe, byz, model="fabricate", name="byzantine")
 
 
-def _equivocate(universe: Universe, b: int, rng: np.random.Generator):
+def _equivocate(universe: Universe, b: int, rng: np.random.Generator) -> AnyScenario:
     if b < 1:
         raise InvalidParameterError(
             "the 'equivocate' scenario needs a masking parameter b >= 1"
@@ -90,20 +94,20 @@ def _equivocate(universe: Universe, b: int, rng: np.random.Generator):
     return byzantine_scenario(universe, byz, model="equivocate", name="equivocate")
 
 
-def _rack_failure(universe: Universe, b: int, rng: np.random.Generator):
+def _rack_failure(universe: Universe, b: int, rng: np.random.Generator) -> AnyScenario:
     return correlated_failure_scenario(
         universe, _failure_domains(universe), [0], name="rack-failure"
     )
 
 
-def _partition(universe: Universe, b: int, rng: np.random.Generator):
+def _partition(universe: Universe, b: int, rng: np.random.Generator) -> AnyScenario:
     elements = universe.elements
     return partition_scenario(
         universe, elements[: max(1, (3 * universe.size) // 4)], name="partition"
     )
 
 
-def _churn(universe: Universe, b: int, rng: np.random.Generator):
+def _churn(universe: Universe, b: int, rng: np.random.Generator) -> AnyScenario:
     elements = universe.elements
     third = max(1, universe.size // 3)
     return churn_scenario(
@@ -117,17 +121,17 @@ def _churn(universe: Universe, b: int, rng: np.random.Generator):
     )
 
 
-def _slow_servers(universe: Universe, b: int, rng: np.random.Generator):
+def _slow_servers(universe: Universe, b: int, rng: np.random.Generator) -> AnyScenario:
     slow_count = max(1, universe.size // 10)
     slow_map = {server: 4.0 for server in universe.elements[:slow_count]}
     return slow_server_scenario(universe, slow_map)
 
 
-def _flaky_links(universe: Universe, b: int, rng: np.random.Generator):
+def _flaky_links(universe: Universe, b: int, rng: np.random.Generator) -> AnyScenario:
     return flaky_links_scenario()
 
 
-def _crash_recover(universe: Universe, b: int, rng: np.random.Generator):
+def _crash_recover(universe: Universe, b: int, rng: np.random.Generator) -> AnyScenario:
     elements = universe.elements
     return crash_recover_scenario(
         universe,
@@ -137,11 +141,11 @@ def _crash_recover(universe: Universe, b: int, rng: np.random.Generator):
     )
 
 
-def _adaptive_load(universe: Universe, b: int, rng: np.random.Generator):
+def _adaptive_load(universe: Universe, b: int, rng: np.random.Generator) -> AnyScenario:
     return AdaptiveScenario(name="adaptive-load", policy=GreedyLoadAdversary(), rounds=8)
 
 
-def _adaptive_stale(universe: Universe, b: int, rng: np.random.Generator):
+def _adaptive_stale(universe: Universe, b: int, rng: np.random.Generator) -> AnyScenario:
     if b < 1:
         raise InvalidParameterError(
             "the 'adaptive-stale' scenario needs a masking parameter b >= 1"
@@ -158,17 +162,17 @@ def _require_square(universe: Universe, name: str) -> None:
         )
 
 
-def _percolation(universe: Universe, b: int, rng: np.random.Generator):
+def _percolation(universe: Universe, b: int, rng: np.random.Generator) -> AnyScenario:
     _require_square(universe, "percolation")
     return percolation_scenario(universe, p_closed=0.15, rng=rng, phases=8)
 
 
-def _blast_radius(universe: Universe, b: int, rng: np.random.Generator):
+def _blast_radius(universe: Universe, b: int, rng: np.random.Generator) -> AnyScenario:
     _require_square(universe, "blast-radius")
     return blast_radius_scenario(universe, rng=rng, radius=1, phases=6)
 
 
-def _diurnal(universe: Universe, b: int, rng: np.random.Generator):
+def _diurnal(universe: Universe, b: int, rng: np.random.Generator) -> AnyScenario:
     return TraceScenario(name="diurnal", period=120.0, peak_ratio=4.0, skew=1.1)
 
 
@@ -218,7 +222,7 @@ def available_scenarios() -> dict[str, str]:
     return {name: doc for name, (_, _, doc) in sorted(_CATALOGUE.items())}
 
 
-def is_timed(scenario) -> bool:
+def is_timed(scenario: str | AnyScenario) -> bool:
     """Whether a scenario (name or object) needs the event engine's clock."""
     if isinstance(scenario, str):
         if scenario not in _CATALOGUE:
@@ -232,7 +236,7 @@ def is_timed(scenario) -> bool:
 
 def build_scenario(
     name: str, universe: Universe, *, b: int, rng: np.random.Generator
-):
+) -> AnyScenario:
     """Instantiate a catalogue scenario over the given universe.
 
     Raises

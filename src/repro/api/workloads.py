@@ -204,7 +204,7 @@ class WorkloadReport:
         return {key: getattr(self, key) for key in self.SCHEMA}
 
 
-def _scenario_label(scenario) -> str:
+def _scenario_label(scenario: object) -> str:
     if scenario is None:
         return "fault-free"
     if isinstance(scenario, str):
@@ -213,7 +213,7 @@ def _scenario_label(scenario) -> str:
     return name if name else type(scenario).__name__
 
 
-def _strategy_label(strategy) -> str:
+def _strategy_label(strategy: object) -> str:
     if strategy is None:
         return "default"
     if isinstance(strategy, str):
@@ -269,7 +269,9 @@ def _maybe_sampled(spec: WorkloadSpec, system: QuorumSystem) -> tuple[QuorumSyst
     return implicit, True
 
 
-def _resolve_scenario(spec: WorkloadSpec, system: QuorumSystem, b: int):
+def _resolve_scenario(
+    spec: WorkloadSpec, system: QuorumSystem, b: int
+) -> WorkloadScenario | TimingScenario | FaultScenario | AdaptiveScenario | TraceScenario:
     scenario = spec.scenario
     if scenario is None:
         scenario = "fault-free"
@@ -289,7 +291,7 @@ def _resolve_scenario(spec: WorkloadSpec, system: QuorumSystem, b: int):
     )
 
 
-def _pick_engine(engine: str, scenario) -> str:
+def _pick_engine(engine: str, scenario: object) -> str:
     if engine not in ENGINES:
         raise InvalidParameterError(
             f"unknown engine {engine!r}; choose one of {', '.join(ENGINES)}"
@@ -311,7 +313,9 @@ def _pick_engine(engine: str, scenario) -> str:
     return engine
 
 
-def _event_scenario(scenario):
+def _event_scenario(
+    scenario: object,
+) -> tuple[TimingScenario | FaultScenario, str | None]:
     """Translate an untimed scenario for the event engine.
 
     Single-phase :class:`WorkloadScenario` unwraps to its fault state (plus

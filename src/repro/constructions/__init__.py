@@ -12,14 +12,14 @@ from repro.constructions.grid import MaskingGrid, RegularGrid, grid_side_for, re
 from repro.constructions.mgrid import MGrid
 from repro.constructions.mpath import MPath
 from repro.constructions.recursive_threshold import RecursiveThreshold
-from repro.constructions.tree import TreeQuorumSystem
-from repro.constructions.wheel import WheelQuorumSystem
 from repro.constructions.threshold import (
     ThresholdQuorumSystem,
     boosting_block,
     majority,
     masking_threshold,
 )
+from repro.constructions.tree import TreeQuorumSystem
+from repro.constructions.wheel import WheelQuorumSystem
 
 __all__ = [
     "BoostedFPP",

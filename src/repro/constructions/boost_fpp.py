@@ -29,11 +29,11 @@ from __future__ import annotations
 
 import math
 
-from repro.core.composition import ComposedQuorumSystem
-from repro.core.quorum_system import QuorumSystem
-from repro.exceptions import ComputationError, ConstructionError, InvalidParameterError
 from repro.constructions.fpp import FiniteProjectivePlane
 from repro.constructions.threshold import ThresholdQuorumSystem, boosting_block
+from repro.core.composition import ComposedQuorumSystem
+from repro.core.quorum_system import QuorumSystem
+from repro.exceptions import ConstructionError, InvalidParameterError
 
 __all__ = ["BoostedFPP", "boost_masking"]
 

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.core.quorum_system import QuorumSystem
 from repro.core.universe import Universe
-from repro.exceptions import ComputationError, InvalidParameterError
+from repro.exceptions import InvalidParameterError
 from repro.gf.projective_plane import ProjectivePlane, projective_plane
 
 __all__ = ["FiniteProjectivePlane"]

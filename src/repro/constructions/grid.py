@@ -24,8 +24,9 @@ import numpy as np
 
 from repro.core import bitset
 from repro.core.quorum_system import QuorumSystem
+from repro.core.rng import ensure_rng
 from repro.core.universe import Universe
-from repro.exceptions import ComputationError, ConstructionError, InvalidParameterError
+from repro.exceptions import ConstructionError, InvalidParameterError
 
 __all__ = ["RegularGrid", "MaskingGrid", "grid_side_for", "render_grid_quorum"]
 
@@ -140,7 +141,7 @@ class RegularGrid(QuorumSystem):
         column are completely alive (that row plus that column is an untouched quorum)."""
         if not 0.0 <= p <= 1.0:
             raise InvalidParameterError(f"crash probability must lie in [0, 1], got {p}")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = ensure_rng(rng)
         crashed = rng.random((trials, self.side, self.side)) < p
         alive_rows = (~crashed).all(axis=2).any(axis=1)
         alive_columns = (~crashed).all(axis=1).any(axis=1)
@@ -259,7 +260,7 @@ class MaskingGrid(QuorumSystem):
         """
         if not 0.0 <= p <= 1.0:
             raise InvalidParameterError(f"crash probability must lie in [0, 1], got {p}")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = ensure_rng(rng)
         crashed = rng.random((trials, self.side, self.side)) < p
         alive_rows = (~crashed).all(axis=2).sum(axis=1)
         alive_column_exists = (~crashed).all(axis=1).any(axis=1)

@@ -16,11 +16,12 @@ from collections.abc import Iterator
 
 import numpy as np
 
+from repro.constructions.grid import _column_mask, _row_mask
 from repro.core import bitset
 from repro.core.quorum_system import QuorumSystem
+from repro.core.rng import ensure_rng
 from repro.core.universe import Universe
-from repro.constructions.grid import _column_mask, _row_mask
-from repro.exceptions import ComputationError, ConstructionError, InvalidParameterError
+from repro.exceptions import ConstructionError, InvalidParameterError
 
 __all__ = ["MGrid"]
 
@@ -175,7 +176,7 @@ class MGrid(QuorumSystem):
         """
         if not 0.0 <= p <= 1.0:
             raise InvalidParameterError(f"crash probability must lie in [0, 1], got {p}")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = ensure_rng(rng)
         crashed = rng.random((trials, self.side, self.side)) < p
         alive_rows = (~crashed).all(axis=2).sum(axis=1)
         alive_columns = (~crashed).all(axis=1).sum(axis=1)

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core import bitset
 from repro.core.quorum_system import ExplicitQuorumSystem, QuorumSystem
+from repro.core.rng import ensure_rng
 from repro.core.universe import Universe
 from repro.exceptions import ComputationError, ConstructionError, InvalidParameterError
 from repro.percolation.lattice import TriangularGrid
@@ -246,7 +247,7 @@ class MPath(QuorumSystem):
             raise InvalidParameterError(f"crash probability must lie in [0, 1], got {p}")
         if trials <= 0:
             raise InvalidParameterError(f"trials must be positive, got {trials}")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = ensure_rng(rng)
         failures = 0
         for _ in range(trials):
             open_vertices = sample_open_vertices(self.grid, p, rng)

@@ -29,7 +29,7 @@ from scipy import stats
 from repro.core import bitset
 from repro.core.quorum_system import QuorumSystem
 from repro.core.universe import Universe
-from repro.exceptions import ComputationError, ConstructionError, InvalidParameterError
+from repro.exceptions import ConstructionError, InvalidParameterError
 from repro.percolation.critical import fixed_point_of_reliability
 
 __all__ = ["RecursiveThreshold"]

@@ -5,7 +5,6 @@ abstraction, the load and availability measures, the lower bounds on both,
 and quorum composition.
 """
 
-from repro.core.bitset import BitsetEngine, mask_of, mask_to_frozenset, masks_of
 from repro.core.analytic import (
     analytic_failure_probability,
     analytic_load,
@@ -20,6 +19,7 @@ from repro.core.availability import (
     is_condorcet_sequence,
     monte_carlo_failure_probability,
 )
+from repro.core.bitset import BitsetEngine, mask_of, mask_to_frozenset, masks_of
 from repro.core.bounds import (
     crash_probability_lower_bound,
     crash_probability_lower_bound_for_system,

@@ -46,6 +46,9 @@ theorem to its implementing function.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
 import numpy as np
 from scipy import stats
 
@@ -57,6 +60,9 @@ from repro.core.availability import (
 from repro.core.load import LoadResult
 from repro.core.quorum_system import QuorumSystem
 from repro.exceptions import ComputationError, InvalidParameterError
+
+if TYPE_CHECKING:
+    from repro.core.composition import ComposedQuorumSystem
 
 __all__ = [
     "analytic_load",
@@ -170,7 +176,7 @@ def rowcol_survival_probability(
     return float(min(1.0, max(0.0, dp[min_rows:, min_cols:].sum())))
 
 
-def crumbling_wall_failure_probability(row_widths, p: float) -> float:
+def crumbling_wall_failure_probability(row_widths: Sequence[int], p: float) -> float:
     """Exact ``Fp`` of a crumbling wall by per-row products.
 
     A wall quorum is one full row plus a representative from every row below
@@ -293,7 +299,7 @@ def analytic_failure_probability(
 
 
 def _composed_failure_probability(
-    system, p: float, *, max_universe: int, max_quorums: int
+    system: "ComposedQuorumSystem", p: float, *, max_universe: int, max_quorums: int
 ) -> AvailabilityResult:
     """Exact modular decomposition ``Fp(S∘R) = Fp_S(Fp_R(p))`` (Theorem 4.7 setting).
 

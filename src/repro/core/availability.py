@@ -36,6 +36,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.quorum_system import QuorumSystem
+from repro.core.rng import ensure_rng
 from repro.exceptions import ComputationError, InvalidParameterError
 
 __all__ = [
@@ -192,7 +193,7 @@ def monte_carlo_failure_probability(
     p = _validate_probability(p)
     if trials <= 0:
         raise InvalidParameterError(f"trials must be positive, got {trials}")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = ensure_rng(rng)
     engine = system.bitset_engine()
 
     failures = 0

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 
+from repro.core.floats import is_zero
 from repro.core.quorum_system import QuorumSystem
 from repro.exceptions import ComputationError, InvalidParameterError
 
@@ -159,6 +160,6 @@ def load_optimality_ratio(n: int, b: int, achieved_load: float) -> float:
     by a constant as ``n`` grows.
     """
     bound = load_lower_bound(n, b)
-    if bound == 0.0:
+    if is_zero(bound):
         raise ComputationError("degenerate lower bound of zero")
     return achieved_load / bound

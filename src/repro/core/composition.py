@@ -30,8 +30,8 @@ See ``docs/notation.md`` for the notation glossary.
 from __future__ import annotations
 
 import itertools
-import math
 from collections.abc import Hashable, Iterator
+from typing import Any
 
 import numpy as np
 
@@ -186,7 +186,7 @@ class ComposedQuorumSystem(QuorumSystem):
         inner_load = load_mod.best_known_load(self._inner).load
         return outer_load * inner_load
 
-    def crash_probability(self, p: float, **kwargs) -> float:
+    def crash_probability(self, p: float, **kwargs: Any) -> float:
         """Return ``Fp(S∘R) = s(r(p))`` (modular decomposition of reliability)."""
         inner_value = availability_mod.failure_probability(self._inner, p, **kwargs).value
         return availability_mod.failure_probability(self._outer, inner_value, **kwargs).value

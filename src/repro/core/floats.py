@@ -1,0 +1,32 @@
+"""Float comparison helpers at the library's declared ``1e-9`` tolerance.
+
+The analytic closed forms and the exact enumeration/LP engines agree to
+``1e-9``, not exactly (:mod:`repro.core.analytic` cross-validation), so an
+exact ``==`` between computed floats promises a tolerance of zero that no
+measure path provides.  Lint rule R4 bans ``==``/``!=`` against float
+expressions in ``src/repro``; these helpers are the sanctioned replacement
+and the single definition of the tolerance.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TOLERANCE", "is_zero", "isclose"]
+
+#: The library-wide absolute comparison slack: the cross-validation bound of
+#: the analytic layer and the probability-sum tolerance of strategies.
+TOLERANCE: float = 1e-9
+
+
+def isclose(a: float, b: float, *, tol: float = TOLERANCE) -> bool:
+    """Return whether ``a`` and ``b`` agree within absolute ``tol``.
+
+    Absolute (not relative) comparison on purpose: the compared quantities
+    are probabilities and loads in ``[0, 1]``, where the paper-bound
+    cross-validations are stated as absolute ``1e-9`` envelopes.
+    """
+    return abs(a - b) <= tol
+
+
+def is_zero(value: float, *, tol: float = TOLERANCE) -> bool:
+    """Return whether ``value`` is zero within absolute ``tol``."""
+    return abs(value) <= tol

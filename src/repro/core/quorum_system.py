@@ -41,6 +41,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections.abc import Hashable, Iterable, Iterator
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -49,6 +50,9 @@ from repro.core import transversal as transversal_mod
 from repro.core.bitset import BitsetEngine
 from repro.core.universe import Universe
 from repro.exceptions import ComputationError, InvalidQuorumSystemError
+
+if TYPE_CHECKING:  # circular at runtime: strategy imports this module
+    from repro.core.strategy import Strategy
 
 __all__ = ["QuorumSystem", "ExplicitQuorumSystem", "ImplicitQuorumSystem"]
 
@@ -579,7 +583,7 @@ class ImplicitQuorumSystem(QuorumSystem):
             self._quorum_cache = cached
         return cached
 
-    def support_strategy(self):
+    def support_strategy(self) -> "Strategy":
         """Return the empirical access strategy over the frozen sample.
 
         Each sampled mask is weighted by its multiplicity, so the strategy
@@ -595,7 +599,7 @@ class ImplicitQuorumSystem(QuorumSystem):
             self.universe, tuple(counts), tuple(counts.values()), normalise=True
         )
 
-    def sampled_optimal_strategy(self):
+    def sampled_optimal_strategy(self) -> "Strategy":
         """Return the load-LP-optimal strategy *over the frozen sample*.
 
         The plain :meth:`support_strategy` inherits the sampling noise of the
@@ -685,7 +689,7 @@ class ImplicitQuorumSystem(QuorumSystem):
             )
         return float(analytic())
 
-    def crash_probability(self, p: float, **kwargs) -> float:
+    def crash_probability(self, p: float, **kwargs: object) -> float:
         """The closed-form ``Fp`` of the base construction, at any ``n``.
 
         Routed through

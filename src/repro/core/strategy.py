@@ -12,7 +12,7 @@ See ``docs/notation.md`` for the notation glossary (w, l_w(u), L(Q)).
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Iterable, Mapping
+from collections.abc import Hashable, ItemsView, Iterable, Mapping
 
 import numpy as np
 
@@ -102,7 +102,7 @@ class Strategy:
     @classmethod
     def uniform_over_system(cls, system: QuorumSystem) -> "Strategy":
         """Return the uniform strategy over all quorums of ``system``."""
-        return cls.uniform(system.quorums())
+        return cls.uniform(system.quorums())  # repro-lint: disable=R2 -- constructor cold path; the frozenset family is the documented input surface here
 
     @classmethod
     def from_vector(
@@ -117,7 +117,7 @@ class Strategy:
         (previously the negatives were silently dropped and their mass
         redistributed over the remaining quorums).
         """
-        quorum_list = system.quorums()
+        quorum_list = system.quorums()  # repro-lint: disable=R2 -- constructor cold path; the weight vector is aligned with the frozenset enumeration by contract
         vector = np.asarray(vector, dtype=float)
         if vector.ndim != 1 or len(vector) != len(quorum_list):
             raise StrategyError(
@@ -204,7 +204,7 @@ class Strategy:
         """Return the probability assigned to ``quorum`` (0 if unsupported)."""
         return self._weights.get(frozenset(quorum), 0.0)
 
-    def items(self):
+    def items(self) -> ItemsView[frozenset, float]:
         """Iterate over ``(quorum, probability)`` pairs."""
         return self._weights.items()
 
@@ -216,7 +216,7 @@ class Strategy:
         StrategyError
             If some supported set is not among the system's quorums.
         """
-        quorum_set = set(system.quorums())
+        quorum_set = set(system.quorums())  # repro-lint: disable=R2 -- one-off validation cold path, never on the sampling route
         for quorum in self._weights:
             if quorum not in quorum_set:
                 raise StrategyError(
@@ -272,7 +272,9 @@ class Strategy:
         """Draw one quorum according to the strategy."""
         return self._support_tuple[self.sample_index(rng)]
 
-    def sample_many(self, rng: np.random.Generator, size) -> np.ndarray:
+    def sample_many(
+        self, rng: np.random.Generator, size: int | tuple[int, ...]
+    ) -> np.ndarray:
         """Draw a batch of support indices according to the strategy.
 
         Parameters

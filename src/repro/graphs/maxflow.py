@@ -12,6 +12,8 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Hashable
 
+from repro.exceptions import InvalidParameterError
+
 __all__ = ["FlowNetwork"]
 
 
@@ -50,7 +52,7 @@ class FlowNetwork:
     def add_edge(self, source: Hashable, target: Hashable, capacity: int) -> None:
         """Add a directed edge with the given integer capacity."""
         if capacity < 0:
-            raise ValueError(f"capacity must be non-negative, got {capacity}")
+            raise InvalidParameterError(f"capacity must be non-negative, got {capacity}")
         u = self._node_index(source)
         v = self._node_index(target)
         self._adjacency[u].append(len(self._to))
@@ -111,7 +113,7 @@ class FlowNetwork:
         source_index = self._index[source]
         sink_index = self._index[sink]
         if source_index == sink_index:
-            raise ValueError("source and sink must differ")
+            raise InvalidParameterError("source and sink must differ")
 
         total = 0
         infinite = sum(self._capacity) + 1

@@ -1,0 +1,223 @@
+"""The strict-typing ratchet: AST annotation gate + optional mypy runner.
+
+The ratchet has two halves:
+
+* **mypy --strict (staged)** — ``pyproject.toml`` carries a global lenient
+  ``[tool.mypy]`` block plus per-module ``[[tool.mypy.overrides]]`` entries
+  that switch the strictness flags on for graduated modules.  CI runs mypy
+  against that config; :func:`run_mypy` shells out to it when it is
+  installed locally.
+* **the T1 AST gate** — mypy is an optional dev dependency, so the part of
+  strictness that matters most for rot (fully annotated public surfaces)
+  is *also* enforced here from the AST alone.  T1 reads the same override
+  list out of ``pyproject.toml`` (any override setting
+  ``disallow_untyped_defs = true`` is "ratcheted"), so the two halves can
+  never disagree about which modules have graduated.
+
+Graduating a module = adding it to the strict override list and fixing
+what both gates then report.  Modules are never removed from the list.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import subprocess
+import sys
+import tomllib
+from pathlib import Path
+
+from repro.exceptions import InvalidParameterError
+from repro.lint.rules import Violation
+
+__all__ = [
+    "DEFAULT_RATCHET",
+    "check_annotations",
+    "check_annotations_for_root",
+    "ratchet_module_patterns",
+    "run_mypy",
+]
+
+#: Modules whose public surfaces must stay fully annotated when no
+#: pyproject.toml override list is available (mirrors the shipped config).
+DEFAULT_RATCHET: tuple[str, ...] = (
+    "repro.exceptions",
+    "repro.core.*",
+    "repro.api.*",
+    "repro.lint.*",
+)
+
+#: Dunder methods whose return type is implied by the protocol and not
+#: required by the AST gate (mypy treats ``__init__`` the same way).
+_RETURN_EXEMPT_DUNDERS = frozenset({"__init__", "__post_init__", "__init_subclass__"})
+
+
+def ratchet_module_patterns(pyproject: Path | str | None = None) -> tuple[str, ...]:
+    """Return the ratcheted module patterns (``fnmatch`` style).
+
+    Reads ``[[tool.mypy.overrides]]`` entries from ``pyproject`` and keeps
+    the module patterns of every override that sets
+    ``disallow_untyped_defs = true`` — the canonical "this module has
+    graduated to the strict gate" flag.  Falls back to
+    :data:`DEFAULT_RATCHET` when no pyproject is given or none of its
+    overrides ratchet anything.
+    """
+    if pyproject is None:
+        return DEFAULT_RATCHET
+    path = Path(pyproject)
+    if not path.is_file():
+        return DEFAULT_RATCHET
+    try:
+        config = tomllib.loads(path.read_text(encoding="utf-8"))
+    except tomllib.TOMLDecodeError as exc:
+        raise InvalidParameterError(f"cannot parse {path}: {exc}") from exc
+    overrides = config.get("tool", {}).get("mypy", {}).get("overrides", [])
+    patterns: list[str] = []
+    for override in overrides:
+        if not override.get("disallow_untyped_defs", False):
+            continue
+        modules = override.get("module", [])
+        if isinstance(modules, str):
+            modules = [modules]
+        patterns.extend(str(module) for module in modules)
+    return tuple(patterns) if patterns else DEFAULT_RATCHET
+
+
+def _module_name(root: Path, file_path: Path) -> str:
+    """Return the dotted module name of ``file_path`` under package ``root``."""
+    relative = file_path.relative_to(root.parent)
+    parts = list(relative.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def _matches(module: str, patterns: tuple[str, ...]) -> bool:
+    return any(fnmatch.fnmatchcase(module, pattern) for pattern in patterns)
+
+
+# ----------------------------------------------------------------------
+# The T1 annotation gate.
+# ----------------------------------------------------------------------
+def _missing_annotations(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    """Return what a def is missing to count as fully annotated."""
+    missing: list[str] = []
+    params = [*fn.args.posonlyargs, *fn.args.args, *fn.args.kwonlyargs]
+    for index, param in enumerate(params):
+        if index == 0 and param.arg in ("self", "cls"):
+            continue
+        if param.annotation is None:
+            missing.append(f"parameter {param.arg!r}")
+    if fn.args.vararg is not None and fn.args.vararg.annotation is None:
+        missing.append(f"parameter *{fn.args.vararg.arg}")
+    if fn.args.kwarg is not None and fn.args.kwarg.annotation is None:
+        missing.append(f"parameter **{fn.args.kwarg.arg}")
+    is_dunder = fn.name.startswith("__") and fn.name.endswith("__")
+    if fn.returns is None and not (is_dunder and fn.name in _RETURN_EXEMPT_DUNDERS):
+        missing.append("return type")
+    return missing
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_") or (name.startswith("__") and name.endswith("__"))
+
+
+def _gate_module(path: str, tree: ast.Module) -> list[Violation]:
+    violations: list[Violation] = []
+
+    def visit_defs(
+        body: list[ast.stmt], owner: str | None
+    ) -> None:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                if _is_public(node.name):
+                    visit_defs(node.body, node.name)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not _is_public(node.name):
+                    continue
+                missing = _missing_annotations(node)
+                if missing:
+                    qualified = f"{owner}.{node.name}" if owner else node.name
+                    violations.append(
+                        Violation(
+                            rule="T1",
+                            path=path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            message=(
+                                f"public surface {qualified}() is missing "
+                                f"annotations: {', '.join(missing)} (strict "
+                                "typing ratchet, see docs/static_analysis.md)"
+                            ),
+                        )
+                    )
+    visit_defs(tree.body, None)
+    return violations
+
+
+def check_annotations(paths: list[Path | str] | tuple[Path | str, ...]) -> list[Violation]:
+    """Run the T1 annotation gate over explicit files (fixture-test entry)."""
+    violations: list[Violation] = []
+    for raw in paths:
+        file_path = Path(raw)
+        try:
+            tree = ast.parse(
+                file_path.read_text(encoding="utf-8"), filename=str(file_path)
+            )
+        except SyntaxError as exc:
+            raise InvalidParameterError(
+                f"{file_path} is not parseable python: {exc}"
+            ) from exc
+        violations.extend(_gate_module(str(file_path), tree))
+    return sorted(violations, key=lambda v: (v.path, v.line, v.col))
+
+
+def check_annotations_for_root(
+    root: Path | str, pyproject: Path | str | None = None
+) -> list[Violation]:
+    """Run T1 over the ratcheted modules of a package root.
+
+    ``root`` is the package directory (e.g. ``src/repro``).  When
+    ``pyproject`` is not given, the repository layout ``<repo>/src/<pkg>``
+    is probed for ``<repo>/pyproject.toml`` so the gate and mypy read the
+    same ratchet list.
+    """
+    root_path = Path(root)
+    if not (root_path / "__init__.py").is_file():
+        return []  # not a package root: nothing is ratcheted
+    if pyproject is None:
+        candidate = root_path.parent.parent / "pyproject.toml"
+        pyproject = candidate if candidate.is_file() else None
+    patterns = ratchet_module_patterns(pyproject)
+    ratcheted = [
+        file_path
+        for file_path in sorted(root_path.rglob("*.py"))
+        if _matches(_module_name(root_path, file_path), patterns)
+    ]
+    return check_annotations(ratcheted)
+
+
+# ----------------------------------------------------------------------
+# The mypy half (optional dev dependency; CI always runs it).
+# ----------------------------------------------------------------------
+def run_mypy(
+    config: Path | str | None = None, extra_args: tuple[str, ...] = ()
+) -> tuple[int, str] | None:
+    """Run the staged ``mypy`` gate, or return ``None`` when not installed.
+
+    The container image does not bake mypy in, so local runs gate on its
+    availability; CI installs the ``dev`` extra and the gate is mandatory
+    there.  Returns ``(exit_status, combined_output)``.
+    """
+    try:
+        import mypy  # noqa: F401  -- availability probe only
+    except ImportError:
+        return None
+    command = [sys.executable, "-m", "mypy"]
+    if config is not None:
+        command.extend(["--config-file", str(config)])
+    command.extend(extra_args)
+    completed = subprocess.run(
+        command, capture_output=True, text=True, check=False
+    )
+    return completed.returncode, completed.stdout + completed.stderr

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.rng import ensure_rng
 from repro.exceptions import ComputationError
 from repro.percolation.lattice import TriangularGrid
 from repro.percolation.site import estimate_crossing_probability
@@ -59,7 +60,7 @@ def estimate_critical_probability(
     for moderate grids the answer already lands close to the theoretical
     ``1/2``, which is what the availability benchmarks check.
     """
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = ensure_rng(rng)
     grid = TriangularGrid(side)
     low, high = 0.0, 1.0
     for _ in range(iterations):

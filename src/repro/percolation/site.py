@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.rng import ensure_rng
 from repro.exceptions import ComputationError, InvalidParameterError
 from repro.graphs.disjoint_paths import max_vertex_disjoint_paths
 from repro.percolation.lattice import TriangularGrid, Vertex
@@ -147,7 +148,7 @@ def estimate_crossing_probability(
     """
     if trials <= 0:
         raise InvalidParameterError(f"trials must be positive, got {trials}")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = ensure_rng(rng)
     successes = 0
     for _ in range(trials):
         open_vertices = sample_open_vertices(grid, p_closed, rng)

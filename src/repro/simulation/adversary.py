@@ -38,6 +38,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.quorum_system import QuorumSystem
+from repro.core.rng import ensure_rng
 from repro.core.strategy import Strategy
 from repro.core.universe import Universe
 from repro.exceptions import SimulationError
@@ -244,7 +245,7 @@ def run_adversarial_workload(
         raise SimulationError(
             f"policy must be an AdversaryPolicy, got {type(policy).__name__}"
         )
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = ensure_rng(rng)
     universe = system.universe
     resolved = resolve_strategy(system, strategy)
 

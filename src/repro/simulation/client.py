@@ -49,13 +49,15 @@ from __future__ import annotations
 from collections import Counter
 from collections.abc import Callable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.quorum_system import QuorumSystem
+from repro.core.rng import ensure_rng
 from repro.core.strategy import Strategy
 from repro.exceptions import SimulationError
-from repro.simulation.events import EventNetwork
+from repro.simulation.events import EventNetwork, EventScheduler
 from repro.simulation.messages import (
     ReadRequest,
     Timestamp,
@@ -64,6 +66,9 @@ from repro.simulation.messages import (
     WriteRequest,
 )
 from repro.simulation.network import SynchronousNetwork
+
+if TYPE_CHECKING:  # circular at runtime: history records client results
+    from repro.simulation.history import HistoryRecorder
 
 __all__ = ["AsyncQuorumClient", "OperationResult", "QuorumClient", "RetryPolicy"]
 
@@ -158,7 +163,7 @@ class _QuorumSelectionBase:
         self.client_id = client_id
         self.system = system
         self.b = b
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = ensure_rng(rng)
         self.strategy = strategy
         #: The largest timestamp this client has observed or produced.
         self.last_timestamp = Timestamp.zero()
@@ -417,7 +422,7 @@ class AsyncQuorumClient(_QuorumSelectionBase):
         policy: RetryPolicy | None = None,
         rng: np.random.Generator | None = None,
         strategy: Strategy | None = None,
-        history=None,
+        history: "HistoryRecorder | None" = None,
     ):
         super().__init__(client_id, system, b=b, rng=rng, strategy=strategy)
         self.network = network
@@ -428,7 +433,7 @@ class AsyncQuorumClient(_QuorumSelectionBase):
         self._busy = False
 
     @property
-    def scheduler(self):
+    def scheduler(self) -> EventScheduler:
         return self.network.scheduler
 
     # ------------------------------------------------------------------

@@ -60,6 +60,7 @@ import numpy as np
 from repro.core import bitset as bitset_mod
 from repro.core.load import exact_load
 from repro.core.quorum_system import QuorumSystem
+from repro.core.rng import ensure_rng
 from repro.core.strategy import Strategy
 from repro.exceptions import SimulationError
 from repro.simulation.faults import FaultScenario
@@ -130,7 +131,7 @@ class WorkloadResult:
         return self.consistency_violations == 0
 
 
-def resolve_strategy(system: QuorumSystem, strategy) -> Strategy:
+def resolve_strategy(system: QuorumSystem, strategy: Strategy | str | None) -> Strategy:
     """Resolve a strategy specification into a :class:`Strategy`.
 
     ``None`` or ``"uniform"`` gives the uniform strategy over the system's
@@ -373,7 +374,7 @@ def run_scenario(
         raise SimulationError(f"masking parameter must be >= 0, got {b}")
     if mode not in ("vectorised", "sequential"):
         raise SimulationError(f"mode must be 'vectorised' or 'sequential', got {mode!r}")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = ensure_rng(rng)
 
     scenario = _as_workload_scenario(scenario, byzantine_model)
     scenario.validate_against(system.universe)

@@ -45,6 +45,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core import floats
+from repro.core.rng import ensure_rng
+from repro.core.universe import Universe
 from repro.exceptions import SimulationError
 from repro.simulation.faults import FaultScenario
 from repro.simulation.server import ReplicaServer
@@ -196,7 +199,11 @@ class LatencyModel:
     @property
     def is_zero(self) -> bool:
         """Whether the model is deterministic zero delay (draws no randomness)."""
-        return self.base == 0.0 and self.jitter == 0.0 and self.tail_mean == 0.0
+        return (
+            floats.is_zero(self.base)
+            and floats.is_zero(self.jitter)
+            and floats.is_zero(self.tail_mean)
+        )
 
     def factor_for(self, server_id: Hashable) -> float:
         for known_id, factor in self.server_factors:
@@ -246,7 +253,7 @@ class LinkFaults:
 
     @property
     def is_clean(self) -> bool:
-        return self.loss == 0.0 and self.duplication == 0.0
+        return floats.is_zero(self.loss) and floats.is_zero(self.duplication)
 
     def copies(self, rng: np.random.Generator) -> int:
         """How many copies of a message actually travel (0 = lost)."""
@@ -311,7 +318,7 @@ class FaultTimeline:
         """The fault state in force at simulated ``time``."""
         return self._scenarios[bisect_right(self._times, time) - 1]
 
-    def validate_against(self, universe) -> None:
+    def validate_against(self, universe: Universe) -> None:
         """Check that every state only mentions servers of ``universe``."""
         universe_set = universe.as_frozenset()
         for time, state in zip(self._times, self._scenarios):
@@ -390,7 +397,7 @@ class EventNetwork:
         self.scheduler = scheduler
         self.latency = latency if latency is not None else LatencyModel.zero()
         self.faults = faults if faults is not None else LinkFaults.none()
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = ensure_rng(rng)
         #: Requests sent to each server (crashed/lost ones included: the
         #: client pays the message either way).
         self.attempted_counts: dict[Hashable, int] = {sid: 0 for sid in self._servers}

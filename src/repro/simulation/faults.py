@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.rng import ensure_rng
 from repro.core.universe import Universe
 from repro.exceptions import SimulationError
 
@@ -111,7 +112,7 @@ class FaultInjector:
 
     def __init__(self, universe: Universe, rng: np.random.Generator | None = None):
         self.universe = universe
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = ensure_rng(rng)
 
     def _sample_servers(self, count: int, excluded: frozenset = frozenset()) -> frozenset:
         available = [element for element in self.universe if element not in excluded]

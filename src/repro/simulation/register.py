@@ -14,6 +14,7 @@ from collections.abc import Hashable
 import numpy as np
 
 from repro.core.quorum_system import QuorumSystem
+from repro.core.rng import ensure_rng
 from repro.core.strategy import Strategy
 from repro.exceptions import SimulationError
 from repro.simulation.client import QuorumClient
@@ -83,7 +84,7 @@ class ReplicatedRegister:
         self.system = system
         self.b = b
         self.scenario = scenario
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = ensure_rng(rng)
         self.strategy = strategy
 
         servers: dict[Hashable, ReplicaServer] = {}

@@ -26,7 +26,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.floats import is_zero
 from repro.core.quorum_system import QuorumSystem
+from repro.core.rng import ensure_rng
 from repro.core.strategy import Strategy
 from repro.exceptions import SimulationError
 from repro.simulation.client import AsyncQuorumClient, RetryPolicy
@@ -76,7 +78,7 @@ def build_replicas(
     generators spawned from ``rng`` so replica randomness never perturbs the
     clients' draw streams (the zero-latency agreement relies on that).
     """
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = ensure_rng(rng)
     seeds = iter(rng.integers(2**63, size=max(1, len(byzantine))))
     servers: dict[Hashable, ReplicaServer] = {}
     for server_id in system.universe:
@@ -223,7 +225,7 @@ def run_event_workload(
         raise SimulationError(f"write_fraction must lie in [0, 1], got {write_fraction}")
     if think_time < 0.0:
         raise SimulationError(f"think_time must be non-negative, got {think_time}")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = ensure_rng(rng)
 
     timeline, latency, link_faults, byzantine_behaviour = _resolve_timing(
         scenario, latency, link_faults, byzantine_behaviour
@@ -247,7 +249,7 @@ def run_event_workload(
             [1.0]
             + [factor for state in timeline.scenarios for _, factor in state.slow]
         )
-        request_timeout = 1.0 if scale == 0.0 else 8.0 * scale * slowest
+        request_timeout = 1.0 if is_zero(scale) else 8.0 * scale * slowest
 
     resolved_strategy = (
         resolve_strategy(system, strategy) if strategy is not None else None

@@ -15,6 +15,7 @@ from typing import Hashable
 
 import numpy as np
 
+from repro.core.rng import ensure_rng
 from repro.exceptions import SimulationError
 from repro.simulation.messages import (
     ReadReply,
@@ -115,7 +116,7 @@ class ByzantineReplicaServer(ReplicaServer):
                 f"choose one of {sorted(BYZANTINE_BEHAVIOURS)}"
             )
         self.behaviour = behaviour
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = ensure_rng(rng)
         self.collusion_token = collusion_token
         self._initial_pair = self._pair
 

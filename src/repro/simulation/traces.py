@@ -31,11 +31,15 @@ separately.
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
+from repro.core.floats import is_zero
 from repro.core.quorum_system import QuorumSystem
+from repro.core.rng import ensure_rng
 from repro.core.strategy import Strategy
 from repro.exceptions import SimulationError
 from repro.simulation.client import AsyncQuorumClient, RetryPolicy
@@ -131,7 +135,9 @@ class TraceScenario:
             previous = time
 
     @classmethod
-    def from_records(cls, name: str, records, **kwargs) -> "TraceScenario":
+    def from_records(
+        cls, name: str, records: Iterable[Mapping[str, object]], **kwargs: Any
+    ) -> "TraceScenario":
         """Build a trace from ``{"t": float, "op": "read"|"write"}`` records.
 
         This is the on-disk trace format ``python -m repro run --trace``
@@ -218,7 +224,7 @@ def hot_quorum_strategy(
     if skew < 0.0:
         raise SimulationError(f"skew must be >= 0, got {skew}")
     resolved = base if base is not None else resolve_strategy(system, None)
-    if skew == 0.0:
+    if is_zero(skew):
         return resolved
     ranks = np.arange(1, len(resolved) + 1, dtype=float)
     weights = resolved.probabilities * ranks ** (-skew)
@@ -270,7 +276,7 @@ def run_trace_workload(
             f"trace has {trace.max_byzantine} Byzantine servers but the "
             f"deployment only masks b={b}; pass allow_overload=True to force it"
         )
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = ensure_rng(rng)
     universe = system.universe
     unknown = (trace.fault_state.byzantine | trace.fault_state.crashed) - universe.as_frozenset()
     if unknown:
@@ -289,7 +295,7 @@ def run_trace_workload(
     if request_timeout is None:
         scale = latency.base + latency.jitter + 2.0 * latency.tail_mean
         slowest = max([1.0] + [factor for _, factor in trace.fault_state.slow])
-        request_timeout = 1.0 if scale == 0.0 else 8.0 * scale * slowest
+        request_timeout = 1.0 if is_zero(scale) else 8.0 * scale * slowest
 
     timeline = FaultTimeline.static(trace.fault_state)
     scheduler = EventScheduler()

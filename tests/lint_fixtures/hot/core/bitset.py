@@ -1,0 +1,10 @@
+"""R2 fixture: frozenset traversals inside a hot-module path."""
+
+
+def slow_total_size(system):
+    return sum(len(quorum) for quorum in system.quorums())
+
+
+def slow_scan(system):
+    for quorum in system.iter_quorums():
+        yield frozenset(quorum)

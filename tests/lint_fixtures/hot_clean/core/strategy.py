@@ -1,0 +1,10 @@
+"""R2 fixture (clean): mask-native work inside a hot-module path."""
+
+
+def total_popcount(engine):
+    return int(engine.quorum_sizes().sum())
+
+
+def mask_scan(engine):
+    for mask in engine.iter_quorum_masks():
+        yield mask

@@ -1,0 +1,10 @@
+"""R0 fixture: a pragma with no justification is itself a violation.
+
+The suppression is also void, so the underlying R1 still fires.
+"""
+
+import numpy as np
+
+
+def unexplained() -> np.random.Generator:
+    return np.random.default_rng()  # repro-lint: disable=R1

@@ -1,0 +1,7 @@
+"""R0 fixture (clean): a justified pragma suppresses exactly its line."""
+
+import numpy as np
+
+
+def sanctioned_entropy() -> np.random.Generator:
+    return np.random.default_rng()  # repro-lint: disable=R1 -- fixture modelling the one audited entropy entry point

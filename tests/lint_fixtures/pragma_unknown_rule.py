@@ -1,0 +1,7 @@
+"""R0 fixture: a pragma naming a rule that does not exist."""
+
+import numpy as np
+
+
+def typo() -> np.random.Generator:
+    return np.random.default_rng()  # repro-lint: disable=R99 -- justification present but the rule id is wrong

@@ -1,0 +1,17 @@
+"""R1 fixture (clean): seed-threaded randomness only."""
+
+import random
+
+import numpy as np
+
+
+def seeded_generator(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def threaded_draw(rng: np.random.Generator) -> float:
+    return float(rng.uniform(0.0, 1.0))
+
+
+def stdlib_instance(seed: int) -> random.Random:
+    return random.Random(seed)

@@ -1,0 +1,23 @@
+"""R1 fixture: every way of drawing untracked randomness the rule catches."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng as rng_factory
+
+
+def ambient_generator():
+    return np.random.default_rng()
+
+
+def none_seeded_generator():
+    return rng_factory(None)
+
+
+def legacy_numpy_draw():
+    np.random.seed(42)
+    return np.random.uniform(0.0, 1.0)
+
+
+def stdlib_global_draw():
+    return random.random()

@@ -1,0 +1,15 @@
+"""R3 fixture (clean): taxonomy exceptions, and re-raises of caught ones."""
+
+from repro.exceptions import ComputationError, InvalidParameterError
+
+
+def reject(n: int) -> None:
+    if n < 0:
+        raise InvalidParameterError(f"n must be non-negative, got {n}")
+
+
+def wrap() -> None:
+    try:
+        reject(-1)
+    except InvalidParameterError as exc:
+        raise ComputationError("rejected") from exc

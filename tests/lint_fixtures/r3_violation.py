@@ -1,0 +1,10 @@
+"""R3 fixture: bare builtin exceptions escaping the taxonomy."""
+
+
+def reject(n: int) -> None:
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+
+
+def explode() -> None:
+    raise RuntimeError("unstructured failure")

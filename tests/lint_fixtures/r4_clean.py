@@ -1,0 +1,19 @@
+"""R4 fixture (clean): tolerance helpers and int comparisons stay legal."""
+
+from repro.core.floats import is_zero, isclose
+
+
+def is_unloaded(load: float) -> bool:
+    return is_zero(load)
+
+
+def near_half(value: float) -> bool:
+    return isclose(value, 0.5)
+
+
+def int_compare(count: int) -> bool:
+    return count == 0
+
+
+def float_ordering(load: float) -> bool:
+    return load < 1.0

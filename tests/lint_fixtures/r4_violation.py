@@ -1,0 +1,13 @@
+"""R4 fixture: exact equality against float expressions."""
+
+
+def is_unloaded(load: float) -> bool:
+    return load == 0.0
+
+
+def not_half(value: float) -> bool:
+    return 0.5 != value
+
+
+def coerced(value: object) -> bool:
+    return float(value) == float(0)

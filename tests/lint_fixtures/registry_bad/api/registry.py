@@ -1,0 +1,21 @@
+"""R5 fixture registry (violating): missing module, missing class, no params."""
+
+from fixturepkg.constructions.wheel import Wheel
+
+
+def register(entry):
+    return entry
+
+
+class ConstructionEntry:
+    def __init__(self, **kwargs):
+        self.kwargs = kwargs
+
+
+register(
+    ConstructionEntry(
+        name="wheel",
+        factory=Wheel,
+        summary="fixture wheel registered without typed parameter specs",
+    )
+)

@@ -1,0 +1,1 @@
+"""R5 fixture package (violating layout)."""

@@ -1,0 +1,5 @@
+"""R5 fixture construction module the registry never imports."""
+
+
+class Orphan:
+    pass

@@ -1,0 +1,10 @@
+"""R5 fixture construction whose second public class is never registered."""
+
+
+class Wheel:
+    def __init__(self, n: int):
+        self.n = n
+
+
+class Hub:
+    pass

@@ -1,0 +1,27 @@
+"""R5 fixture registry (clean): imports every module, declares params."""
+
+from fixturepkg.constructions.wheel import Wheel
+
+
+def register(entry):
+    return entry
+
+
+class ConstructionEntry:
+    def __init__(self, **kwargs):
+        self.kwargs = kwargs
+
+
+class ParamSpec:
+    def __init__(self, name, **kwargs):
+        self.name = name
+
+
+register(
+    ConstructionEntry(
+        name="wheel",
+        factory=Wheel,
+        params=(ParamSpec("n", doc="number of servers"),),
+        summary="fixture wheel",
+    )
+)

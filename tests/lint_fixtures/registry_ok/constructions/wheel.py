@@ -1,0 +1,10 @@
+"""R5 fixture construction: one public class, one private helper."""
+
+
+class Wheel:
+    def __init__(self, n: int):
+        self.n = n
+
+
+class _Scaffold:
+    pass

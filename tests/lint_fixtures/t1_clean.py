@@ -1,0 +1,26 @@
+"""T1 fixture (clean): fully annotated public surface; private defs exempt."""
+
+
+def annotated(n: int, *values: float, **options: object) -> int:
+    del values, options
+    return n + 1
+
+
+def _private_helper(n):
+    return n
+
+
+class Public:
+    def __init__(self, n: int):
+        self.n = n
+
+    def method(self) -> int:
+        return self.n
+
+    def _internal(self, anything):
+        return anything
+
+
+class _Internal:
+    def untyped_is_fine_here(self, anything):
+        return anything

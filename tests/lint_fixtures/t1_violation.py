@@ -1,0 +1,14 @@
+"""T1 fixture: public surfaces with annotation gaps."""
+
+
+def missing_return(n: int):
+    return n + 1
+
+
+def missing_param(n) -> int:
+    return n + 1
+
+
+class Public:
+    def missing_kwargs(self, **kwargs) -> None:
+        del kwargs

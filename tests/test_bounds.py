@@ -11,7 +11,6 @@ from repro import (
     ComputationError,
     MGrid,
     MPath,
-    RecursiveThreshold,
     exact_load,
     load_lower_bound,
     load_optimality_ratio,

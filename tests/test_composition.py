@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro import (
-    ExplicitQuorumSystem,
     ThresholdQuorumSystem,
     best_known_load,
     compose,
@@ -14,7 +13,6 @@ from repro import (
     majority,
     self_compose,
 )
-from repro.core.composition import ComposedQuorumSystem
 
 
 @pytest.fixture

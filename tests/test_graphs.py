@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import networkx as nx
-import numpy as np
 import pytest
 
 from repro.graphs import FlowNetwork, UnionFind, max_vertex_disjoint_paths

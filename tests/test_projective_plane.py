@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import ConstructionError, FiniteProjectivePlane, exact_load
+from repro import ConstructionError, exact_load
 from repro.gf.projective_plane import projective_plane
 
 

@@ -9,7 +9,6 @@ the substrates.
 
 from __future__ import annotations
 
-import math
 
 import pytest
 from hypothesis import HealthCheck, assume, given, settings

@@ -28,11 +28,9 @@ from repro.simulation import (
     LatencyModel,
     LinkFaults,
     OperationRecord,
-    QuorumClient,
     ReplicaServer,
     ReplicatedRegister,
     RetryPolicy,
-    SynchronousNetwork,
     Timestamp,
     ValueTimestampPair,
     build_replicas,

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro import MGrid, SimulationError, ThresholdQuorumSystem, boosting_block
+from repro import MGrid, SimulationError, ThresholdQuorumSystem
 from repro.simulation import (
     FaultInjector,
     FaultScenario,
