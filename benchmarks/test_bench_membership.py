@@ -1,0 +1,178 @@
+"""Benchmark for epoch re-optimisation: incremental re-weight vs LP re-solve.
+
+On every membership epoch change the access strategy must be recomputed.
+:func:`repro.simulation.reconfig.reoptimise_strategy` offers two paths:
+
+* **reweight** — keep the previous strategy's quorums that survive into the
+  new member set and renormalise (``Strategy.restricted_to``): no LP at all,
+  but only possible when something survives;
+* **resolve** — the full load LP on the rebound construction
+  (``exact_load``), always available.
+
+This benchmark times both on the two canonical transitions and records
+``BENCH_membership.json`` at the repository root (same artefact contract as
+``BENCH_scenarios.json``):
+
+* a **growth** epoch (5×5 → 6×6 M-Grid): every old quorum survives, so the
+  re-weight path is a pure renormalisation — this is the latency gap that
+  justifies having the incremental path at all;
+* a **churn** epoch (5×5 → 4×4 after severing the outer ring): *no* quorum
+  survives (every M-Grid quorum touches the outer ring), so a requested
+  re-weight transparently falls back to — and is billed as — the re-solve.
+
+An end-to-end three-epoch churn run with per-epoch conformance rides along,
+so the artefact also certifies the bounds the latencies are traded against.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import format_table
+from test_bench_scenarios import run_metadata
+
+from repro import MGrid
+from repro.analysis import reconfig_conformance
+from repro.core import Membership, plan_events
+from repro.simulation import (
+    MembershipTimeline,
+    reoptimise_strategy,
+    run_reconfig_workload,
+)
+from repro.simulation.engine import resolve_strategy
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_membership.json"
+
+GRID_SIDE = 5
+MASKING_B = 1
+SEED = 20240614
+REPEATS = 5
+
+
+def _time_policy(system, steps, policy: str) -> dict:
+    """Best-of-N latency of one re-optimisation policy on epoch 0 -> 1.
+
+    Each repeat uses a fresh :class:`Membership` (hence a fresh rebound
+    system), so a ``resolve`` really re-runs the LP every time instead of
+    hitting the per-object load cache; the rebind itself is warmed before
+    the clock starts, so only the strategy work is timed.
+    """
+    previous = resolve_strategy(system, "optimal")
+    best = float("inf")
+    for _ in range(REPEATS):
+        membership = Membership(
+            system.universe, plan_events(system.universe, steps)
+        )
+        rebound = membership.rebind(system, 1)
+        start = time.perf_counter()
+        strategy, applied = reoptimise_strategy(
+            system, membership, 1, previous=previous, policy=policy
+        )
+        best = min(best, time.perf_counter() - start)
+    return {
+        "policy_requested": policy,
+        "policy_applied": applied,
+        "support_size": len(strategy.support),
+        "epoch_n": rebound.n,
+        "best_seconds": best,
+    }
+
+
+def _transition_payload(label: str, steps) -> dict:
+    system = MGrid(GRID_SIDE, MASKING_B)
+    membership = Membership(system.universe, plan_events(system.universe, steps))
+    return {
+        "transition": label,
+        "from_n": system.n,
+        "to_n": membership.epoch(1).n,
+        "reweight": _time_policy(system, steps, "reweight"),
+        "resolve": _time_policy(system, steps, "resolve"),
+    }
+
+
+def _end_to_end_payload() -> dict:
+    system = MGrid(GRID_SIDE, MASKING_B)
+    ring = GRID_SIDE * GRID_SIDE - (GRID_SIDE - 1) ** 2
+    membership = Membership(
+        system.universe,
+        plan_events(system.universe, [("sever", ring), ("join", ring)]),
+    )
+    timeline = MembershipTimeline(membership=membership)
+    result = run_reconfig_workload(
+        system,
+        timeline=timeline,
+        num_operations=300,
+        policy="reweight",
+        rng=np.random.default_rng(SEED),
+    )
+    report = reconfig_conformance(result, system, membership)
+    report.require()
+    return {
+        "num_epochs": result.num_epochs,
+        "operations": result.operations,
+        "availability": result.availability,
+        "consistency_violations": result.consistency_violations,
+        "epochs": [outcome.to_dict() for outcome in result.outcomes],
+        "checks": report.to_dict()["checks"],
+    }
+
+
+def test_membership_reoptimisation_artifact():
+    """Time both re-optimisation paths, require conformance, record the JSON."""
+    side_up = (GRID_SIDE + 1) ** 2 - GRID_SIDE**2
+    ring = GRID_SIDE * GRID_SIDE - (GRID_SIDE - 1) ** 2
+    payload = {
+        "schema_version": 1,
+        "metadata": run_metadata("benchmarks/test_bench_membership.py"),
+        "system": f"mgrid(side={GRID_SIDE}, b={MASKING_B})",
+        "seed": SEED,
+        "repeats": REPEATS,
+        "transitions": [
+            _transition_payload("growth", [("join", side_up)]),
+            _transition_payload("churn", [("sever", ring)]),
+        ],
+        "reconfig_churn": _end_to_end_payload(),
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = []
+    for transition in payload["transitions"]:
+        for path in ("reweight", "resolve"):
+            timing = transition[path]
+            rows.append(
+                [
+                    f"{transition['transition']} ({transition['from_n']}"
+                    f"->{transition['to_n']})",
+                    path,
+                    timing["policy_applied"],
+                    f"{timing['best_seconds'] * 1e3:.3f} ms",
+                    timing["support_size"],
+                ]
+            )
+    print()
+    print(
+        format_table(
+            ["transition", "requested", "applied", "best latency", "support"], rows
+        )
+    )
+    print(f"\nrecorded -> {ARTIFACT.name}")
+
+    recorded = json.loads(ARTIFACT.read_text())
+    assert recorded["schema_version"] == 1
+    growth, churn = recorded["transitions"]
+    # Growth keeps every quorum: the re-weight really is incremental.
+    assert growth["reweight"]["policy_applied"] == "reweight"
+    assert growth["resolve"]["policy_applied"] == "resolve"
+    # Churn strands every quorum: the re-weight transparently re-solves.
+    assert churn["reweight"]["policy_applied"] == "resolve"
+    assert all(
+        transition[path]["best_seconds"] > 0.0
+        for transition in recorded["transitions"]
+        for path in ("reweight", "resolve")
+    )
+    assert recorded["reconfig_churn"]["consistency_violations"] == 0
+    assert all(check["ok"] for check in recorded["reconfig_churn"]["checks"])

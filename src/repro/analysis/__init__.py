@@ -23,6 +23,7 @@ from repro.analysis.conformance import (
     load_conformance,
     masking_conformance,
     percolation_conformance,
+    reconfig_conformance,
     restricted_induced_loads,
     worst_case_induced_load,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "masking_conformance",
     "percolation_conformance",
     "profile_system",
+    "reconfig_conformance",
     "recommend_construction",
     "restricted_induced_loads",
     "section45_comparison",

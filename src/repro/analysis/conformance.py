@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.core.analytic import analytic_failure_probability
 from repro.core.load import exact_load
+from repro.core.membership import Membership
 from repro.core.quorum_system import QuorumSystem
 from repro.core.strategy import Strategy
 from repro.core.universe import Universe
@@ -59,6 +60,7 @@ from repro.simulation.adversary import (
     run_adversarial_workload,
 )
 from repro.simulation.engine import WorkloadResult, resolve_strategy, run_scenario
+from repro.simulation.reconfig import ReconfigResult
 from repro.simulation.scenarios import percolation_scenario
 
 __all__ = [
@@ -69,6 +71,7 @@ __all__ = [
     "load_conformance",
     "masking_conformance",
     "percolation_conformance",
+    "reconfig_conformance",
     "restricted_induced_loads",
     "worst_case_induced_load",
 ]
@@ -467,6 +470,110 @@ def adversarial_conformance(
         + masking_conformance(result, b=b).checks
     )
     return result, ConformanceReport(checks=checks)
+
+
+def reconfig_conformance(
+    result: ReconfigResult,
+    system: QuorumSystem,
+    membership: Membership,
+    *,
+    z: float = DEFAULT_Z,
+    worst_case_limit: int = ENUMERATION_LIMIT,
+) -> ConformanceReport:
+    """Check every epoch of a reconfiguration run against its own closed forms.
+
+    For each epoch the quorum system is rebound to the epoch's membership
+    (:meth:`~repro.core.membership.Membership.rebind`) and three families of
+    checks are emitted, each tagged ``[e<index>]``:
+
+    * **L(Q) lower bound** — the epoch's observed load must sit above the
+      ``L(Q)`` of the epoch's *own* LP minus binomial slack.  Emitted only
+      when the epoch's strategy ranges over the epoch system's quorums
+      (policies ``initial`` / ``resolve`` / ``uniform``): a re-weighted
+      strategy keeps quorums of the *previous* epoch's system, for which the
+      subfamily argument behind the bound does not apply.
+    * **Restricted-strategy envelope** — the observed load cannot exceed the
+      restricted induced load of the epoch's actual strategy maximised over
+      every crash set of size up to the epoch's own ``b``
+      (:func:`worst_case_induced_load`); sound for any strategy, re-weighted
+      ones included.
+    * **Masking envelope** — zero fabricated and zero stale reads at ≤ b
+      faults per epoch (Lemma 3.6 with the epoch's own ``b``), exact bound.
+    """
+    if not isinstance(result, ReconfigResult):
+        raise InvalidParameterError(
+            f"reconfig_conformance takes a ReconfigResult, got {type(result).__name__}"
+        )
+    checks: list[ConformanceCheck] = []
+    for outcome in result.outcomes:
+        rebound = membership.rebind(system, outcome.index)
+        run = outcome.result
+        tag = f"[e{outcome.index}]"
+        successful = run.operations - run.failed_operations
+        observed = run.empirical_load
+
+        if outcome.policy != "reweight":
+            try:
+                lp_load = float(exact_load(rebound).load)
+            except ComputationError:
+                lp_load = None
+            if lp_load is not None:
+                checks.append(
+                    ConformanceCheck(
+                        metric=f"load-lp-lower-bound{tag}",
+                        observed=observed,
+                        bound=lp_load,
+                        direction=">=",
+                        slack=_binomial_slack(lp_load, successful, z),
+                        detail=(
+                            f"L(Q) of epoch {outcome.index}'s rebound system "
+                            f"{outcome.system_name} (n={outcome.n})"
+                        ),
+                    )
+                )
+
+        if outcome.strategy is not None:
+            try:
+                worst = worst_case_induced_load(
+                    rebound, outcome.strategy, b=outcome.b, limit=worst_case_limit
+                )
+            except ComputationError:
+                worst = None
+            if worst is not None:
+                checks.append(
+                    ConformanceCheck(
+                        metric=f"load-envelope{tag}",
+                        observed=observed,
+                        bound=worst,
+                        direction="<=",
+                        slack=_binomial_slack(worst, successful, z),
+                        detail=(
+                            "restricted induced load of the epoch's strategy over "
+                            f"every crash set of size <= b={outcome.b}"
+                        ),
+                    )
+                )
+
+        successful_reads = max(1, run.successful_reads)
+        checks.append(
+            ConformanceCheck(
+                metric=f"fabricated-reads{tag}",
+                observed=float(run.consistency_violations),
+                bound=0.0,
+                direction="<=",
+                detail=f"Lemma 3.6 with the epoch's own b={outcome.b}",
+            )
+        )
+        checks.append(
+            ConformanceCheck(
+                metric=f"stale-read-rate{tag}",
+                observed=run.stale_reads / successful_reads,
+                bound=0.0,
+                direction="<=",
+                detail=f"Lemma 3.6 with the epoch's own b={outcome.b}",
+            )
+        )
+    return ConformanceReport(checks=tuple(checks))
 
 
 def percolation_conformance(

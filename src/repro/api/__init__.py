@@ -14,6 +14,10 @@ One spec-driven surface over everything the reproduction can do:
   normalised into a JSON-stable :class:`WorkloadReport`;
 * **scenarios** (:mod:`repro.api.scenarios`) — the fault-schedule
   catalogue by name;
+* **membership** (:mod:`repro.api.membership`) — :class:`MembershipSpec`,
+  the JSON-stable description of a membership-reconfiguration timeline
+  (epochs of join/sever events), runnable via ``WorkloadSpec(membership=...)``
+  or the named ``reconfig-*`` catalogue scenarios;
 * **cli** (:mod:`repro.api.cli`) — ``python -m repro
   measure|run|table|compare|list [--json]``.
 
@@ -29,6 +33,7 @@ they are what the facade dispatches to.  See ``docs/api.md`` for the tour.
 True
 """
 
+from repro.api.membership import MembershipSpec, ReconfigScenario
 from repro.api.measures import (
     Budget,
     MeasureResult,
@@ -52,7 +57,9 @@ __all__ = [
     "Budget",
     "ConstructionEntry",
     "MeasureResult",
+    "MembershipSpec",
     "ParamSpec",
+    "ReconfigScenario",
     "SystemSpec",
     "WorkloadReport",
     "WorkloadSpec",

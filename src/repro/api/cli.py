@@ -43,6 +43,7 @@ from repro.exceptions import (
 )
 
 if TYPE_CHECKING:
+    from repro.api.membership import MembershipSpec
     from repro.simulation.traces import TraceScenario
 
 __all__ = ["main"]
@@ -193,12 +194,38 @@ def _load_trace(path: str) -> "TraceScenario":
         raise InvalidParameterError(f"trace file {path!r}: {exc}") from None
 
 
+def _load_membership(raw: str) -> "MembershipSpec":
+    """Parse a ``--membership`` JSON payload (inline or ``@file``)."""
+    from pathlib import Path
+
+    from repro.api.membership import MembershipSpec
+
+    text = raw
+    if raw.startswith("@"):
+        try:
+            text = Path(raw[1:]).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise InvalidParameterError(
+                f"cannot read membership file {raw[1:]!r}: {exc}"
+            ) from None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise InvalidParameterError(
+            f"--membership is not valid JSON: {exc}"
+        ) from None
+    return MembershipSpec.from_dict(payload)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     scenario = args.scenario
     if args.trace is not None:
         if scenario is not None:
             raise InvalidParameterError("--trace and --scenario are mutually exclusive")
         scenario = _load_trace(args.trace)
+    membership = None
+    if args.membership is not None:
+        membership = _load_membership(args.membership)
     spec = WorkloadSpec(
         system=args.construction,
         params=_collect_params(args),
@@ -211,6 +238,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_attempts=args.max_attempts,
         num_samples=args.num_samples if args.num_samples is not None else 256,
+        membership=membership,
     )
     report = run(spec, engine=args.engine)
     payload = report.to_dict()
@@ -241,6 +269,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"p90={data['latency_p90']:.3f}  p99={data['latency_p99']:.3f}  "
                 f"timeouts={data['timeouts']}"
             )
+        if data["epochs"]:
+            print("  epochs:")
+            for epoch in data["epochs"]:
+                print(
+                    f"    e{epoch['epoch']}: {epoch['system']}  n={epoch['n']}  "
+                    f"b={epoch['b']}  policy={epoch['policy']}  "
+                    f"ops={epoch['operations']}  "
+                    f"load={epoch['empirical_load']:.4f}"
+                )
 
     _emit(payload, args.json, human)
     return 0
@@ -393,6 +430,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "JSON trace file of open-loop arrivals "
             '([{"t": <time>, "op": "read"|"write"}, ...]); replayed on the '
             "event engine (mutually exclusive with --scenario)"
+        ),
+    )
+    run_parser.add_argument(
+        "--membership",
+        default=None,
+        help=(
+            "membership reconfiguration spec as JSON (or @file): "
+            '{"events": [{"kind": "sever", "count": 9}, ...], '
+            '"fractions": null, "policy": "reweight"}; mutually exclusive '
+            "with --scenario (named reconfig-* scenarios carry their own)"
         ),
     )
     run_parser.add_argument(

@@ -24,6 +24,7 @@ from math import isqrt
 
 import numpy as np
 
+from repro.api.membership import MembershipSpec, ReconfigScenario
 from repro.core.universe import Universe
 from repro.exceptions import InvalidParameterError
 from repro.simulation.adversary import (
@@ -53,8 +54,15 @@ from repro.simulation.traces import TraceScenario
 __all__ = ["available_scenarios", "build_scenario", "is_timed"]
 
 #: Everything the catalogue can hand back: untimed workloads, timed/event
-#: scenarios, adaptive adversaries and replayed traces.
-AnyScenario = WorkloadScenario | TimingScenario | AdaptiveScenario | TraceScenario
+#: scenarios, adaptive adversaries, replayed traces and membership
+#: reconfigurations.
+AnyScenario = (
+    WorkloadScenario
+    | TimingScenario
+    | AdaptiveScenario
+    | TraceScenario
+    | ReconfigScenario
+)
 
 Builder = Callable[[Universe, int, np.random.Generator], AnyScenario]
 
@@ -176,6 +184,51 @@ def _diurnal(universe: Universe, b: int, rng: np.random.Generator) -> AnyScenari
     return TraceScenario(name="diurnal", period=120.0, peak_ratio=4.0, skew=1.1)
 
 
+def _reconfig_churn(universe: Universe, b: int, rng: np.random.Generator) -> AnyScenario:
+    """Sever a block of servers mid-run, then re-admit it: three epochs.
+
+    On a square universe the severed block is exactly the outer ring
+    (``n - (side-1)^2`` servers), so grid-family systems rebind to the
+    ``side-1`` construction in the middle epoch; the re-join restores the
+    original configuration.
+    """
+    n = universe.size
+    side = isqrt(n)
+    if side * side == n and side >= 3:
+        count = n - (side - 1) ** 2
+    else:
+        count = max(1, n // 4)
+    return ReconfigScenario(
+        name="reconfig-churn",
+        membership=MembershipSpec(
+            events=(("sever", count), ("join", count)), policy="reweight"
+        ),
+    )
+
+
+def _reconfig_growth(universe: Universe, b: int, rng: np.random.Generator) -> AnyScenario:
+    """Grow the deployment twice mid-run: three epochs of fresh joins.
+
+    On a square universe the joins step the side up by one each epoch
+    (``side -> side+1 -> side+2``), so grid-family systems rebind to larger
+    constructions with thresholds recomputed per epoch; the LP is re-solved
+    at every epoch (``policy="resolve"``).
+    """
+    n = universe.size
+    side = isqrt(n)
+    if side * side == n and side >= 2:
+        first = (side + 1) ** 2 - n
+        second = (side + 2) ** 2 - (side + 1) ** 2
+    else:
+        first = second = max(1, n // 4)
+    return ReconfigScenario(
+        name="reconfig-growth",
+        membership=MembershipSpec(
+            events=(("join", first), ("join", second)), policy="resolve"
+        ),
+    )
+
+
 #: name -> (builder, timed?, one-line description)
 _CATALOGUE: dict[str, tuple[Builder, bool, str]] = {
     "fault-free": (lambda u, b, r: fault_free_scenario(), False, "no faults at all"),
@@ -214,6 +267,16 @@ _CATALOGUE: dict[str, tuple[Builder, bool, str]] = {
         True,
         "open-loop diurnal arrivals with hot-quorum skew (timed)",
     ),
+    "reconfig-churn": (
+        _reconfig_churn,
+        False,
+        "sever a server block mid-run, then re-admit it (3 membership epochs)",
+    ),
+    "reconfig-growth": (
+        _reconfig_growth,
+        False,
+        "grow the membership twice mid-run, re-solving the LP per epoch",
+    ),
 }
 
 
@@ -231,7 +294,7 @@ def is_timed(scenario: str | AnyScenario) -> bool:
                 f"{', '.join(sorted(_CATALOGUE))}"
             )
         return _CATALOGUE[scenario][1]
-    return isinstance(scenario, (TimingScenario, TraceScenario))
+    return isinstance(scenario, (TimingScenario, TraceScenario))  # ReconfigScenario runs on either engine
 
 
 def build_scenario(

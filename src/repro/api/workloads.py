@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.membership import MembershipSpec, ReconfigScenario
 from repro.api.registry import SystemSpec, build, spec_of
 from repro.api.scenarios import build_scenario
 from repro.core.quorum_system import ImplicitQuorumSystem, QuorumSystem
@@ -38,6 +39,10 @@ from repro.core.strategy import Strategy
 from repro.exceptions import ComputationError, InvalidParameterError
 from repro.simulation.adversary import AdaptiveScenario, run_adversarial_workload
 from repro.simulation.faults import FaultScenario
+from repro.simulation.reconfig import (
+    run_reconfig_event_workload,
+    run_reconfig_workload,
+)
 from repro.simulation.runner import run_event_workload, run_workload
 from repro.simulation.scenarios import TimingScenario, WorkloadScenario
 from repro.simulation.traces import TraceScenario, run_trace_workload
@@ -93,6 +98,11 @@ class WorkloadSpec:
         Permit more Byzantine servers than ``b`` (negative tests).
     num_samples:
         Sample size when the facade must switch to sampled-quorum mode.
+    membership:
+        Optional :class:`~repro.api.membership.MembershipSpec` turning the
+        run into a membership-reconfiguration workload (mutually exclusive
+        with ``scenario``; named ``reconfig-*`` catalogue scenarios carry
+        their own membership specs).
     """
 
     system: SystemSpec | QuorumSystem | str
@@ -107,8 +117,14 @@ class WorkloadSpec:
     max_attempts: int = 10
     allow_overload: bool = False
     num_samples: int = 256
+    membership: MembershipSpec | None = None
 
     def __post_init__(self):
+        if self.membership is not None and self.scenario is not None:
+            raise InvalidParameterError(
+                "membership and scenario are mutually exclusive: a membership "
+                "spec is itself the reconfiguration scenario"
+            )
         if self.operations < 1:
             raise InvalidParameterError(
                 f"operations must be >= 1, got {self.operations}"
@@ -159,7 +175,12 @@ class WorkloadReport:
     latency_mean / latency_p50 / latency_p90 / latency_p99 / duration /
     timeouts / events_processed:
         Event-engine clock measurements (``None`` under the vectorised
-        engine).
+        engine; operation-weighted means of the per-epoch statistics on
+        reconfiguration runs).
+    epochs:
+        Per-epoch accounting of a membership-reconfiguration run (one dict
+        per epoch: n, b, rebound system, re-optimisation policy, operations,
+        availability, empirical load); ``None`` on fixed-membership runs.
     """
 
     engine: str
@@ -188,6 +209,7 @@ class WorkloadReport:
     duration: float | None = None
     timeouts: int | None = None
     events_processed: int | None = None
+    epochs: list | None = None
 
     #: The key set every report's to_dict() emits, in order (schema contract).
     SCHEMA = (
@@ -196,7 +218,7 @@ class WorkloadReport:
         "failed_operations", "availability", "consistent",
         "consistency_violations", "stale_reads", "empirical_load",
         "busiest_server", "latency_mean", "latency_p50", "latency_p90",
-        "latency_p99", "duration", "timeouts", "events_processed",
+        "latency_p99", "duration", "timeouts", "events_processed", "epochs",
     )
 
     def to_dict(self) -> dict:
@@ -271,7 +293,17 @@ def _maybe_sampled(spec: WorkloadSpec, system: QuorumSystem) -> tuple[QuorumSyst
 
 def _resolve_scenario(
     spec: WorkloadSpec, system: QuorumSystem, b: int
-) -> WorkloadScenario | TimingScenario | FaultScenario | AdaptiveScenario | TraceScenario:
+) -> (
+    WorkloadScenario
+    | TimingScenario
+    | FaultScenario
+    | AdaptiveScenario
+    | TraceScenario
+    | ReconfigScenario
+):
+    if spec.membership is not None:
+        # The __post_init__ guard guarantees scenario is None here.
+        return ReconfigScenario(name="reconfig-custom", membership=spec.membership)
     scenario = spec.scenario
     if scenario is None:
         scenario = "fault-free"
@@ -282,12 +314,20 @@ def _resolve_scenario(
         return build_scenario(scenario, system.universe, b=b, rng=rng)
     if isinstance(
         scenario,
-        (WorkloadScenario, TimingScenario, FaultScenario, AdaptiveScenario, TraceScenario),
+        (
+            WorkloadScenario,
+            TimingScenario,
+            FaultScenario,
+            AdaptiveScenario,
+            TraceScenario,
+            ReconfigScenario,
+        ),
     ):
         return scenario
     raise InvalidParameterError(
         "scenario must be a catalogue name, WorkloadScenario, TimingScenario, "
-        f"AdaptiveScenario, TraceScenario or FaultScenario, got {type(scenario).__name__}"
+        "AdaptiveScenario, TraceScenario, ReconfigScenario or FaultScenario, "
+        f"got {type(scenario).__name__}"
     )
 
 
@@ -341,6 +381,122 @@ def _event_scenario(
     raise InvalidParameterError(f"cannot run {type(scenario).__name__} on the event engine")
 
 
+def _run_reconfig(
+    spec: WorkloadSpec,
+    system: QuorumSystem,
+    b: int,
+    scenario: ReconfigScenario,
+    chosen: str,
+    rng: np.random.Generator,
+    *,
+    sampled: bool,
+    registry_spec: dict | None,
+) -> WorkloadReport:
+    """Route a reconfiguration scenario to the matching epoch driver.
+
+    The per-epoch masking parameter is the spec's ``b`` clamped to each
+    epoch's own bound (each epoch's bound directly when the spec left ``b``
+    unset); ``report.b`` records the fixed-membership resolution and the
+    ``epochs`` list carries the per-epoch values.  ``empirical_load`` is the
+    worst per-epoch load, and the event engine's latency fields are
+    operation-weighted means of the per-epoch statistics (the stitched
+    timeline has no single latency distribution).
+    """
+    timeline = scenario.membership.build(system.universe)
+    policy = scenario.membership.policy
+    if chosen == "vectorized":
+        result = run_reconfig_workload(
+            system,
+            timeline=timeline,
+            b=spec.b,
+            num_operations=spec.operations,
+            policy=policy,
+            strategy=spec.strategy,
+            rng=rng,
+            write_fraction=spec.write_fraction,
+            max_attempts=spec.max_attempts,
+            allow_overload=spec.allow_overload,
+        )
+        consistent = result.is_consistent
+        violations = result.consistency_violations
+        stale = result.stale_reads
+        extras: dict = {}
+    else:
+        per_client = max(
+            timeline.num_epochs, math.ceil(spec.operations / spec.clients)
+        )
+        result = run_reconfig_event_workload(
+            system,
+            timeline=timeline,
+            b=spec.b,
+            num_clients=spec.clients,
+            operations_per_client=per_client,
+            policy=policy,
+            strategy=spec.strategy,
+            rng=rng,
+            write_fraction=spec.write_fraction,
+            max_attempts=spec.max_attempts,
+        )
+        check = result.check
+        consistent = check.ok
+        violations = (
+            check.fabricated_reads
+            + check.write_order_violations
+            + check.duplicate_write_timestamps
+            + check.cross_epoch_reads
+            + check.foreign_quorum_members
+        )
+        stale = check.stale_reads
+        total = sum(o.result.operations for o in result.outcomes)
+
+        def weighted(attr: str) -> float:
+            return float(
+                sum(
+                    getattr(o.result, attr) * o.result.operations
+                    for o in result.outcomes
+                )
+                / total
+            )
+
+        extras = {
+            "latency_mean": weighted("latency_mean"),
+            "latency_p50": weighted("latency_p50"),
+            "latency_p90": weighted("latency_p90"),
+            "latency_p99": weighted("latency_p99"),
+            "duration": float(sum(o.result.duration for o in result.outcomes)),
+            "timeouts": int(sum(o.result.timeouts for o in result.outcomes)),
+            "events_processed": int(
+                sum(o.result.events_processed for o in result.outcomes)
+            ),
+        }
+
+    operations = sum(o.result.operations for o in result.outcomes)
+    failed = sum(o.result.failed_operations for o in result.outcomes)
+    return WorkloadReport(
+        engine=chosen,
+        system=system.name,
+        n=system.n,
+        b=b,
+        scenario=scenario.name,
+        strategy=_strategy_label(spec.strategy),
+        seed=spec.seed,
+        sampled=sampled,
+        operations=operations,
+        successful_reads=sum(o.result.successful_reads for o in result.outcomes),
+        successful_writes=sum(o.result.successful_writes for o in result.outcomes),
+        failed_operations=failed,
+        availability=(operations - failed) / operations if operations else 0.0,
+        consistent=bool(consistent),
+        consistency_violations=int(violations),
+        stale_reads=int(stale),
+        empirical_load=max(o.result.empirical_load for o in result.outcomes),
+        busiest_server="",
+        spec=registry_spec,
+        epochs=[o.to_dict() for o in result.outcomes],
+        **extras,
+    )
+
+
 def run(spec: WorkloadSpec, *, engine: str = "auto") -> WorkloadReport:
     """Run one workload experiment and return its :class:`WorkloadReport`.
 
@@ -370,6 +526,11 @@ def run(spec: WorkloadSpec, *, engine: str = "auto") -> WorkloadReport:
     chosen = _pick_engine(engine, scenario)
     rng = np.random.default_rng(spec.seed)
 
+    if isinstance(scenario, ReconfigScenario):
+        return _run_reconfig(
+            spec, system, b, scenario, chosen, rng,
+            sampled=sampled, registry_spec=registry_spec,
+        )
     if isinstance(scenario, AdaptiveScenario):
         result = run_adversarial_workload(
             system,

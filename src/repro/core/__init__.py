@@ -32,6 +32,15 @@ from repro.core.bounds import (
 from repro.core.composition import ComposedQuorumSystem, compose, self_compose
 from repro.core.load import LoadResult, best_known_load, exact_load, fair_load, load_of_strategy
 from repro.core.masking import MaskingReport, masking_report, verify_masking
+from repro.core.membership import (
+    Epoch,
+    Membership,
+    MembershipEvent,
+    ReboundQuorumSystem,
+    plan_events,
+    rebind_system,
+    severed_between,
+)
 from repro.core.quorum_system import (
     ExplicitQuorumSystem,
     ImplicitQuorumSystem,
@@ -50,11 +59,15 @@ __all__ = [
     "AvailabilityResult",
     "BitsetEngine",
     "ComposedQuorumSystem",
+    "Epoch",
     "ExplicitQuorumSystem",
     "ImplicitQuorumSystem",
     "LoadResult",
     "MaskingReport",
+    "Membership",
+    "MembershipEvent",
     "QuorumSystem",
+    "ReboundQuorumSystem",
     "Strategy",
     "Universe",
     "analytic_failure_probability",
@@ -84,8 +97,11 @@ __all__ = [
     "minimal_transversal_size",
     "monte_carlo_failure_probability",
     "optimal_quorum_size",
+    "plan_events",
+    "rebind_system",
     "resilience_upper_bound_from_load",
     "rowcol_survival_probability",
     "self_compose",
+    "severed_between",
     "verify_masking",
 ]

@@ -1,0 +1,626 @@
+"""Epoch-based dynamic membership: the universe as a reconfigurable object.
+
+The paper states its load and availability results for a *fixed* universe of
+``n`` servers; a production deployment reconfigures.  This module makes the
+member set a first-class object:
+
+* a :class:`Membership` records **join/sever events** with absolute epoch
+  ids: epoch 0 is the initial member set, and every event produces the next
+  epoch.  Epochs are immutable — history is never rewritten, so an epoch id
+  names one member set forever (the ``QuorumBase.join``/``sever`` shape of
+  the related work's quorum managers);
+* :func:`rebind_system` recomputes a quorum system **as a pure function of
+  the current membership** (the indy-plenum ``Quorums(n)`` shape): registry
+  constructions are rebuilt with their parameters resized to the epoch's
+  ``n`` and relabelled onto the live members, explicit systems are
+  restricted to the quorums their surviving members can still form;
+* :class:`ReboundQuorumSystem` is the relabelling wrapper that makes the
+  rebuild cheap: quorum *bitmasks* are label-independent (bit ``i`` is
+  position ``i`` of the universe order), so the wrapper delegates every
+  mask-level view and closed-form measure to the freshly built construction
+  and only translates frozensets.  The PR-1 incidence caches
+  (``quorum_masks``/``bitset_engine``) live per rebound instance, so they
+  are invalidated per *epoch*, not per call.
+
+Strategy re-optimisation on epoch change lives next door: incremental
+re-weighting is :meth:`repro.core.strategy.Strategy.restricted_to` (keep the
+surviving quorums, renormalise), the full LP re-solve is
+:func:`repro.core.load.exact_load` on the rebound system; the workload-level
+wiring is :mod:`repro.simulation.reconfig`.  See ``docs/membership.md``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from math import isqrt
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.core import bitset as bitset_mod
+from repro.core.quorum_system import (
+    ExplicitQuorumSystem,
+    ImplicitQuorumSystem,
+    QuorumSystem,
+)
+from repro.core.universe import Universe
+from repro.exceptions import ComputationError, InvalidQuorumSystemError
+
+if TYPE_CHECKING:  # circular at runtime: these import core modules
+    from repro.core.strategy import Strategy
+
+__all__ = [
+    "Epoch",
+    "Membership",
+    "MembershipEvent",
+    "ReboundQuorumSystem",
+    "plan_events",
+    "rebind_system",
+    "severed_between",
+]
+
+#: The two reconfiguration event kinds.
+EVENT_KINDS = ("join", "sever")
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One reconfiguration step: servers joining or severing together.
+
+    Attributes
+    ----------
+    kind:
+        ``"join"`` (the servers are admitted) or ``"sever"`` (they are
+        evicted).  One event reconfigures atomically: all its servers change
+        state in the same epoch transition.
+    servers:
+        The affected servers, in a deterministic order (joins append to the
+        member order in this order).
+    """
+
+    kind: str
+    servers: tuple[Hashable, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise InvalidQuorumSystemError(
+                f"membership event kind must be one of {EVENT_KINDS}, got {self.kind!r}"
+            )
+        if not self.servers:
+            raise InvalidQuorumSystemError(
+                f"a {self.kind} event must name at least one server"
+            )
+        if len(set(self.servers)) != len(self.servers):
+            raise InvalidQuorumSystemError(
+                f"a {self.kind} event names a server twice: {self.servers!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """One immutable configuration of the membership.
+
+    Attributes
+    ----------
+    index:
+        The absolute epoch id: 0 for the initial configuration, incremented
+        by every event.  Ids are never reused; an evicted epoch stays
+        addressable (the history checker needs to say "this value was
+        written in epoch 1").
+    universe:
+        The live members as an ordered :class:`~repro.core.universe.Universe`
+        (survivors keep their relative order; joiners append).
+    joined / severed:
+        The delta against the previous epoch (both empty for epoch 0).
+    """
+
+    index: int
+    universe: Universe
+    joined: frozenset
+    severed: frozenset
+
+    @property
+    def members(self) -> tuple[Hashable, ...]:
+        """The live servers, in universe order."""
+        return self.universe.elements
+
+    @property
+    def n(self) -> int:
+        """The epoch's universe size."""
+        return self.universe.size
+
+    def member_set(self) -> frozenset:
+        """The live servers as a frozenset."""
+        return self.universe.as_frozenset()
+
+
+class Membership:
+    """An append-only log of join/sever events with absolute epoch ids.
+
+    Parameters
+    ----------
+    initial:
+        The epoch-0 member set (a :class:`~repro.core.universe.Universe` or
+        any ordered iterable of hashable server ids).
+    events:
+        Reconfiguration steps, each a :class:`MembershipEvent` or a
+        ``(kind, servers)`` pair.  Event ``k`` produces epoch ``k + 1``.
+        Severs must name current members, joins must name fresh servers,
+        and no epoch may become empty.
+
+    Examples
+    --------
+    >>> m = Membership(range(5), [("sever", [3, 4]), ("join", ["x"])])
+    >>> m.num_epochs
+    3
+    >>> m.epoch(1).members
+    (0, 1, 2)
+    >>> m.epoch(2).members
+    (0, 1, 2, 'x')
+    """
+
+    def __init__(
+        self,
+        initial: Universe | Iterable[Hashable],
+        events: Iterable[MembershipEvent | tuple[str, Iterable[Hashable]]] = (),
+    ):
+        if not isinstance(initial, Universe):
+            initial = Universe(initial)
+        normalised: list[MembershipEvent] = []
+        for event in events:
+            if not isinstance(event, MembershipEvent):
+                kind, servers = event
+                event = MembershipEvent(kind=kind, servers=tuple(servers))
+            normalised.append(event)
+        self._events = tuple(normalised)
+
+        epochs: list[Epoch] = [
+            Epoch(index=0, universe=initial, joined=frozenset(), severed=frozenset())
+        ]
+        members = list(initial.elements)
+        member_set = set(members)
+        for event in self._events:
+            if event.kind == "sever":
+                missing = [s for s in event.servers if s not in member_set]
+                if missing:
+                    raise InvalidQuorumSystemError(
+                        f"sever event for epoch {len(epochs)} names servers that "
+                        f"are not members: {missing!r}"
+                    )
+                severed = frozenset(event.servers)
+                members = [s for s in members if s not in severed]
+                member_set -= severed
+                joined: frozenset = frozenset()
+            else:
+                present = [s for s in event.servers if s in member_set]
+                if present:
+                    raise InvalidQuorumSystemError(
+                        f"join event for epoch {len(epochs)} names servers that "
+                        f"are already members: {present!r}"
+                    )
+                joined = frozenset(event.servers)
+                members = members + list(event.servers)
+                member_set |= joined
+                severed = frozenset()
+            if not members:
+                raise InvalidQuorumSystemError(
+                    f"epoch {len(epochs)} would have no members"
+                )
+            epochs.append(
+                Epoch(
+                    index=len(epochs),
+                    universe=Universe(members),
+                    joined=joined,
+                    severed=severed,
+                )
+            )
+        self._epochs = tuple(epochs)
+        #: Per-(system, epoch) rebind cache: the whole point of absolute
+        #: epoch ids is that a rebound system — and its PR-1 incidence
+        #: caches — can be reused for as long as the epoch lasts and is
+        #: dropped exactly when the epoch changes.
+        self._rebind_cache: dict[tuple[int, int], QuorumSystem] = {}
+
+    # ------------------------------------------------------------------
+    # Structure.
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> tuple[MembershipEvent, ...]:
+        """The reconfiguration events, in application order."""
+        return self._events
+
+    @property
+    def epochs(self) -> tuple[Epoch, ...]:
+        """Every epoch, index 0 first."""
+        return self._epochs
+
+    @property
+    def num_epochs(self) -> int:
+        """The number of epochs (events + 1)."""
+        return len(self._epochs)
+
+    @property
+    def initial(self) -> Universe:
+        """The epoch-0 universe."""
+        return self._epochs[0].universe
+
+    def epoch(self, index: int) -> Epoch:
+        """Return the epoch with the given absolute id."""
+        if not 0 <= index < len(self._epochs):
+            raise InvalidQuorumSystemError(
+                f"epoch id {index} out of range [0, {len(self._epochs) - 1}]"
+            )
+        return self._epochs[index]
+
+    def ever_members(self) -> frozenset:
+        """Every server that was a member in at least one epoch."""
+        combined: set[Hashable] = set()
+        for epoch in self._epochs:
+            combined |= epoch.member_set()
+        return frozenset(combined)
+
+    # ------------------------------------------------------------------
+    # Rebinding (cached per epoch).
+    # ------------------------------------------------------------------
+    def rebind(self, system: QuorumSystem, epoch_index: int) -> QuorumSystem:
+        """Return ``system`` recomputed for the given epoch (cached per epoch).
+
+        The cache key is ``(id(system), epoch_index)``: the same deployment
+        rebound to the same epoch returns the same object, so the
+        incidence/bitset caches hanging off it are shared across every
+        operation of the epoch and invalidated only when the epoch changes.
+        """
+        epoch = self.epoch(epoch_index)
+        key = (id(system), epoch_index)
+        cached = self._rebind_cache.get(key)
+        if cached is None:
+            cached = rebind_system(system, epoch)
+            self._rebind_cache[key] = cached
+        return cached
+
+    def __len__(self) -> int:
+        return len(self._epochs)
+
+    def __iter__(self) -> Iterator[Epoch]:
+        return iter(self._epochs)
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(str(epoch.n) for epoch in self._epochs)
+        return f"Membership(epochs={self.num_epochs}, sizes=[{sizes}])"
+
+
+class ReboundQuorumSystem(QuorumSystem):
+    """A construction recomputed for an epoch, relabelled onto its members.
+
+    Quorum bitmasks are label-independent — bit ``i`` means "position ``i``
+    of the universe order" — so rebinding a construction of the right size
+    onto the live member set is a pure relabelling: every mask-level view
+    (:meth:`iter_quorum_masks`, :meth:`sample_quorum_mask`) and every
+    closed-form measure delegates to the rebuilt construction unchanged,
+    and only the frozenset views translate through the epoch's universe.
+
+    Parameters
+    ----------
+    base:
+        A construction whose universe has exactly the epoch's size, built
+        with parameters recomputed for that size (see :func:`rebind_system`).
+    universe:
+        The epoch's member universe the base is relabelled onto.
+    epoch_index:
+        The absolute epoch id (kept for cache keys and reporting).
+    """
+
+    def __init__(self, base: QuorumSystem, universe: Universe, *, epoch_index: int):
+        if base.universe.size != universe.size:
+            raise InvalidQuorumSystemError(
+                f"cannot relabel a {base.universe.size}-server construction "
+                f"onto {universe.size} members"
+            )
+        self.base = base
+        self._universe = universe
+        self.epoch_index = int(epoch_index)
+        self.name = f"{base.name}@e{epoch_index}"
+        self.enumerates_all_quorums = base.enumerates_all_quorums
+
+    @property
+    def universe(self) -> Universe:
+        return self._universe
+
+    def iter_quorum_masks(self) -> Iterator[int]:
+        return self.base.iter_quorum_masks()
+
+    def iter_quorums(self) -> Iterator[frozenset]:
+        universe = self._universe
+        for mask in self.base.iter_quorum_masks():
+            yield bitset_mod.mask_to_frozenset(mask, universe)
+
+    # --- sampling delegates at the mask level (labels never materialise).
+    def sample_quorum_mask(self, rng: np.random.Generator) -> int:
+        return self.base.sample_quorum_mask(rng)
+
+    def sample_quorum(self, rng: np.random.Generator) -> frozenset:
+        return bitset_mod.mask_to_frozenset(
+            self.base.sample_quorum_mask(rng), self._universe
+        )
+
+    # --- measures are label-independent; use the base's closed forms.
+    def num_quorums(self) -> int:
+        return self.base.num_quorums()
+
+    def min_quorum_size(self) -> int:
+        return self.base.min_quorum_size()
+
+    def max_quorum_size(self) -> int:
+        return self.base.max_quorum_size()
+
+    def min_intersection_size(self) -> int:
+        return self.base.min_intersection_size()
+
+    def min_transversal_size(self) -> int:
+        return self.base.min_transversal_size()
+
+    def masking_bound(self) -> int:
+        return self.base.masking_bound()
+
+    def fairness(self) -> tuple[int, int] | None:
+        return self.base.fairness()
+
+    def load(self) -> float:
+        """The base construction's closed-form load, when it has one."""
+        analytic = getattr(self.base, "load", None)
+        if not callable(analytic):
+            raise ComputationError(
+                f"{self.base.name} has no closed-form load"
+            )
+        return float(analytic())
+
+    def __repr__(self) -> str:
+        return (
+            f"<ReboundQuorumSystem base={self.base.name!r} "
+            f"epoch={self.epoch_index} n={self.n}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# Parameter recomputation: construction parameters as functions of n.
+# ----------------------------------------------------------------------
+def _resized_params(construction: str, params: dict, n_new: int) -> dict:
+    """Recompute a registry parameter dict for a universe of size ``n_new``.
+
+    Pure functions of the target size, per family: threshold shapes take
+    ``n`` directly; grid shapes need a perfect square; recursive thresholds
+    a power ``k^depth``; trees ``2^(depth+1) - 1``; projective planes
+    ``q^2 + q + 1``; crumbling walls keep their row profile and grow/shrink
+    the tail rows.  Sizes outside the family raise
+    :class:`~repro.exceptions.InvalidQuorumSystemError`.
+    """
+    resized = dict(params)
+    if "side" in params:
+        side = isqrt(n_new)
+        if side * side != n_new:
+            raise InvalidQuorumSystemError(
+                f"{construction} needs a square universe; epoch has n={n_new}"
+            )
+        resized["side"] = side
+        return resized
+    if "rows" in params:
+        rows = [int(width) for width in params["rows"]]
+        total = sum(rows)
+        while total > n_new and rows:
+            trim = min(rows[-1], total - n_new)
+            rows[-1] -= trim
+            total -= trim
+            if rows[-1] == 0:
+                rows.pop()
+        if not rows or total > n_new:
+            raise InvalidQuorumSystemError(
+                f"{construction} cannot shrink its wall to n={n_new}"
+            )
+        if total < n_new:
+            rows[-1] += n_new - total
+        resized["rows"] = tuple(rows)
+        return resized
+    if "q" in params:
+        q = isqrt(n_new)
+        while q * q + q + 1 > n_new:
+            q -= 1
+        if q < 2 or q * q + q + 1 != n_new:
+            raise InvalidQuorumSystemError(
+                f"{construction} needs n = q^2 + q + 1; no such q for n={n_new}"
+            )
+        resized["q"] = q
+        return resized
+    if "depth" in params and "k" in params:  # recursive threshold: n = k^depth
+        k = int(params["k"])
+        depth, size = 0, 1
+        while size < n_new:
+            size *= k
+            depth += 1
+        if size != n_new or depth < 1:
+            raise InvalidQuorumSystemError(
+                f"{construction} needs n = {k}^depth; no such depth for n={n_new}"
+            )
+        resized["depth"] = depth
+        return resized
+    if "depth" in params:  # tree: n = 2^(depth + 1) - 1
+        depth, size = 0, 1
+        while size < n_new + 1:
+            size *= 2
+            depth += 1
+        if size != n_new + 1 or depth < 1:
+            raise InvalidQuorumSystemError(
+                f"{construction} needs n = 2^(depth+1) - 1; no such depth for n={n_new}"
+            )
+        resized["depth"] = depth - 1
+        return resized
+    if "n" in params:
+        if "k" in params and int(params["k"]) > n_new:
+            raise InvalidQuorumSystemError(
+                f"{construction} threshold k={params['k']} exceeds epoch size n={n_new}"
+            )
+        resized["n"] = n_new
+        return resized
+    raise InvalidQuorumSystemError(
+        f"{construction} has no size parameter to recompute for n={n_new}"
+    )
+
+
+def _registry_rebind(system: QuorumSystem, epoch: Epoch) -> QuorumSystem | None:
+    """Rebuild a registered construction at the epoch's size, or ``None``.
+
+    The registry is the component that knows each construction's parameters;
+    it is imported lazily because the facade imports core at module load
+    (this function only runs long after both packages exist).
+    """
+    from repro.api import registry as registry_mod  # local: api imports core
+
+    try:
+        spec = registry_mod.spec_of(system)
+    except Exception:  # noqa: BLE001 -- unregistered systems fall through  # repro-lint: disable=R3 -- spec_of's InvalidParameterError is the expected miss; re-raising would make every explicit system an error
+        return None
+    if epoch.n == system.universe.size and epoch.universe == system.universe:
+        return system
+    params = _resized_params(spec.construction, spec.params, epoch.n)
+    rebuilt = registry_mod.build(registry_mod.SystemSpec(spec.construction, params))
+    if rebuilt.universe == epoch.universe:
+        return rebuilt
+    return ReboundQuorumSystem(rebuilt, epoch.universe, epoch_index=epoch.index)
+
+
+def rebind_system(
+    system: QuorumSystem,
+    epoch: Epoch,
+    *,
+    resize: Callable[[int], QuorumSystem] | None = None,
+) -> QuorumSystem:
+    """Recompute ``system`` as a pure function of the epoch's membership.
+
+    Dispatch, in order:
+
+    1. the epoch's universe equals the system's — return it unchanged (the
+       common epoch-0 case, and any re-join that restores a configuration);
+    2. an :class:`~repro.core.quorum_system.ImplicitQuorumSystem` rebinds
+       its base construction and re-wraps with the same sample budget and
+       seed (the sample itself is epoch-fresh: it is drawn from the rebound
+       base);
+    3. a ``resize`` callback, when given, builds the same family at the
+       epoch's size over any universe; the result is relabelled onto the
+       members;
+    4. a registry construction is rebuilt with parameters recomputed for
+       the epoch's ``n`` (:func:`_resized_params`) and relabelled;
+    5. anything else (explicit/composed systems) keeps its quorum family
+       restricted to the quorums its surviving members can still form —
+       joins extend the universe with idle spares, severs drop every quorum
+       that lost a member.
+
+    Raises
+    ------
+    InvalidQuorumSystemError
+        When the family has no configuration of the epoch's size (e.g. a
+        grid asked for a non-square ``n``), or when a sever leaves an
+        explicit system with no quorum at all.
+    """
+    if epoch.universe == system.universe:
+        return system
+    if isinstance(system, ImplicitQuorumSystem):
+        rebased = rebind_system(system.base, epoch, resize=resize)
+        return ImplicitQuorumSystem(
+            rebased, num_samples=system.num_samples, seed=system.seed
+        )
+    if resize is not None:
+        rebuilt = resize(epoch.n)
+        if rebuilt.universe == epoch.universe:
+            return rebuilt
+        return ReboundQuorumSystem(rebuilt, epoch.universe, epoch_index=epoch.index)
+    rebound = _registry_rebind(system, epoch)
+    if rebound is not None:
+        return rebound
+    return _restrict_explicit(system, epoch)
+
+
+def _restrict_explicit(system: QuorumSystem, epoch: Epoch) -> ExplicitQuorumSystem:
+    """Fallback rebind for unregistered systems: keep the surviving quorums."""
+    member_set = epoch.member_set()
+    survivors = [
+        quorum
+        for quorum in system.quorums()  # repro-lint: disable=R2 -- rebind cold path, runs once per (system, epoch)
+        if quorum <= member_set
+    ]
+    if not survivors:
+        raise InvalidQuorumSystemError(
+            f"severing {sorted(epoch.severed, key=repr)} leaves {system.name} "
+            f"with no quorum in epoch {epoch.index}"
+        )
+    return ExplicitQuorumSystem(
+        epoch.universe,
+        survivors,
+        name=f"{system.name}@e{epoch.index}",
+        validate=False,
+    )
+
+
+def severed_between(
+    membership: Membership, start: int, end: int
+) -> frozenset:
+    """Servers severed anywhere in the epoch range ``[start, end]``.
+
+    Used by the epoch-boundary history rules: a quorum acknowledged by a
+    server severed in a covering epoch is evidence of a stale configuration.
+    """
+    combined: set[Hashable] = set()
+    for index in range(max(0, start), min(end, membership.num_epochs - 1) + 1):
+        combined |= membership.epoch(index).severed
+    return frozenset(combined)
+
+
+def plan_events(
+    universe: Universe, steps: Sequence[tuple[str, int]]
+) -> tuple[MembershipEvent, ...]:
+    """Expand count-based reconfiguration steps into explicit events.
+
+    Each step is ``(kind, count)``: ``"sever"`` evicts the last ``count``
+    members of the *current* order (deterministic, no RNG), ``"join"``
+    re-admits the most recently severed block — in its original relative
+    order, so a sever/re-join round trip restores the universe exactly —
+    and then mints fresh ids ``"j<epoch>.<i>"`` once the severed pool is
+    exhausted.  This is the JSON-stable shape
+    :class:`repro.api.membership.MembershipSpec` builds from.
+    """
+    members = list(universe.elements)
+    severed_stack: list[Hashable] = []
+    events: list[MembershipEvent] = []
+    for step_index, (kind, count) in enumerate(steps):
+        count = int(count)
+        if count < 1:
+            raise InvalidQuorumSystemError(
+                f"step {step_index}: count must be >= 1, got {count}"
+            )
+        if kind == "sever":
+            if count >= len(members):
+                raise InvalidQuorumSystemError(
+                    f"step {step_index}: severing {count} of {len(members)} "
+                    "members would empty the universe"
+                )
+            victims = tuple(members[-count:])
+            members = members[:-count]
+            severed_stack.extend(victims)
+            events.append(MembershipEvent(kind="sever", servers=victims))
+        elif kind == "join":
+            take = min(count, len(severed_stack))
+            # Re-admit the most recently severed block, keeping its original
+            # relative order so a sever/re-join round trip restores the
+            # universe (and rebinding recognises the restored configuration).
+            joiners: list[Hashable] = list(severed_stack[len(severed_stack) - take:])
+            del severed_stack[len(severed_stack) - take:]
+            fresh = 0
+            while len(joiners) < count:
+                joiners.append(f"j{step_index + 1}.{fresh}")
+                fresh += 1
+            members.extend(joiners)
+            events.append(MembershipEvent(kind="join", servers=tuple(joiners)))
+        else:
+            raise InvalidQuorumSystemError(
+                f"step {step_index}: kind must be one of {EVENT_KINDS}, got {kind!r}"
+            )
+    return tuple(events)

@@ -82,10 +82,14 @@ class Strategy:
         cumulative = np.cumsum(probabilities)
         cumulative.setflags(write=False)
         self._cumulative = cumulative
-        #: Per-universe caches of the mask-native views of the support
-        #: (bitmask tuples and :class:`~repro.core.bitset.BitsetEngine`).
-        self._mask_cache: dict[Universe, tuple[int, ...]] = {}
-        self._engine_cache: dict[Universe, bitset_mod.BitsetEngine] = {}
+        #: Caches of the mask-native views of the support (bitmask tuples and
+        #: :class:`~repro.core.bitset.BitsetEngine`), keyed by
+        #: ``(universe, epoch)`` rather than by universe identity alone: a
+        #: reconfiguration can reuse a universe object while changing what the
+        #: bit positions mean, so the epoch id must participate in the key for
+        #: rebinding to never serve a stale inverse-CDF/mask cache.
+        self._mask_cache: dict[tuple[Universe, int | None], tuple[int, ...]] = {}
+        self._engine_cache: dict[tuple[Universe, int | None], bitset_mod.BitsetEngine] = {}
 
     # ------------------------------------------------------------------
     # Constructors.
@@ -187,7 +191,7 @@ class Strategy:
         strategy = cls(quorum_weights, normalise=normalise)
         # Prime the mask cache; the support keeps the merged dict's
         # first-seen order minus the non-positive weights __init__ dropped.
-        strategy._mask_cache[universe] = tuple(
+        strategy._mask_cache[universe, None] = tuple(
             mask for mask, weight in merged.items() if weight > 0.0
         )
         return strategy
@@ -298,25 +302,59 @@ class Strategy:
         ).astype(np.int64)
         return np.minimum(indices, len(self._support_tuple) - 1)
 
-    def support_masks(self, universe: Universe) -> tuple[int, ...]:
-        """The support quorums as ``int`` bitmasks over ``universe`` (cached)."""
-        cached = self._mask_cache.get(universe)
+    def support_masks(
+        self, universe: Universe, *, epoch: int | None = None
+    ) -> tuple[int, ...]:
+        """The support quorums as ``int`` bitmasks over ``universe`` (cached).
+
+        ``epoch`` distinguishes cache entries across reconfigurations: callers
+        running inside a membership epoch pass its absolute index so a later
+        epoch that happens to reuse an equal universe never reads a mask tuple
+        computed under a different binding.
+        """
+        cached = self._mask_cache.get((universe, epoch))
         if cached is None:
             cached = bitset_mod.masks_of(self._support_tuple, universe)
-            self._mask_cache[universe] = cached
+            self._mask_cache[universe, epoch] = cached
         return cached
 
-    def support_engine(self, universe: Universe) -> bitset_mod.BitsetEngine:
+    def support_engine(
+        self, universe: Universe, *, epoch: int | None = None
+    ) -> bitset_mod.BitsetEngine:
         """A :class:`~repro.core.bitset.BitsetEngine` over the support (cached).
 
         Rows are support quorums in :attr:`support` order, so indices from
         :meth:`sample_many` index directly into its packed and incidence views.
+        Like :meth:`support_masks`, the cache key is ``(universe, epoch)``.
         """
-        cached = self._engine_cache.get(universe)
+        cached = self._engine_cache.get((universe, epoch))
         if cached is None:
-            cached = bitset_mod.BitsetEngine(universe, self.support_masks(universe))
-            self._engine_cache[universe] = cached
+            cached = bitset_mod.BitsetEngine(
+                universe, self.support_masks(universe, epoch=epoch)
+            )
+            self._engine_cache[universe, epoch] = cached
         return cached
+
+    # ------------------------------------------------------------------
+    # Epoch re-weighting.
+    # ------------------------------------------------------------------
+    def restricted_to(self, members: Iterable[Hashable]) -> "Strategy | None":
+        """Re-weight this strategy over the quorums surviving a reconfiguration.
+
+        Keeps exactly the supported quorums that are subsets of ``members``
+        and renormalises their probabilities — the incremental re-weighting
+        path on epoch change.  Returns ``None`` when no supported quorum
+        survives, signalling the caller to fall back to a full re-solve.
+        """
+        member_set = frozenset(members)
+        surviving = {
+            quorum: weight
+            for quorum, weight in self._weights.items()
+            if quorum <= member_set
+        }
+        if not surviving:
+            return None
+        return Strategy(surviving, normalise=True)
 
     def __len__(self) -> int:
         return len(self._weights)

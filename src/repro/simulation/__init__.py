@@ -49,6 +49,7 @@ from repro.simulation.events import (
 )
 from repro.simulation.faults import FaultInjector, FaultScenario
 from repro.simulation.history import (
+    EpochWindow,
     HistoryCheck,
     HistoryRecorder,
     OperationRecord,
@@ -56,6 +57,16 @@ from repro.simulation.history import (
 )
 from repro.simulation.messages import Timestamp, ValueTimestampPair
 from repro.simulation.network import SynchronousNetwork
+from repro.simulation.reconfig import (
+    REOPTIMISE_POLICIES,
+    EpochOutcome,
+    MembershipTimeline,
+    ReconfigEventResult,
+    ReconfigResult,
+    reoptimise_strategy,
+    run_reconfig_event_workload,
+    run_reconfig_workload,
+)
 from repro.simulation.register import ReplicatedRegister
 from repro.simulation.runner import (
     EventWorkloadResult,
@@ -94,12 +105,15 @@ from repro.simulation.traces import (
 __all__ = [
     "BYZANTINE_BEHAVIOURS",
     "BYZANTINE_MODELS",
+    "REOPTIMISE_POLICIES",
     "AdaptiveScenario",
     "AdversarialResult",
     "AdversarialRound",
     "AdversaryPolicy",
     "AsyncQuorumClient",
     "ByzantineReplicaServer",
+    "EpochOutcome",
+    "EpochWindow",
     "EventNetwork",
     "EventScheduler",
     "EventWorkloadResult",
@@ -111,9 +125,12 @@ __all__ = [
     "HistoryRecorder",
     "LatencyModel",
     "LinkFaults",
+    "MembershipTimeline",
     "OperationRecord",
     "OperationResult",
     "QuorumClient",
+    "ReconfigEventResult",
+    "ReconfigResult",
     "ReplicaServer",
     "ReplicatedRegister",
     "RetryPolicy",
@@ -141,9 +158,12 @@ __all__ = [
     "partition_scenario",
     "percolation_scenario",
     "random_crash_scenario",
+    "reoptimise_strategy",
     "resolve_strategy",
     "run_adversarial_workload",
     "run_event_workload",
+    "run_reconfig_event_workload",
+    "run_reconfig_workload",
     "run_scenario",
     "run_trace_workload",
     "run_workload",

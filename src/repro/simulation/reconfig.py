@@ -1,0 +1,501 @@
+"""Membership-reconfiguration workloads: epochs driven through both engines.
+
+A :class:`MembershipTimeline` pairs a :class:`~repro.core.membership.Membership`
+(the epoch sequence of join/sever events) with the fraction of the workload
+spent in each epoch — the membership analogue of
+:class:`~repro.simulation.events.FaultTimeline`, which only toggles
+responsiveness of a fixed universe.  :func:`run_reconfig_workload` drives the
+vectorised engine through the epochs and :func:`run_reconfig_event_workload`
+drives the event-driven protocol stack, stitching the per-epoch histories
+into one timeline checked with the epoch-extended register checker
+(:func:`~repro.simulation.history.check_register_history` with ``epochs=``).
+
+Semantics
+---------
+* The register **reinitialises at each reconfiguration** (no state transfer):
+  each epoch starts from the initial pair, and the first operation of an
+  epoch is therefore a write (the engines already force this).
+* The quorum system is **rebound per epoch**
+  (:func:`~repro.core.membership.rebind_system` via ``Membership.rebind``):
+  construction parameters are recomputed as a pure function of the epoch's
+  size, and the masking parameter is clamped to the epoch's own bound.
+* The access strategy is **re-optimised per epoch** under one of three
+  policies: ``"reweight"`` renormalises the previous epoch's strategy over
+  its surviving quorums and falls back to a full re-solve when nothing
+  survives, ``"resolve"`` always re-solves the load LP (or re-samples, for
+  implicit systems), and ``"uniform"`` rebuilds the uniform strategy.
+* All epochs consume **one continuing rng stream**, so a run is a
+  deterministic function of the seed and — because each epoch slice is a
+  plain :func:`~repro.simulation.engine.run_scenario` call — the vectorised
+  and sequential modes stay bit-for-bit identical.
+
+``docs/membership.md`` documents the epoch model and the checker rules at
+epoch boundaries.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.membership import Epoch, Membership
+from repro.core.quorum_system import QuorumSystem
+from repro.core.rng import ensure_rng
+from repro.core.strategy import Strategy
+from repro.exceptions import SimulationError
+from repro.simulation.engine import WorkloadResult, resolve_strategy, run_scenario
+from repro.simulation.history import (
+    EpochWindow,
+    HistoryCheck,
+    check_register_history,
+)
+from repro.simulation.runner import run_event_workload
+from repro.simulation.scenarios import WorkloadScenario
+
+__all__ = [
+    "REOPTIMISE_POLICIES",
+    "EpochOutcome",
+    "MembershipTimeline",
+    "ReconfigEventResult",
+    "ReconfigResult",
+    "reoptimise_strategy",
+    "run_reconfig_event_workload",
+    "run_reconfig_workload",
+]
+
+#: Strategy re-optimisation policies applied on epoch change.
+REOPTIMISE_POLICIES = ("reweight", "resolve", "uniform")
+
+
+@dataclass(frozen=True)
+class MembershipTimeline:
+    """A membership epoch sequence spread over a workload.
+
+    Attributes
+    ----------
+    membership:
+        The epoch sequence (initial universe plus join/sever events).
+    fractions:
+        Fraction of the workload's operations spent in each epoch; must be
+        positive and sum to 1 (equal split when omitted).
+    """
+
+    membership: Membership
+    fractions: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        fractions = self.fractions
+        if not fractions:
+            count = self.membership.num_epochs
+            fractions = tuple(1.0 / count for _ in range(count))
+            object.__setattr__(self, "fractions", fractions)
+        if len(fractions) != self.membership.num_epochs:
+            raise SimulationError(
+                f"{self.membership.num_epochs} epochs but {len(fractions)} fractions"
+            )
+        if any(fraction <= 0.0 for fraction in fractions):
+            raise SimulationError("epoch fractions must be positive")
+        if abs(sum(fractions) - 1.0) > 1e-9:
+            raise SimulationError(
+                f"epoch fractions sum to {sum(fractions)}, expected 1"
+            )
+
+    @property
+    def num_epochs(self) -> int:
+        return self.membership.num_epochs
+
+    def operations_per_epoch(self, num_operations: int) -> tuple[int, ...]:
+        """Split an operation budget over the epochs (each gets at least one).
+
+        Boundaries are the cumulative fractions rounded down, bumped so every
+        epoch runs at least one operation; the final epoch absorbs the
+        remainder — the same convention as
+        :meth:`~repro.simulation.scenarios.WorkloadScenario.phase_of_operations`.
+        """
+        count = self.num_epochs
+        if num_operations < count:
+            raise SimulationError(
+                f"need at least one operation per epoch: {num_operations} "
+                f"operations over {count} epochs"
+            )
+        boundaries = np.floor(
+            np.cumsum(self.fractions) * num_operations
+        ).astype(np.int64)
+        # Boundaries must be strictly increasing (one operation per epoch
+        # minimum) and leave room for every epoch still to come.
+        previous = 0
+        for position in range(count):
+            ceiling = num_operations - (count - 1 - position)
+            previous = int(min(max(boundaries[position], previous + 1), ceiling))
+            boundaries[position] = previous
+        boundaries[-1] = num_operations
+        counts = np.diff(boundaries, prepend=0)
+        return tuple(int(value) for value in counts)
+
+
+@dataclass(frozen=True)
+class EpochOutcome:
+    """One epoch's slice of a reconfiguration workload.
+
+    ``policy`` records the re-optimisation that actually happened for the
+    epoch's strategy: ``"initial"`` for epoch 0, else ``"reweight"``,
+    ``"resolve"`` or ``"uniform"`` (a requested re-weight that found no
+    surviving quorum is reported as the ``"resolve"`` it fell back to).
+    """
+
+    index: int
+    n: int
+    b: int
+    system_name: str
+    policy: str
+    support_size: int
+    result: WorkloadResult
+    strategy: Strategy | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "epoch": self.index,
+            "n": self.n,
+            "b": self.b,
+            "system": self.system_name,
+            "policy": self.policy,
+            "support_size": self.support_size,
+            "operations": self.result.operations,
+            "availability": self.result.availability,
+            "empirical_load": self.result.empirical_load,
+            "consistency_violations": self.result.consistency_violations,
+            "stale_reads": self.result.stale_reads,
+        }
+
+
+@dataclass(frozen=True)
+class ReconfigResult:
+    """Aggregate outcome of a reconfiguration workload (vectorised engine)."""
+
+    outcomes: tuple[EpochOutcome, ...]
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def operations(self) -> int:
+        return sum(outcome.result.operations for outcome in self.outcomes)
+
+    @property
+    def failed_operations(self) -> int:
+        return sum(outcome.result.failed_operations for outcome in self.outcomes)
+
+    @property
+    def consistency_violations(self) -> int:
+        return sum(
+            outcome.result.consistency_violations for outcome in self.outcomes
+        )
+
+    @property
+    def stale_reads(self) -> int:
+        return sum(outcome.result.stale_reads for outcome in self.outcomes)
+
+    @property
+    def availability(self) -> float:
+        total = self.operations
+        if total == 0:
+            return 0.0
+        return (total - self.failed_operations) / total
+
+    @property
+    def is_consistent(self) -> bool:
+        return self.consistency_violations == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "num_epochs": self.num_epochs,
+            "operations": self.operations,
+            "availability": self.availability,
+            "consistency_violations": self.consistency_violations,
+            "stale_reads": self.stale_reads,
+            "epochs": [outcome.to_dict() for outcome in self.outcomes],
+        }
+
+
+@dataclass(frozen=True)
+class ReconfigEventResult:
+    """Aggregate outcome of a reconfiguration workload (event engine).
+
+    ``check`` is the verdict of the epoch-extended register checker over the
+    stitched history; ``windows`` are the epoch windows it was checked
+    against, and ``history`` the combined (time-shifted) records.
+    """
+
+    outcomes: tuple[EpochOutcome, ...]
+    windows: tuple[EpochWindow, ...]
+    check: HistoryCheck
+    history: tuple = ()
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def operations(self) -> int:
+        return sum(outcome.result.operations for outcome in self.outcomes)
+
+    @property
+    def is_consistent(self) -> bool:
+        return self.check.ok
+
+    def to_dict(self) -> dict:
+        return {
+            "num_epochs": self.num_epochs,
+            "operations": self.operations,
+            "check_ok": self.check.ok,
+            "fabricated_reads": self.check.fabricated_reads,
+            "stale_reads": self.check.stale_reads,
+            "cross_epoch_reads": self.check.cross_epoch_reads,
+            "foreign_quorum_members": self.check.foreign_quorum_members,
+            "epochs": [outcome.to_dict() for outcome in self.outcomes],
+        }
+
+
+def _full_resolve(rebound: QuorumSystem) -> Strategy:
+    """Full per-epoch re-solve: the load LP, or re-sampling when implicit."""
+    if getattr(rebound, "is_implicit", False):
+        return rebound.sampled_optimal_strategy()
+    return resolve_strategy(rebound, "optimal")
+
+
+def reoptimise_strategy(
+    system: QuorumSystem,
+    membership: Membership,
+    epoch_index: int,
+    *,
+    previous: Strategy | None = None,
+    policy: str = "reweight",
+) -> tuple[Strategy, str]:
+    """Produce the access strategy for an epoch under the given policy.
+
+    Returns ``(strategy, applied)`` where ``applied`` names the policy that
+    actually produced the strategy: a ``"reweight"`` whose surviving support
+    is empty falls back to — and is reported as — ``"resolve"``.  This is
+    the unit the membership benchmark times (incremental re-weight vs. full
+    LP re-solve).
+    """
+    if policy not in REOPTIMISE_POLICIES:
+        raise SimulationError(
+            f"unknown re-optimisation policy {policy!r}; "
+            f"choose one of {REOPTIMISE_POLICIES}"
+        )
+    rebound = membership.rebind(system, epoch_index)
+    if policy == "uniform":
+        return resolve_strategy(rebound, None), "uniform"
+    if policy == "reweight" and previous is not None:
+        restricted = previous.restricted_to(rebound.universe.elements)
+        if restricted is not None:
+            return restricted, "reweight"
+    return _full_resolve(rebound), "resolve"
+
+
+def _epoch_b(b: int | None, rebound: QuorumSystem) -> int:
+    """The epoch's own masking parameter: the requested ``b`` clamped to
+    what the epoch's rebound system can mask."""
+    bound = rebound.masking_bound()
+    if b is None:
+        return bound
+    return min(b, bound)
+
+
+def _check_initial(system: QuorumSystem, timeline: MembershipTimeline) -> None:
+    if timeline.membership.initial != system.universe:
+        raise SimulationError(
+            "the timeline's initial universe must match the deployed system's "
+            f"universe (epoch 0 has n={timeline.membership.initial.size}, "
+            f"system has n={system.universe.size})"
+        )
+
+
+def run_reconfig_workload(
+    system: QuorumSystem,
+    *,
+    timeline: MembershipTimeline,
+    b: int | None = None,
+    num_operations: int = 300,
+    scenario_factory: Callable[[Epoch, QuorumSystem], WorkloadScenario | None]
+    | None = None,
+    policy: str = "reweight",
+    strategy: Strategy | str | None = None,
+    rng: np.random.Generator | int | None = None,
+    write_fraction: float = 0.5,
+    max_attempts: int = 10,
+    allow_overload: bool = False,
+    mode: str = "vectorised",
+) -> ReconfigResult:
+    """Drive the vectorised engine through a membership timeline.
+
+    Parameters
+    ----------
+    system:
+        The quorum system deployed in epoch 0 (its universe must equal the
+        timeline's initial universe).
+    timeline:
+        Epoch sequence plus per-epoch operation fractions.
+    b:
+        Masking parameter; clamped per epoch to the rebound system's own
+        bound (``None`` uses each epoch's bound directly).
+    num_operations:
+        Total operations across all epochs.
+    scenario_factory:
+        Optional callable ``(epoch, rebound_system) -> scenario`` injecting
+        per-epoch faults (``None`` runs every epoch fault-free).
+    policy:
+        Strategy re-optimisation policy on epoch change (see
+        :func:`reoptimise_strategy`).
+    strategy:
+        Epoch-0 strategy specification (``None``/``"uniform"``/``"optimal"``
+        or a :class:`~repro.core.strategy.Strategy`).
+    mode:
+        ``"vectorised"`` or ``"sequential"`` — forwarded to
+        :func:`~repro.simulation.engine.run_scenario`; both modes consume
+        the same continuing rng stream and agree bit for bit.
+    """
+    _check_initial(system, timeline)
+    rng = ensure_rng(rng)
+    operations = timeline.operations_per_epoch(num_operations)
+    membership = timeline.membership
+
+    outcomes: list[EpochOutcome] = []
+    current: Strategy | None = None
+    for epoch in membership:
+        rebound = membership.rebind(system, epoch.index)
+        if epoch.index == 0:
+            current = resolve_strategy(rebound, strategy)
+            applied = "initial"
+        else:
+            current, applied = reoptimise_strategy(
+                system, membership, epoch.index, previous=current, policy=policy
+            )
+        epoch_b = _epoch_b(b, rebound)
+        scenario = (
+            scenario_factory(epoch, rebound) if scenario_factory is not None else None
+        )
+        result = run_scenario(
+            rebound,
+            b=epoch_b,
+            num_operations=operations[epoch.index],
+            scenario=scenario,
+            strategy=current,
+            rng=rng,
+            write_fraction=write_fraction,
+            max_attempts=max_attempts,
+            allow_overload=allow_overload,
+            mode=mode,
+            epoch=epoch.index,
+        )
+        outcomes.append(
+            EpochOutcome(
+                index=epoch.index,
+                n=epoch.n,
+                b=epoch_b,
+                system_name=rebound.name,
+                policy=applied,
+                support_size=len(current),
+                result=result,
+                strategy=current,
+            )
+        )
+    return ReconfigResult(outcomes=tuple(outcomes))
+
+
+def run_reconfig_event_workload(
+    system: QuorumSystem,
+    *,
+    timeline: MembershipTimeline,
+    b: int | None = None,
+    num_clients: int = 4,
+    operations_per_client: int = 20,
+    policy: str = "reweight",
+    strategy: Strategy | str | None = None,
+    rng: np.random.Generator | int | None = None,
+    write_fraction: float = 0.5,
+    max_attempts: int = 10,
+    keep_history: bool = True,
+) -> ReconfigEventResult:
+    """Drive the event-driven protocol stack through a membership timeline.
+
+    Each epoch runs its slice of every client's operation budget
+    (``operations_per_client`` split by the timeline's fractions) over the
+    epoch's rebound system, the per-epoch histories are stitched onto one
+    time axis, and the combined history is checked with the epoch-extended
+    register checker — zero violations expected at ≤ b faults per epoch.
+    """
+    _check_initial(system, timeline)
+    rng = ensure_rng(rng)
+    per_client = timeline.operations_per_epoch(operations_per_client)
+    membership = timeline.membership
+
+    outcomes: list[EpochOutcome] = []
+    windows: list[EpochWindow] = []
+    combined: list = []
+    offset = 0.0
+    current: Strategy | None = None
+    for epoch in membership:
+        rebound = membership.rebind(system, epoch.index)
+        if epoch.index == 0:
+            current = resolve_strategy(rebound, strategy)
+            applied = "initial"
+        else:
+            current, applied = reoptimise_strategy(
+                system, membership, epoch.index, previous=current, policy=policy
+            )
+        epoch_b = _epoch_b(b, rebound)
+        result = run_event_workload(
+            rebound,
+            b=epoch_b,
+            num_clients=num_clients,
+            operations_per_client=per_client[epoch.index],
+            strategy=current,
+            rng=rng,
+            write_fraction=write_fraction,
+            max_attempts=max_attempts,
+            keep_history=True,
+        )
+        for record in result.history:
+            combined.append(
+                replace(
+                    record,
+                    invoked_at=record.invoked_at + offset,
+                    responded_at=record.responded_at + offset,
+                )
+            )
+        span = offset + result.duration + 1.0
+        windows.append(
+            EpochWindow(
+                index=epoch.index,
+                start=offset,
+                end=span,
+                members=epoch.member_set(),
+                b=epoch_b,
+            )
+        )
+        offset = span
+        outcomes.append(
+            EpochOutcome(
+                index=epoch.index,
+                n=epoch.n,
+                b=epoch_b,
+                system_name=rebound.name,
+                policy=applied,
+                support_size=len(current),
+                result=result,
+                strategy=current,
+            )
+        )
+    windows[-1] = replace(windows[-1], end=float("inf"))
+    check = check_register_history(combined, epochs=windows)
+    return ReconfigEventResult(
+        outcomes=tuple(outcomes),
+        windows=tuple(windows),
+        check=check,
+        history=tuple(combined) if keep_history else (),
+    )

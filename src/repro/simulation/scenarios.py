@@ -279,8 +279,14 @@ def churn_scenario(
 ) -> WorkloadScenario:
     """Time-varying crashes: a different crash set in each phase.
 
-    Servers come and go between phases (rolling restarts, flapping links)
-    while an optional fixed Byzantine set keeps lying throughout.
+    This toggles *responsiveness* of a fixed universe only: the membership
+    never changes, crashed servers remain members (rolling restarts,
+    flapping links) and may answer again in a later phase, while an optional
+    fixed Byzantine set keeps lying throughout.  Actual membership change —
+    servers joining or being severed mid-run, with quorum thresholds
+    recomputed per epoch — is the job of the ``reconfig-*`` scenarios built
+    on :class:`repro.simulation.reconfig.MembershipTimeline`; see
+    ``docs/membership.md``.
     """
     if not crash_sets:
         raise SimulationError("churn needs at least one phase of crashes")

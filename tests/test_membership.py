@@ -1,0 +1,224 @@
+"""Core membership layer: epochs, rebinding, epoch-keyed strategy caches.
+
+The tentpole invariants these pin down:
+
+* a :class:`~repro.core.membership.Membership` is an append-only log with
+  *absolute* epoch ids — severs and joins validate against the live set and
+  the member order is deterministic (survivors keep their relative order,
+  joiners append);
+* :func:`~repro.core.membership.rebind_system` recomputes a system as a pure
+  function of the epoch's membership: registry constructions resize their
+  parameters and relabel onto the live members, explicit systems restrict to
+  the surviving quorums, and a re-join that restores the original universe
+  returns the *original object*;
+* :class:`~repro.core.membership.ReboundQuorumSystem` is a pure relabelling —
+  mask-level views and closed-form measures are the resized base's;
+* :meth:`~repro.core.strategy.Strategy.restricted_to` is the incremental
+  re-weighting primitive, and the strategy's incidence caches are keyed by
+  ``(universe, epoch)`` so distinct epochs never share a cache slot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExplicitQuorumSystem, MGrid, majority
+from repro.core import (
+    Membership,
+    MembershipEvent,
+    ReboundQuorumSystem,
+    Strategy,
+    plan_events,
+    rebind_system,
+    severed_between,
+)
+from repro.core.universe import Universe
+from repro.exceptions import InvalidQuorumSystemError
+
+
+def _grid_membership(side: int = 5) -> tuple[MGrid, Membership]:
+    """MGrid(side, 1) with the outer ring severed then re-admitted."""
+    system = MGrid(side, 1)
+    ring = side * side - (side - 1) ** 2
+    events = plan_events(system.universe, [("sever", ring), ("join", ring)])
+    return system, Membership(system.universe, events)
+
+
+class TestMembershipLog:
+    def test_epoch_zero_is_initial(self):
+        membership = Membership(range(5))
+        assert membership.num_epochs == 1
+        assert membership.epoch(0).members == (0, 1, 2, 3, 4)
+        assert membership.epoch(0).joined == frozenset()
+        assert membership.epoch(0).severed == frozenset()
+
+    def test_events_produce_consecutive_epochs(self):
+        membership = Membership(
+            range(5), [("sever", [3, 4]), ("join", ["x", "y"])]
+        )
+        assert membership.num_epochs == 3
+        assert membership.epoch(1).members == (0, 1, 2)
+        assert membership.epoch(1).severed == frozenset({3, 4})
+        assert membership.epoch(2).members == (0, 1, 2, "x", "y")
+        assert membership.epoch(2).joined == frozenset({"x", "y"})
+        assert [epoch.index for epoch in membership] == [0, 1, 2]
+
+    def test_survivors_keep_relative_order(self):
+        membership = Membership(range(6), [("sever", [1, 4])])
+        assert membership.epoch(1).members == (0, 2, 3, 5)
+
+    def test_sever_of_non_member_rejected(self):
+        with pytest.raises(InvalidQuorumSystemError):
+            Membership(range(3), [("sever", [7])])
+
+    def test_join_of_existing_member_rejected(self):
+        with pytest.raises(InvalidQuorumSystemError):
+            Membership(range(3), [("join", [2])])
+
+    def test_emptying_epoch_rejected(self):
+        with pytest.raises(InvalidQuorumSystemError):
+            Membership(range(2), [("sever", [0, 1])])
+
+    def test_epoch_ids_are_absolute(self):
+        membership = Membership(range(4), [("sever", [3]), ("join", [3])])
+        # The evicted epoch stays addressable after the re-join.
+        assert membership.epoch(1).members == (0, 1, 2)
+        with pytest.raises(InvalidQuorumSystemError):
+            membership.epoch(3)
+
+    def test_ever_members_and_severed_between(self):
+        membership = Membership(
+            range(4), [("sever", [2, 3]), ("join", ["x"]), ("sever", ["x"])]
+        )
+        assert membership.ever_members() == frozenset({0, 1, 2, 3, "x"})
+        assert severed_between(membership, 0, 1) == frozenset({2, 3})
+        assert severed_between(membership, 3, 3) == frozenset({"x"})
+        assert severed_between(membership, 0, 99) == frozenset({2, 3, "x"})
+
+
+class TestPlanEvents:
+    def test_sever_evicts_tail_of_current_order(self):
+        events = plan_events(Universe(range(5)), [("sever", 2)])
+        assert events == (MembershipEvent("sever", (3, 4)),)
+
+    def test_join_restores_severed_block_in_order(self):
+        universe = Universe(range(6))
+        events = plan_events(universe, [("sever", 3), ("join", 3)])
+        assert events[1] == MembershipEvent("join", (3, 4, 5))
+        membership = Membership(universe, events)
+        # The round trip restores the universe exactly (order included).
+        assert membership.epoch(2).universe == universe
+
+    def test_join_mints_fresh_ids_when_pool_exhausted(self):
+        events = plan_events(Universe(range(4)), [("sever", 1), ("join", 3)])
+        assert events[1].servers == (3, "j2.0", "j2.1")
+
+    def test_sever_to_empty_rejected(self):
+        with pytest.raises(InvalidQuorumSystemError):
+            plan_events(Universe(range(3)), [("sever", 3)])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvalidQuorumSystemError):
+            plan_events(Universe(range(3)), [("shrink", 1)])
+
+
+class TestRebind:
+    def test_same_universe_returns_same_object(self):
+        system, membership = _grid_membership()
+        assert membership.rebind(system, 0) is system
+        # The re-join restores the initial configuration exactly.
+        assert membership.rebind(system, 2) is system
+
+    def test_registry_construction_resizes_and_relabels(self):
+        system, membership = _grid_membership(5)
+        rebound = membership.rebind(system, 1)
+        assert isinstance(rebound, ReboundQuorumSystem)
+        assert rebound.n == 16
+        assert rebound.universe == membership.epoch(1).universe
+        reference = MGrid(4, 1)
+        assert rebound.num_quorums() == reference.num_quorums()
+        assert rebound.min_intersection_size() == reference.min_intersection_size()
+        assert rebound.masking_bound() == reference.masking_bound()
+        # Quorums translate onto the surviving members only.
+        member_set = membership.epoch(1).member_set()
+        for quorum in rebound.iter_quorums():
+            assert quorum <= member_set
+
+    def test_rebind_is_cached_per_epoch(self):
+        system, membership = _grid_membership()
+        assert membership.rebind(system, 1) is membership.rebind(system, 1)
+
+    def test_threshold_rebinds_to_epoch_size(self):
+        system = majority(7)
+        membership = Membership(
+            system.universe, plan_events(system.universe, [("join", 4)])
+        )
+        rebound = membership.rebind(system, 1)
+        assert rebound.n == 11
+        assert rebound.universe == membership.epoch(1).universe
+
+    def test_grid_rejects_non_square_epoch(self):
+        system = MGrid(4, 1)
+        membership = Membership(
+            system.universe, plan_events(system.universe, [("sever", 2)])
+        )
+        with pytest.raises(InvalidQuorumSystemError):
+            membership.rebind(system, 1)
+
+    def test_explicit_system_restricts_to_surviving_quorums(self):
+        system = ExplicitQuorumSystem(
+            range(5),
+            [{0, 1, 2}, {1, 2, 3}, {2, 3, 4}],
+            name="simple",
+        )
+        membership = Membership(range(5), [("sever", [4])])
+        rebound = rebind_system(system, membership.epoch(1))
+        assert set(rebound.quorums()) == {
+            frozenset({0, 1, 2}),
+            frozenset({1, 2, 3}),
+        }
+        assert rebound.universe == membership.epoch(1).universe
+
+    def test_explicit_system_with_no_survivor_rejected(self):
+        system = ExplicitQuorumSystem(range(3), [{0, 1, 2}], name="all")
+        membership = Membership(range(3), [("sever", [2])])
+        with pytest.raises(InvalidQuorumSystemError):
+            rebind_system(system, membership.epoch(1))
+
+
+class TestStrategyEpochs:
+    def test_restricted_to_keeps_surviving_quorums(self):
+        strategy = Strategy(
+            {
+                frozenset({0, 1}): 0.5,
+                frozenset({1, 2}): 0.25,
+                frozenset({2, 3}): 0.25,
+            }
+        )
+        restricted = strategy.restricted_to({0, 1, 2})
+        assert restricted is not None
+        assert set(restricted.support) == {
+            frozenset({0, 1}),
+            frozenset({1, 2}),
+        }
+        # Weights renormalise over the survivors.
+        assert restricted.probability(frozenset({0, 1})) == pytest.approx(2 / 3)
+        assert restricted.probability(frozenset({1, 2})) == pytest.approx(1 / 3)
+
+    def test_restricted_to_empty_support_returns_none(self):
+        strategy = Strategy({frozenset({0, 1}): 1.0})
+        assert strategy.restricted_to({2, 3}) is None
+
+    def test_caches_are_keyed_by_epoch(self):
+        universe = Universe(range(4))
+        strategy = Strategy(
+            {frozenset({0, 1}): 0.5, frozenset({2, 3}): 0.5}
+        )
+        default = strategy.support_masks(universe)
+        tagged = strategy.support_masks(universe, epoch=1)
+        assert default == tagged  # same universe, same masks...
+        engine_a = strategy.support_engine(universe)
+        engine_b = strategy.support_engine(universe, epoch=1)
+        engine_c = strategy.support_engine(universe, epoch=1)
+        assert engine_b is engine_c  # ...but per-epoch cache slots
+        assert engine_a is not engine_b
