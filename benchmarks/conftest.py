@@ -8,14 +8,34 @@ fixed random seed so that the reported numbers are reproducible run to run.
 
 from __future__ import annotations
 
+import platform
+
 import numpy as np
 import pytest
+
+#: The shared artefact contract: every ``BENCH_*.json`` at the repository
+#: root carries this schema version plus a ``metadata`` header from
+#: :func:`run_metadata`.  Bump it when the header shape changes.
+ARTIFACT_SCHEMA_VERSION = 2
+
+#: Keys every artefact's ``metadata`` header must carry.
+METADATA_KEYS = ("generator", "python", "numpy", "platform")
 
 
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic random generator for Monte-Carlo benchmarks."""
     return np.random.default_rng(20240614)
+
+
+def run_metadata(generator: str) -> dict:
+    """Environment stamp shared by the benchmark artefacts (JSON-stable)."""
+    return {
+        "generator": generator,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+    }
 
 
 def format_table(headers: list[str], rows: list[list[object]]) -> str:

@@ -1,0 +1,66 @@
+"""Shared schema check over every recorded ``BENCH_*.json`` artefact.
+
+The benchmark artefacts at the repository root are machine-readable
+contracts: CI and future PRs diff them instead of re-reading log output.
+This check pins what *all* of them must share — the
+``schema_version``/``metadata`` header introduced for
+``BENCH_scenarios.json`` and extended to ``BENCH_membership.json`` —
+so a new artefact (or a regenerated old one) cannot silently drop the
+header or fork the contract.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from conftest import ARTIFACT_SCHEMA_VERSION, METADATA_KEYS
+
+ROOT = Path(__file__).resolve().parents[1]
+
+#: Every artefact the suite records, with the benchmark that generates it.
+EXPECTED_ARTIFACTS = {
+    "BENCH_scenarios.json": "benchmarks/test_bench_scenarios.py",
+    "BENCH_membership.json": "benchmarks/test_bench_membership.py",
+}
+
+
+def _artifacts() -> list[Path]:
+    return sorted(ROOT.glob("BENCH_*.json"))
+
+
+def test_expected_artifacts_exist():
+    names = {path.name for path in _artifacts()}
+    missing = set(EXPECTED_ARTIFACTS) - names
+    assert not missing, f"benchmark artefacts missing from the repo root: {missing}"
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_ARTIFACTS))
+def test_artifact_header_schema(name):
+    """Both artefacts share the same header: version, metadata, seed."""
+    path = ROOT / name
+    payload = json.loads(path.read_text(encoding="utf-8"))
+
+    assert payload["schema_version"] == ARTIFACT_SCHEMA_VERSION, (
+        f"{name} is on schema {payload.get('schema_version')!r}; regenerate it "
+        f"(run the suite in benchmarks/) to move it to {ARTIFACT_SCHEMA_VERSION}"
+    )
+    metadata = payload["metadata"]
+    for key in METADATA_KEYS:
+        assert key in metadata and metadata[key], f"{name} metadata lacks {key!r}"
+    assert metadata["generator"] == EXPECTED_ARTIFACTS[name]
+    assert isinstance(payload["seed"], int)
+    assert "system" in payload
+
+
+def test_no_unregistered_artifacts():
+    """A new BENCH_*.json must register here to inherit the schema check."""
+    unregistered = {
+        path.name for path in _artifacts() if path.name not in EXPECTED_ARTIFACTS
+    }
+    assert not unregistered, (
+        f"unregistered benchmark artefacts {unregistered}: add them to "
+        "EXPECTED_ARTIFACTS in benchmarks/test_bench_artifacts.py"
+    )

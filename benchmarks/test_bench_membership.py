@@ -32,8 +32,7 @@ from pathlib import Path
 
 import numpy as np
 
-from conftest import format_table
-from test_bench_scenarios import run_metadata
+from conftest import ARTIFACT_SCHEMA_VERSION, format_table, run_metadata
 
 from repro import MGrid
 from repro.analysis import reconfig_conformance
@@ -126,7 +125,7 @@ def test_membership_reoptimisation_artifact():
     side_up = (GRID_SIDE + 1) ** 2 - GRID_SIDE**2
     ring = GRID_SIDE * GRID_SIDE - (GRID_SIDE - 1) ** 2
     payload = {
-        "schema_version": 1,
+        "schema_version": ARTIFACT_SCHEMA_VERSION,
         "metadata": run_metadata("benchmarks/test_bench_membership.py"),
         "system": f"mgrid(side={GRID_SIDE}, b={MASKING_B})",
         "seed": SEED,
@@ -162,7 +161,7 @@ def test_membership_reoptimisation_artifact():
     print(f"\nrecorded -> {ARTIFACT.name}")
 
     recorded = json.loads(ARTIFACT.read_text())
-    assert recorded["schema_version"] == 1
+    assert recorded["schema_version"] == ARTIFACT_SCHEMA_VERSION
     growth, churn = recorded["transitions"]
     # Growth keeps every quorum: the re-weight really is incremental.
     assert growth["reweight"]["policy_applied"] == "reweight"

@@ -18,12 +18,11 @@ numbers instead of re-reading log output:
 from __future__ import annotations
 
 import json
-import platform
 from pathlib import Path
 
 import numpy as np
 
-from conftest import format_table
+from conftest import ARTIFACT_SCHEMA_VERSION, format_table, run_metadata
 
 from repro import MGrid
 from repro.analysis import adversarial_conformance, percolation_conformance
@@ -111,20 +110,10 @@ def _trace_payload() -> dict:
     }
 
 
-def run_metadata(generator: str) -> dict:
-    """Environment stamp shared by the benchmark artefacts (JSON-stable)."""
-    return {
-        "generator": generator,
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "platform": platform.platform(),
-    }
-
-
 def test_scenario_suite_conformance_artifact():
     """Run the three scenario families, require conformance, record the JSON."""
     payload = {
-        "schema_version": 2,
+        "schema_version": ARTIFACT_SCHEMA_VERSION,
         "metadata": run_metadata("benchmarks/test_bench_scenarios.py"),
         "system": f"mgrid(side={GRID_SIDE}, b={MASKING_B})",
         "seed": SEED,
@@ -163,7 +152,7 @@ def test_scenario_suite_conformance_artifact():
 
     # The artefact is the contract: it must exist and round-trip as JSON.
     recorded = json.loads(ARTIFACT.read_text())
-    assert recorded["schema_version"] == 2
+    assert recorded["schema_version"] == ARTIFACT_SCHEMA_VERSION
     assert recorded["metadata"]["generator"].endswith("test_bench_scenarios.py")
     assert recorded["adversarial"]["greedy-load"]["fabricated_reads"] == 0
     assert recorded["adversarial"]["stale-read"]["stale_reads"] == 0

@@ -1,0 +1,92 @@
+"""Regenerate the golden live-service history fixture.
+
+Spawns a real 16-replica ``mgrid(side=4, b=1)`` cluster (one replica
+running the ``forge-on-read`` Byzantine behaviour), drives a concurrent
+live workload through :func:`repro.service.run_load`, verifies the
+recorded history is clean, and pins it under ``tests/fixtures/`` for
+offline replay by ``tests/test_service_history.py``:
+
+    PYTHONPATH=src python scripts/make_service_fixture.py
+
+The fixture is deliberately a *live* capture, not a simulation — it is
+the proof that real sockets and real processes produce histories the
+PR-3 checker and the conformance bounds accept, frozen so CI can replay
+it without spawning processes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.analysis import service_conformance  # noqa: E402
+from repro.api.registry import SystemSpec  # noqa: E402
+from repro.service import ClusterSpec, ServiceCluster, run_load  # noqa: E402
+from repro.simulation.client import RetryPolicy  # noqa: E402
+from repro.simulation.history import dump_history_jsonl  # noqa: E402
+
+FIXTURES = REPO / "tests" / "fixtures"
+SPEC = SystemSpec(construction="mgrid", params={"side": 4, "b": 1})
+SEED = 2026
+OPERATIONS = 400
+CLIENTS = 12
+BEHAVIOUR = "forge-on-read"
+
+
+def main() -> int:
+    FIXTURES.mkdir(parents=True, exist_ok=True)
+    cluster_spec = ClusterSpec(
+        SPEC, byzantine=1, byzantine_behaviour=BEHAVIOUR, seed=SEED
+    )
+    with ServiceCluster(cluster_spec, FIXTURES / "_run") as cluster:
+        result = asyncio.run(
+            run_load(
+                cluster.system,
+                cluster.endpoints(),
+                b=cluster.b,
+                operations=OPERATIONS,
+                clients=CLIENTS,
+                policy=RetryPolicy(request_timeout=2.0),
+                seed=SEED,
+            )
+        )
+    if not result.check.ok:
+        raise SystemExit(f"live history is not clean: {result.check.violations}")
+    report = service_conformance(result)
+    if not report.ok:
+        failed = [check.metric for check in report.checks if not check.ok]
+        raise SystemExit(f"live run failed conformance: {failed}")
+
+    history_path = FIXTURES / "service_mgrid_history.jsonl"
+    written = dump_history_jsonl(result.records, history_path)
+    meta = {
+        "spec": SPEC.to_dict(),
+        "b": result.b,
+        "byzantine": 1,
+        "byzantine_behaviour": BEHAVIOUR,
+        "seed": SEED,
+        "operations": result.operations,
+        "clients": result.clients,
+        "strategy": "uniform",
+        "check": {
+            "ok": result.check.ok,
+            "fabricated_reads": result.check.fabricated_reads,
+            "stale_reads": result.check.stale_reads,
+            "concurrent_pairs": result.check.concurrent_pairs,
+        },
+    }
+    (FIXTURES / "service_mgrid_meta.json").write_text(
+        json.dumps(meta, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {written} records to {history_path}")
+    print(f"conformance: {[check.metric for check in report.checks]} all ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

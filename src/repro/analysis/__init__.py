@@ -25,6 +25,7 @@ from repro.analysis.conformance import (
     percolation_conformance,
     reconfig_conformance,
     restricted_induced_loads,
+    service_conformance,
     worst_case_induced_load,
 )
 from repro.analysis.empirical import (
@@ -70,6 +71,7 @@ __all__ = [
     "restricted_induced_loads",
     "section45_comparison",
     "section8_comparison",
+    "service_conformance",
     "sweep",
     "table2",
     "tradeoff_point",

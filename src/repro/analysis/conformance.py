@@ -73,6 +73,7 @@ __all__ = [
     "percolation_conformance",
     "reconfig_conformance",
     "restricted_induced_loads",
+    "service_conformance",
     "worst_case_induced_load",
 ]
 
@@ -390,6 +391,141 @@ def masking_conformance(result: WorkloadResult, *, b: int) -> ConformanceReport:
                 bound=float(b),
                 direction="<=",
                 detail="the adversary stayed within the masking parameter",
+            )
+        )
+    return ConformanceReport(checks=tuple(checks))
+
+
+def service_conformance(
+    result: object,
+    *,
+    crash_sets: Sequence[Iterable] | None = None,
+    z: float = DEFAULT_Z,
+    worst_case_limit: int = ENUMERATION_LIMIT,
+) -> ConformanceReport:
+    """Check a *live-traffic* run against the paper's bounds.
+
+    Takes a :class:`~repro.service.harness.ServiceRunResult` (duck-typed, so
+    this module never imports the service layer) — the outcome of driving
+    real replica processes over sockets — and holds it to the same envelope
+    the simulators are held to:
+
+    * **masking zero bounds** — with at most ``b`` Byzantine replicas the
+      recorded history must contain zero fabricated reads, zero stale reads
+      and zero write-order/duplicate-timestamp violations (Lemma 3.6 plus
+      the unique-timestamp rule; all exact, no slack);
+    * **load envelope** — the busiest replica's empirical load cannot exceed
+      the client strategy's restricted induced load maximised over the crash
+      sets the run actually realised (``crash_sets``; the fault-free run is
+      always included), beyond binomial noise;
+    * **load lower bound** — the observed load must sit above ``L(Q)`` of
+      the Definition 3.8 LP minus noise, when the LP is tractable for the
+      system.
+
+    ``crash_sets`` lists the replica subsets that were down during the run
+    (killed or stalled past the retry budget); each is bounded like one
+    adversarial round.
+    """
+    for attribute in ("system", "b", "check", "per_server_load", "strategy", "records"):
+        if not hasattr(result, attribute):
+            raise InvalidParameterError(
+                "service_conformance takes a ServiceRunResult-shaped object; "
+                f"{type(result).__name__} has no {attribute!r}"
+            )
+    system: QuorumSystem = result.system
+    history = result.check
+    successful = [record for record in result.records if record.success]
+    successful_reads = max(
+        1, sum(1 for record in successful if record.kind == "read")
+    )
+    observed = (
+        max(result.per_server_load.values()) if result.per_server_load else 0.0
+    )
+
+    checks = [
+        ConformanceCheck(
+            metric="fabricated-reads",
+            observed=float(history.fabricated_reads),
+            bound=0.0,
+            direction="<=",
+            detail=f"Lemma 3.6 over live traffic: no fabrication with <= b={result.b} liars",
+        ),
+        ConformanceCheck(
+            metric="stale-read-rate",
+            observed=history.stale_reads / successful_reads,
+            bound=0.0,
+            direction="<=",
+            detail="Lemma 3.6 over live traffic: reads see the latest completed write",
+        ),
+        ConformanceCheck(
+            metric="history-safety",
+            observed=float(
+                history.write_order_violations + history.duplicate_write_timestamps
+            ),
+            bound=0.0,
+            direction="<=",
+            detail="real-time write order and unique write timestamps",
+        ),
+    ]
+
+    realised: list[tuple] = [()]
+    for crash_set in crash_sets or ():
+        realised.append(tuple(crash_set))
+    per_set = restricted_induced_loads(result.strategy, system.universe, realised)
+    finite = per_set[~np.isnan(per_set)]
+    envelope = float(finite.max()) if finite.size else 0.0
+    checks.append(
+        ConformanceCheck(
+            metric="load-envelope",
+            observed=observed,
+            bound=envelope,
+            direction="<=",
+            slack=_binomial_slack(envelope, len(successful), z),
+            detail=(
+                "restricted induced load of the client strategy over the "
+                f"{len(realised)} realised crash sets"
+            ),
+        )
+    )
+
+    # The crash-budget worst case only bounds runs whose outages stayed
+    # within the masking budget (its quantifier ranges over sets of size
+    # <= b); larger realised crash sets are covered by the envelope above.
+    if all(len(crash_set) <= result.b for crash_set in realised):
+        try:
+            worst = worst_case_induced_load(
+                system, result.strategy, b=result.b, limit=worst_case_limit
+            )
+        except ComputationError:
+            worst = None
+        if worst is not None:
+            checks.append(
+                ConformanceCheck(
+                    metric="load-worst-case",
+                    observed=observed,
+                    bound=worst,
+                    direction="<=",
+                    slack=_binomial_slack(worst, len(successful), z),
+                    detail=(
+                        "restricted induced load over every crash set of size "
+                        f"<= {result.b}"
+                    ),
+                )
+            )
+
+    try:
+        lp_load = float(exact_load(system).load)
+    except ComputationError:
+        lp_load = None
+    if lp_load is not None:
+        checks.append(
+            ConformanceCheck(
+                metric="load-lp-lower-bound",
+                observed=observed,
+                bound=lp_load,
+                direction=">=",
+                slack=_binomial_slack(lp_load, len(successful), z),
+                detail="L(Q) of the Definition 3.8 LP — no strategy induces less",
             )
         )
     return ConformanceReport(checks=tuple(checks))

@@ -14,7 +14,14 @@ workload runs are reproducible without writing Python:
   — the Section 8 comparison and ad-hoc multi-construction comparisons;
 * ``python -m repro lint [--json]`` — the AST invariant linter and strict
   typing gate (:mod:`repro.lint`), machine-checking the code-level
-  contracts the reproduction relies on.
+  contracts the reproduction relies on;
+* ``python -m repro serve -c threshold --n 5 --cluster-file cluster.json``
+  — the networked service (:mod:`repro.service`): spawn one replica process
+  per server (or, with ``--index``, run a single replica in-process) and
+  publish their addresses;
+* ``python -m repro loadgen --cluster cluster.json --ops 1000`` — drive
+  concurrent live clients against a running cluster, check the recorded
+  history, and emit a ``WorkloadReport``-shaped JSON artefact.
 
 ``--json`` switches every command to a machine-readable, schema-stable
 payload on stdout.  Argument errors exit with status 2 and a one-line
@@ -31,7 +38,13 @@ from collections.abc import Callable
 from typing import TYPE_CHECKING, Any
 
 from repro.api.measures import Budget, available_measures, measure
-from repro.api.registry import available_constructions, build, get_entry
+from repro.api.registry import (
+    SystemSpec,
+    available_constructions,
+    build,
+    get_entry,
+    spec_of,
+)
 from repro.api.scenarios import available_scenarios
 from repro.api.workloads import WorkloadSpec, run
 from repro.core.floats import is_zero
@@ -283,6 +296,171 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_spec(args: argparse.Namespace) -> SystemSpec:
+    """Resolve ``--spec`` JSON or ``--construction`` + params into a spec."""
+    raw = getattr(args, "spec", None)
+    if raw is not None:
+        if getattr(args, "construction", None) is not None:
+            raise InvalidParameterError("--spec and --construction are mutually exclusive")
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise InvalidParameterError(f"--spec is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict) or "construction" not in payload:
+            raise InvalidParameterError(
+                '--spec must be {"construction": <name>, "params": {...}}'
+            )
+        return SystemSpec(
+            construction=str(payload["construction"]),
+            params=dict(payload.get("params", {})),
+        )
+    if getattr(args, "construction", None) is None:
+        raise InvalidParameterError("either --spec or --construction is required")
+    # Canonicalise through the registry so the spec round-trips JSON-stably.
+    return spec_of(build(args.construction, **_collect_params(args)))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    spec = _service_spec(args)
+    if args.index is not None:
+        # Single-replica mode: the process the supervisor (or an operator)
+        # spawns once per server.  Serves until terminated.
+        from repro.service.replica import ReplicaConfig, run_replica
+
+        config = ReplicaConfig(
+            spec=spec,
+            index=args.index,
+            host=args.host,
+            port=args.port,
+            byzantine_behaviour=args.byzantine_behaviour,
+            seed=args.seed,
+            ready_file=args.ready_file,
+        )
+        try:
+            asyncio.run(run_replica(config))
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            pass
+        return 0
+
+    # Supervisor mode: one OS process per replica, addresses published
+    # through the cluster file, runs until SIGTERM/SIGINT.
+    import tempfile
+
+    from repro.service.harness import ClusterSpec, ServiceCluster, run_supervisor
+
+    cluster_spec = ClusterSpec(
+        spec=spec,
+        b=args.protocol_b,
+        byzantine=args.byzantine,
+        byzantine_behaviour=args.byzantine_behaviour or "forge-on-read",
+        host=args.host,
+        seed=args.seed,
+        allow_overload=args.allow_overload,
+    )
+    run_dir = args.run_dir or tempfile.mkdtemp(prefix="repro-cluster-")
+    cluster = ServiceCluster(cluster_spec, run_dir)
+    cluster.start(timeout=args.ready_timeout)
+    for handle in cluster.replicas:
+        role = f"  [{handle.byzantine}]" if handle.byzantine else ""
+        print(
+            f"replica {handle.index}: {handle.host}:{handle.port}"
+            f"  server={handle.server_id!r}{role}",
+            flush=True,
+        )
+    if args.cluster_file:
+        print(f"cluster file: {args.cluster_file}", flush=True)
+    try:
+        asyncio.run(run_supervisor(cluster, cluster_file=args.cluster_file))
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        cluster.terminate()
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from repro.service.harness import load_cluster_file, run_load
+    from repro.simulation.client import RetryPolicy
+    from repro.simulation.history import dump_history_jsonl
+
+    spec, b, replicas = load_cluster_file(args.cluster)
+    system = build(spec)
+    endpoints = {
+        system.universe.element_at(int(descriptor["index"])): (
+            str(descriptor["host"]),
+            int(descriptor["port"]),
+        )
+        for descriptor in replicas
+    }
+    policy = RetryPolicy(
+        max_attempts=args.max_attempts, request_timeout=args.timeout
+    )
+    result = asyncio.run(
+        run_load(
+            system,
+            endpoints,
+            b=b if args.protocol_b is None else args.protocol_b,
+            operations=args.ops,
+            clients=args.clients,
+            write_fraction=args.write_fraction,
+            mode=args.mode,
+            rate=args.rate,
+            policy=policy,
+            strategy=args.strategy,
+            seed=args.seed,
+            replica_endpoints=replicas,
+        )
+    )
+    payload = result.report(strategy_label=args.strategy or "uniform")
+    if args.conformance:
+        from repro.analysis.conformance import service_conformance
+
+        payload["conformance"] = service_conformance(result).to_dict()
+    if args.history is not None:
+        dump_history_jsonl(result.records, args.history)
+    if args.output is not None:
+        Path(args.output).write_text(
+            json.dumps(payload, indent=2), encoding="utf-8"
+        )
+
+    def human(data: Any) -> None:
+        print(f"{data['system']}  (n={data['n']}, b={data['b']})  engine=service")
+        print(
+            f"  operations={data['operations']}  clients={data['service']['clients']}  "
+            f"availability={data['availability']:.4f}  duration={data['duration']:.2f}s"
+        )
+        print(
+            f"  consistent={data['consistent']}  violations={data['consistency_violations']}  "
+            f"stale={data['stale_reads']}  timeouts={data['timeouts']}"
+        )
+        print(
+            f"  empirical load={data['empirical_load']:.4f}  "
+            f"busiest={data['busiest_server']}"
+        )
+        if data["latency_p50"] is not None:
+            print(
+                f"  latency mean={data['latency_mean'] * 1e3:.2f}ms  "
+                f"p50={data['latency_p50'] * 1e3:.2f}ms  "
+                f"p90={data['latency_p90'] * 1e3:.2f}ms  "
+                f"p99={data['latency_p99'] * 1e3:.2f}ms"
+            )
+        if "conformance" in data:
+            verdict = "ok" if data["conformance"]["ok"] else "VIOLATED"
+            print(f"  conformance: {verdict}")
+            for check in data["conformance"]["checks"]:
+                print(
+                    f"    {check['metric']:22s} observed={check['observed']:.6g} "
+                    f"{check['direction']} {check['bound']:.6g} "
+                    f"(slack {check['slack']:.3g}) {'ok' if check['ok'] else 'FAIL'}"
+                )
+
+    _emit(payload, args.json, human)
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import main as lint_main
 
@@ -466,6 +644,153 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--json", action="store_true")
     _add_param_flags(run_parser)
     run_parser.set_defaults(handler=_cmd_run)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help=(
+            "run the networked replica service: a whole cluster of replica "
+            "processes (supervisor mode) or one replica (--index)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--construction", "-c", default=None, help="registry name"
+    )
+    serve_parser.add_argument(
+        "--spec",
+        default=None,
+        help='system spec as JSON: {"construction": <name>, "params": {...}}',
+    )
+    serve_parser.add_argument(
+        "--index",
+        type=int,
+        default=None,
+        help="serve exactly one replica, this universe index (single mode)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=0, help="listen port (single mode; 0 = ephemeral)"
+    )
+    serve_parser.add_argument(
+        "--ready-file",
+        dest="ready_file",
+        default=None,
+        help="publish the bound address here once listening (single mode)",
+    )
+    serve_parser.add_argument(
+        "--cluster-file",
+        dest="cluster_file",
+        default=None,
+        help="write the cluster description loadgen consumes (supervisor mode)",
+    )
+    serve_parser.add_argument(
+        "--run-dir",
+        dest="run_dir",
+        default=None,
+        help="directory for replica ready files (default: a temp dir)",
+    )
+    serve_parser.add_argument(
+        "--protocol-b",
+        dest="protocol_b",
+        type=int,
+        default=None,
+        help="masking parameter (default: the system's bound)",
+    )
+    serve_parser.add_argument(
+        "--byzantine",
+        type=int,
+        default=0,
+        help="how many replicas serve Byzantine behaviour (supervisor mode)",
+    )
+    serve_parser.add_argument(
+        "--byzantine-behaviour",
+        dest="byzantine_behaviour",
+        default=None,
+        help=(
+            "Byzantine behaviour: fabricate-timestamp, forge-on-read, stale, "
+            "random-value or drop-writes (single mode: make this replica lie)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--allow-overload",
+        dest="allow_overload",
+        action="store_true",
+        help="permit more Byzantine replicas than b (negative tests)",
+    )
+    serve_parser.add_argument(
+        "--ready-timeout",
+        dest="ready_timeout",
+        type=float,
+        default=None,
+        help=(
+            "seconds to wait for every replica to bind (supervisor mode; "
+            "default scales with the replica count)"
+        ),
+    )
+    serve_parser.add_argument("--seed", type=int, default=0)
+    _add_param_flags(serve_parser)
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    loadgen_parser = commands.add_parser(
+        "loadgen",
+        help="drive concurrent live clients against a running cluster",
+    )
+    loadgen_parser.add_argument(
+        "--cluster",
+        required=True,
+        help="cluster file written by 'serve --cluster-file'",
+    )
+    loadgen_parser.add_argument("--ops", type=int, default=1000, help="total operations")
+    loadgen_parser.add_argument(
+        "--clients", type=int, default=32, help="concurrent client coroutines"
+    )
+    loadgen_parser.add_argument(
+        "--write-fraction", dest="write_fraction", type=float, default=0.5
+    )
+    loadgen_parser.add_argument(
+        "--mode",
+        default="closed",
+        choices=("closed", "open"),
+        help="closed loop (back-to-back) or open loop (diurnal arrivals)",
+    )
+    loadgen_parser.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="open-loop target throughput in ops/second (0 = no pacing)",
+    )
+    loadgen_parser.add_argument(
+        "--strategy", default=None, choices=(None, "uniform", "optimal")
+    )
+    loadgen_parser.add_argument(
+        "--protocol-b",
+        dest="protocol_b",
+        type=int,
+        default=None,
+        help="override the cluster file's masking parameter",
+    )
+    loadgen_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=2.0,
+        help="per-request timeout in seconds (RetryPolicy.request_timeout)",
+    )
+    loadgen_parser.add_argument("--max-attempts", dest="max_attempts", type=int, default=10)
+    loadgen_parser.add_argument(
+        "--conformance",
+        action="store_true",
+        help="run live-traffic conformance checks and embed the verdict",
+    )
+    loadgen_parser.add_argument(
+        "--history",
+        default=None,
+        help="write the recorded history as JSON Lines (checker-replayable)",
+    )
+    loadgen_parser.add_argument(
+        "--output", default=None, help="write the JSON report here as well"
+    )
+    loadgen_parser.add_argument("--seed", type=int, default=0)
+    loadgen_parser.add_argument("--json", action="store_true")
+    loadgen_parser.set_defaults(handler=_cmd_loadgen)
 
     lint_parser = commands.add_parser(
         "lint",

@@ -91,6 +91,26 @@ class ConformanceError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """The networked replica service was misconfigured or misbehaved.
+
+    Raised when a replica cannot be spawned or addressed, a cluster fails to
+    become ready within its deadline, or a live-service operation hits a
+    condition the deployment does not allow (e.g. more Byzantine replicas
+    than the configured masking parameter).
+    """
+
+
+class WireProtocolError(ServiceError):
+    """A wire frame violated the length-prefixed JSON frame protocol.
+
+    Raised by the :mod:`repro.service.wire` codec for oversized, truncated
+    or malformed frames and for payloads that do not decode into a known
+    frame type.  Replicas answer such frames with an ``ERROR`` frame and
+    close the connection instead of crashing or hanging.
+    """
+
+
 class FieldError(ReproError):
     """Finite-field arithmetic was requested with invalid parameters.
 

@@ -1,0 +1,638 @@
+"""Supervisor and load generator for the networked register service.
+
+Three layers, each usable on its own:
+
+* :class:`ServiceCluster` — spawns one OS process per replica (``python -m
+  repro serve --index i``), discovers each replica's ephemeral port through
+  its ready file, and supports the fault-injection verbs the simulator's
+  :class:`~repro.simulation.faults.FaultScenario` models: ``kill`` (crash),
+  ``restart`` (rejoin), and — via control frames — ``stall``/``resume``
+  (slow server).  A cluster can also designate Byzantine replicas, which
+  then run the simulator's :class:`ByzantineReplicaServer` behaviours live.
+* ``run_load`` — the load generator: N concurrent
+  :class:`~repro.service.client.ServiceQuorumClient` coroutines drive
+  closed-loop or open-loop (``simulation/traces.py`` arrival-model) traffic
+  against a cluster, every operation lands in one shared
+  :class:`~repro.simulation.history.HistoryRecorder`, and the result is a
+  :class:`ServiceRunResult` whose ``report()`` is a
+  :class:`~repro.api.workloads.WorkloadReport`-shaped dict
+  (``engine="service"``) extended with a ``"service"`` section (per-replica
+  STATUS/METRICS, checker verdict, protocol accounting).
+* cluster files — ``{"spec", "b", "replicas": [...]}`` JSON handed from
+  ``python -m repro serve`` to ``python -m repro loadgen`` so the two CLI
+  verbs compose across processes (and so tests replay against a cluster
+  they did not spawn).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Hashable
+
+from repro.api.registry import SystemSpec, build, spec_of
+from repro.api.workloads import WorkloadReport
+from repro.core.quorum_system import QuorumSystem
+from repro.core.rng import ensure_rng
+from repro.core.strategy import Strategy
+from repro.exceptions import ServiceError
+from repro.service.client import ServiceQuorumClient, call_endpoint
+from repro.simulation.client import RetryPolicy
+from repro.simulation.engine import resolve_strategy
+from repro.simulation.history import (
+    HistoryCheck,
+    HistoryRecorder,
+    OperationRecord,
+)
+from repro.simulation.messages import ValueTimestampPair
+from repro.simulation.server import BYZANTINE_BEHAVIOURS
+from repro.simulation.traces import TraceScenario
+
+__all__ = [
+    "ClusterSpec",
+    "ReplicaHandle",
+    "ServiceCluster",
+    "ServiceRunResult",
+    "load_cluster_file",
+    "run_load",
+    "run_supervisor",
+]
+
+#: How long `ServiceCluster.start` waits for every ready file by default.
+DEFAULT_READY_TIMEOUT = 30.0
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Declarative description of one replica cluster.
+
+    ``byzantine`` replicas (the *last* ``byzantine`` universe indices, a
+    deterministic choice so runs are reproducible) serve
+    ``byzantine_behaviour`` instead of the honest state machine.  ``b`` is
+    the protocol's masking parameter (defaults to the system's own masking
+    bound), and ``byzantine > b`` is rejected unless ``allow_overload`` —
+    exactly the simulator's guard.
+    """
+
+    spec: SystemSpec
+    b: int | None = None
+    byzantine: int = 0
+    byzantine_behaviour: str = "forge-on-read"
+    host: str = "127.0.0.1"
+    seed: int = 0
+    allow_overload: bool = False
+
+    def resolve(self) -> tuple[QuorumSystem, int]:
+        """Build the system and resolve the masking parameter."""
+        system = build(self.spec)
+        b = self.b if self.b is not None else system.masking_bound()
+        if b < 0:
+            raise ServiceError(f"masking parameter must be >= 0, got {b}")
+        if self.byzantine < 0 or self.byzantine > len(system.universe):
+            raise ServiceError(
+                f"byzantine count {self.byzantine} outside [0, {len(system.universe)}]"
+            )
+        if self.byzantine > b and not self.allow_overload:
+            raise ServiceError(
+                f"{self.byzantine} Byzantine replicas exceed the masking "
+                f"parameter b={b}; pass allow_overload=True for negative tests"
+            )
+        if self.byzantine and self.byzantine_behaviour not in BYZANTINE_BEHAVIOURS:
+            raise ServiceError(
+                f"unknown Byzantine behaviour {self.byzantine_behaviour!r}; "
+                f"choose one of {sorted(BYZANTINE_BEHAVIOURS)}"
+            )
+        return system, b
+
+
+@dataclass
+class ReplicaHandle:
+    """One spawned replica process and its discovered address."""
+
+    index: int
+    server_id: Hashable
+    byzantine: str | None = None
+    host: str = ""
+    port: int = 0
+    process: subprocess.Popen | None = None
+    ready_file: Path | None = None
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+
+def _replica_command(
+    cluster: ClusterSpec, index: int, ready_file: Path
+) -> list[str]:
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--spec",
+        json.dumps(cluster.spec.to_dict()),
+        "--index",
+        str(index),
+        "--host",
+        cluster.host,
+        "--port",
+        "0",
+        "--ready-file",
+        str(ready_file),
+        "--seed",
+        str(cluster.seed + index),
+    ]
+    return command
+
+
+class ServiceCluster:
+    """Spawn, address and fault-inject one replica process per server.
+
+    Use as a context manager (``with ServiceCluster(...) as cluster``) or
+    call :meth:`start` / :meth:`terminate` explicitly.  ``run_dir`` holds
+    the ready files; it must outlive the cluster.
+    """
+
+    def __init__(self, cluster: ClusterSpec, run_dir: str | Path):
+        self.cluster = cluster
+        self.run_dir = Path(run_dir)
+        self.system, self.b = cluster.resolve()
+        n = len(self.system.universe)
+        byzantine_indices = set(range(n - cluster.byzantine, n))
+        self.replicas: list[ReplicaHandle] = [
+            ReplicaHandle(
+                index=index,
+                server_id=self.system.universe.element_at(index),
+                byzantine=(
+                    cluster.byzantine_behaviour if index in byzantine_indices else None
+                ),
+            )
+            for index in range(n)
+        ]
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ServiceCluster":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.terminate()
+
+    def start(self, *, timeout: float | None = None) -> None:
+        """Spawn every replica and wait until all published their ports.
+
+        The default deadline scales with the replica count: interpreter
+        start-up is effectively serial on small machines, so a 16-replica
+        cluster legitimately needs several times a 5-replica cluster's
+        budget.
+        """
+        if timeout is None:
+            timeout = max(DEFAULT_READY_TIMEOUT, 5.0 * len(self.replicas))
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        for handle in self.replicas:
+            self._spawn(handle)
+        deadline = time.monotonic() + timeout
+        for handle in self.replicas:
+            self._await_ready(handle, deadline)
+
+    def _spawn(self, handle: ReplicaHandle) -> None:
+        ready_file = self.run_dir / f"replica-{handle.index}.ready"
+        ready_file.unlink(missing_ok=True)
+        command = _replica_command(self.cluster, handle.index, ready_file)
+        if handle.byzantine is not None:
+            command += ["--byzantine-behaviour", handle.byzantine]
+        env = dict(os.environ)
+        src_root = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        handle.ready_file = ready_file
+        handle.process = subprocess.Popen(
+            command,
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            start_new_session=True,
+        )
+
+    def _await_ready(self, handle: ReplicaHandle, deadline: float) -> None:
+        assert handle.ready_file is not None
+        while time.monotonic() < deadline:
+            if handle.process is not None and handle.process.poll() is not None:
+                raise ServiceError(
+                    f"replica {handle.index} exited with code "
+                    f"{handle.process.returncode} before becoming ready"
+                )
+            if handle.ready_file.exists():
+                payload = json.loads(handle.ready_file.read_text(encoding="utf-8"))
+                handle.host = payload["host"]
+                handle.port = int(payload["port"])
+                return
+            time.sleep(0.02)
+        raise ServiceError(
+            f"replica {handle.index} did not become ready within its deadline"
+        )
+
+    def terminate(self) -> None:
+        """Stop every replica process (SIGTERM, then SIGKILL stragglers)."""
+        for handle in self.replicas:
+            if handle.alive:
+                assert handle.process is not None
+                handle.process.terminate()
+        for handle in self.replicas:
+            if handle.process is None:
+                continue
+            try:
+                handle.process.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                handle.process.kill()
+                handle.process.wait(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # Addressing.
+    # ------------------------------------------------------------------
+    def endpoints(self) -> dict:
+        """``{universe element: (host, port)}`` for the client library."""
+        return {
+            handle.server_id: (handle.host, handle.port) for handle in self.replicas
+        }
+
+    def to_cluster_file(self, path: str | Path) -> None:
+        """Write the cluster description ``python -m repro loadgen`` consumes."""
+        payload = {
+            "spec": self.cluster.spec.to_dict(),
+            "b": self.b,
+            "replicas": [
+                {
+                    "index": handle.index,
+                    "host": handle.host,
+                    "port": handle.port,
+                    "byzantine": handle.byzantine,
+                    "pid": handle.process.pid if handle.process else None,
+                }
+                for handle in self.replicas
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # Fault injection (mirrors FaultScenario's crashed / slow / byzantine).
+    # ------------------------------------------------------------------
+    def kill(self, index: int) -> None:
+        """Crash one replica (SIGKILL — no goodbye, like a real crash)."""
+        handle = self.replicas[index]
+        if handle.alive:
+            assert handle.process is not None
+            handle.process.kill()
+            handle.process.wait(timeout=5.0)
+
+    def restart(self, index: int, *, timeout: float = DEFAULT_READY_TIMEOUT) -> None:
+        """Restart a killed replica; it rejoins with a fresh (initial) state."""
+        handle = self.replicas[index]
+        if handle.alive:
+            raise ServiceError(f"replica {index} is still running")
+        self._spawn(handle)
+        self._await_ready(handle, time.monotonic() + timeout)
+
+    async def stall(self, index: int) -> None:
+        """Freeze a replica's protocol replies (the *slow server* fault)."""
+        handle = self.replicas[index]
+        await call_endpoint(handle.host, handle.port, {"type": "STALL"})
+
+    async def resume(self, index: int) -> None:
+        handle = self.replicas[index]
+        await call_endpoint(handle.host, handle.port, {"type": "RESUME"})
+
+    async def status(self, index: int) -> dict:
+        handle = self.replicas[index]
+        return await call_endpoint(handle.host, handle.port, {"type": "STATUS"})
+
+    async def metrics(self, index: int) -> dict:
+        handle = self.replicas[index]
+        return await call_endpoint(handle.host, handle.port, {"type": "METRICS"})
+
+
+def load_cluster_file(path: str | Path) -> tuple[SystemSpec, int, list[dict]]:
+    """Parse a cluster file into ``(spec, b, replica descriptors)``."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ServiceError(f"cannot read cluster file {path}: {exc}") from None
+    try:
+        spec = SystemSpec(
+            construction=payload["spec"]["construction"],
+            params=dict(payload["spec"]["params"]),
+        )
+        return spec, int(payload["b"]), list(payload["replicas"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"malformed cluster file {path}: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# Load generation.
+# ----------------------------------------------------------------------
+@dataclass
+class ServiceRunResult:
+    """Everything one live load-generation run produced."""
+
+    system: QuorumSystem
+    b: int
+    seed: int
+    operations: int
+    clients: int
+    duration: float
+    strategy: Strategy
+    records: list[OperationRecord]
+    check: HistoryCheck
+    per_server_load: dict
+    per_server_attempted: dict
+    timeouts: int
+    replica_status: list = field(default_factory=list)
+    replica_metrics: list = field(default_factory=list)
+
+    @property
+    def successful(self) -> list[OperationRecord]:
+        return [record for record in self.records if record.success]
+
+    @property
+    def final_pair(self) -> ValueTimestampPair | None:
+        """The highest-timestamp pair this run installed or observed.
+
+        Feed it as ``initial_pair`` to a follow-up :func:`run_load` against
+        the *same still-running* cluster, so the next run's checker knows
+        what register state it inherits (otherwise reads of the previous
+        run's value would look fabricated).  ``None`` when nothing
+        succeeded.  Only exact when the run quiesced — a write that failed
+        mid-install may still surface later, exactly as in the simulator.
+        """
+        pairs = [pair for record in self.successful if (pair := record.pair) is not None]
+        return max(pairs, key=lambda pair: pair.timestamp, default=None)
+
+    def report(self, *, scenario: str = "service", strategy_label: str = "default") -> dict:
+        """A :class:`~repro.api.workloads.WorkloadReport`-shaped dict.
+
+        ``engine`` is ``"service"`` and a ``"service"`` key carries what only
+        a live run has: per-replica STATUS/METRICS frames, the full checker
+        verdict and the client-side timeout count.
+        """
+        successful = self.successful
+        latencies = sorted(r.responded_at - r.invoked_at for r in successful)
+
+        def percentile(fraction: float) -> float | None:
+            if not latencies:
+                return None
+            rank = min(len(latencies) - 1, max(0, int(fraction * len(latencies))))
+            return latencies[rank]
+
+        try:
+            registry_spec = spec_of(self.system).to_dict()
+        except Exception:  # pragma: no cover - non-registry systems
+            registry_spec = None
+        busiest = ""
+        if self.per_server_load and max(self.per_server_load.values()) > 0.0:
+            busiest = repr(
+                max(self.per_server_load, key=self.per_server_load.get)
+            )
+        report = WorkloadReport(
+            engine="service",
+            system=self.system.name,
+            n=self.system.n,
+            b=self.b,
+            scenario=scenario,
+            strategy=strategy_label,
+            seed=self.seed,
+            sampled=False,
+            operations=self.operations,
+            successful_reads=sum(1 for r in successful if r.kind == "read"),
+            successful_writes=sum(1 for r in successful if r.kind == "write"),
+            failed_operations=self.operations - len(successful),
+            availability=(
+                len(successful) / self.operations if self.operations else 0.0
+            ),
+            consistent=self.check.ok,
+            consistency_violations=(
+                self.check.fabricated_reads
+                + self.check.write_order_violations
+                + self.check.duplicate_write_timestamps
+            ),
+            stale_reads=self.check.stale_reads,
+            empirical_load=(
+                max(self.per_server_load.values()) if self.per_server_load else 0.0
+            ),
+            busiest_server=busiest,
+            spec=registry_spec,
+            latency_mean=(
+                sum(latencies) / len(latencies) if latencies else None
+            ),
+            latency_p50=percentile(0.50),
+            latency_p90=percentile(0.90),
+            latency_p99=percentile(0.99),
+            duration=self.duration,
+            timeouts=self.timeouts,
+        ).to_dict()
+        report["service"] = {
+            "clients": self.clients,
+            "check": {
+                "ok": self.check.ok,
+                "operations": self.check.operations,
+                "concurrent_pairs": self.check.concurrent_pairs,
+                "fabricated_reads": self.check.fabricated_reads,
+                "stale_reads": self.check.stale_reads,
+                "write_order_violations": self.check.write_order_violations,
+                "duplicate_write_timestamps": self.check.duplicate_write_timestamps,
+                "violations": list(self.check.violations),
+            },
+            "replica_status": self.replica_status,
+            "replica_metrics": self.replica_metrics,
+        }
+        return report
+
+
+async def run_load(
+    system: QuorumSystem,
+    endpoints: dict,
+    *,
+    b: int,
+    operations: int,
+    clients: int = 16,
+    write_fraction: float = 0.5,
+    mode: str = "closed",
+    trace: TraceScenario | None = None,
+    rate: float = 0.0,
+    policy: RetryPolicy | None = None,
+    strategy: Strategy | str | None = None,
+    seed: int = 0,
+    replica_endpoints: list | None = None,
+    initial_pair: ValueTimestampPair | None = None,
+) -> ServiceRunResult:
+    """Drive concurrent client coroutines against live replicas.
+
+    ``mode="closed"`` splits ``operations`` across ``clients`` back-to-back
+    loops (concurrency = the client count).  ``mode="open"`` replays a
+    :class:`~repro.simulation.traces.TraceScenario` arrival schedule
+    (default: a diurnal trace) compressed so the whole schedule spans
+    ``operations / rate`` real seconds; each arrival is handed to the next
+    free client, and a backlogged client runs its queue without pause —
+    bounded open loop.  Every operation is recorded in one shared history;
+    the returned result carries the checker verdict over it.
+    """
+    if operations < 1:
+        raise ServiceError(f"operations must be >= 1, got {operations}")
+    if clients < 1:
+        raise ServiceError(f"clients must be >= 1, got {clients}")
+    if mode not in ("closed", "open"):
+        raise ServiceError(f"mode must be 'closed' or 'open', got {mode!r}")
+    rng = ensure_rng(seed)
+    # initial_pair: what the register already holds (e.g. the final_pair of
+    # a previous run against the same cluster); the checker treats it as
+    # legitimately readable pre-existing state.
+    history = HistoryRecorder(initial_pair)
+    policy = policy if policy is not None else RetryPolicy(request_timeout=2.0)
+    # Resolve the strategy up front (None -> uniform over the family) so the
+    # clients sample exactly the distribution service_conformance bounds.
+    resolved_strategy = (
+        strategy if isinstance(strategy, Strategy) else resolve_strategy(system, strategy)
+    )
+    pool = [
+        ServiceQuorumClient(
+            client_id,
+            system,
+            endpoints,
+            b=b,
+            policy=policy,
+            rng=ensure_rng(rng.integers(2**63)),
+            strategy=resolved_strategy,
+            history=history,
+        )
+        for client_id in range(clients)
+    ]
+
+    # Pre-draw every operation's kind (and, open-loop, its arrival offset)
+    # from the single seeded stream, then assign operations round-robin.
+    if mode == "open":
+        schedule_trace = trace if trace is not None else TraceScenario(name="diurnal")
+        arrivals = schedule_trace.arrival_schedule(
+            operations, rng, write_fraction=write_fraction
+        )
+        span = max((t for t, _kind in arrivals), default=0.0)
+        pace = 0.0 if rate <= 0.0 or span <= 0.0 else (operations / rate) / span
+        plan = [(t * pace, kind) for t, kind in arrivals]
+    else:
+        kinds = rng.random(operations) < write_fraction
+        plan = [(0.0, "write" if is_write else "read") for is_write in kinds]
+    assignments: list[list[tuple[float, str]]] = [[] for _ in range(clients)]
+    for position, item in enumerate(plan):
+        assignments[position % clients].append(item)
+
+    started = time.monotonic()
+
+    async def drive(client: ServiceQuorumClient, work: list) -> None:
+        value_counter = 0
+        for offset, kind in work:
+            if offset > 0.0:
+                delay = started + offset - time.monotonic()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            if kind == "write":
+                value_counter += 1
+                await client.write((f"client-{client.client_id}", value_counter))
+            else:
+                await client.read()
+
+    try:
+        await asyncio.gather(
+            *(drive(client, work) for client, work in zip(pool, assignments))
+        )
+    finally:
+        for client in pool:
+            await client.close()
+    duration = time.monotonic() - started
+
+    total_ran = len(plan)
+    successful = [record for record in history.records if record.success]
+    total_success = max(1, len(successful))
+    per_server_load = {
+        server_id: sum(
+            client.successful_access_counts[server_id] for client in pool
+        )
+        / total_success
+        for server_id in system.universe
+    }
+    per_server_attempted = {
+        server_id: sum(
+            client.attempted_access_counts[server_id] for client in pool
+        )
+        / max(1, total_ran)
+        for server_id in system.universe
+    }
+
+    replica_status: list = []
+    replica_metrics: list = []
+    if replica_endpoints:
+        for descriptor in replica_endpoints:
+            host, port = descriptor["host"], descriptor["port"]
+            try:
+                replica_status.append(
+                    await call_endpoint(host, port, {"type": "STATUS"})
+                )
+                replica_metrics.append(
+                    await call_endpoint(host, port, {"type": "METRICS"})
+                )
+            except ServiceError:
+                replica_status.append(
+                    {"type": "STATUS_REPLY", "index": descriptor.get("index"), "ok": False}
+                )
+                replica_metrics.append(None)
+
+    return ServiceRunResult(
+        system=system,
+        b=b,
+        seed=seed,
+        operations=total_ran,
+        clients=clients,
+        duration=duration,
+        strategy=resolved_strategy,
+        records=list(history.records),
+        check=history.check(),
+        per_server_load=per_server_load,
+        per_server_attempted=per_server_attempted,
+        timeouts=sum(client.timeouts for client in pool),
+        replica_status=replica_status,
+        replica_metrics=replica_metrics,
+    )
+
+
+async def run_supervisor(
+    cluster: ServiceCluster,
+    *,
+    cluster_file: str | Path | None = None,
+) -> None:
+    """Run a started cluster until SIGTERM/SIGINT, then tear it down.
+
+    The ``python -m repro serve`` supervisor body: assumes
+    ``cluster.start()`` already ran, publishes the cluster file, then parks
+    on a stop event wired to the termination signals.
+    """
+    if cluster_file is not None:
+        cluster.to_cluster_file(cluster_file)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover - non-POSIX
+            pass
+    try:
+        await stop.wait()
+    finally:
+        cluster.terminate()

@@ -1,0 +1,280 @@
+"""Asyncio TCP replica server for the masking-quorum register.
+
+One :class:`ReplicaService` wraps one simulator replica state machine
+(:class:`~repro.simulation.server.ReplicaServer`, or its Byzantine variant
+when the process is playing an adversary) behind a TCP listener speaking the
+length-prefixed JSON frame protocol of :mod:`repro.service.wire`.  The
+protocol handlers are *exactly* the simulator's — a live replica and a
+simulated replica run the same state transitions — so every guarantee the
+simulator's tests establish carries over to the wire.
+
+Beyond the three protocol phases the replica answers two introspection
+frames (``STATUS`` — identity and health; ``METRICS`` — op counts, the
+per-server empirical load counter and service-latency percentiles) and two
+fault-injection control frames (``STALL`` freezes protocol replies until
+``RESUME``, modelling the *slow/stalled* replica of
+:class:`~repro.simulation.faults.FaultScenario` without killing the
+process).
+
+Each replica is configured from a :class:`~repro.api.registry.SystemSpec`
+plus its *index* in the universe order, mirroring how real quorum
+deployments ship one config to N processes.  ``port=0`` binds an ephemeral
+port; the chosen address is published through an optional *ready file* so a
+supervisor can discover it race-free.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from collections import Counter, deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Hashable
+
+from repro.api.registry import SystemSpec, build
+from repro.core.rng import ensure_rng
+from repro.exceptions import ServiceError, WireProtocolError
+from repro.service import wire
+from repro.simulation.server import (
+    BYZANTINE_BEHAVIOURS,
+    ByzantineReplicaServer,
+    ReplicaServer,
+)
+
+__all__ = ["ReplicaConfig", "ReplicaService", "run_replica"]
+
+#: Sliding window of per-request service latencies kept for METRICS.
+_LATENCY_WINDOW = 4096
+
+
+@dataclass(frozen=True)
+class ReplicaConfig:
+    """Everything one replica process needs to serve its share of the system.
+
+    ``index`` addresses the replica inside ``spec``'s universe order; the
+    universe element at that index becomes the replica's protocol identity.
+    ``byzantine_behaviour`` (one of
+    :data:`~repro.simulation.server.BYZANTINE_BEHAVIOURS`) turns the replica
+    into an adversary for fault-injection runs.  ``ready_file`` is written
+    once the listener is bound, carrying the actual host/port (ephemeral
+    ports included) as JSON.
+    """
+
+    spec: SystemSpec
+    index: int
+    host: str = "127.0.0.1"
+    port: int = 0
+    byzantine_behaviour: str | None = None
+    initial_value: object = None
+    seed: int | None = None
+    ready_file: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.byzantine_behaviour is not None and (
+            self.byzantine_behaviour not in BYZANTINE_BEHAVIOURS
+        ):
+            raise ServiceError(
+                f"unknown Byzantine behaviour {self.byzantine_behaviour!r}; "
+                f"choose one of {sorted(BYZANTINE_BEHAVIOURS)}"
+            )
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile over a non-empty sorted sample list."""
+    rank = min(len(samples) - 1, max(0, int(fraction * len(samples))))
+    return samples[rank]
+
+
+class ReplicaService:
+    """One live replica: simulator state machine + asyncio TCP front end."""
+
+    def __init__(self, config: ReplicaConfig):
+        self.config = config
+        system = build(config.spec)
+        if not 0 <= config.index < len(system.universe):
+            raise ServiceError(
+                f"replica index {config.index} outside the universe of "
+                f"{len(system.universe)} servers declared by {config.spec.construction!r}"
+            )
+        self.server_id: Hashable = system.universe.element_at(config.index)
+        if config.byzantine_behaviour is not None:
+            self.replica: ReplicaServer = ByzantineReplicaServer(
+                self.server_id,
+                config.byzantine_behaviour,
+                rng=ensure_rng(config.seed),
+                initial_value=config.initial_value,
+            )
+        else:
+            self.replica = ReplicaServer(self.server_id, initial_value=config.initial_value)
+        self._server: asyncio.base_events.Server | None = None
+        self._started_at = time.monotonic()
+        self._op_counts: Counter = Counter()
+        self._protocol_errors = 0
+        self._latencies: deque = deque(maxlen=_LATENCY_WINDOW)
+        # Set => serving; cleared by a STALL frame, restored by RESUME.
+        self._running = asyncio.Event()
+        self._running.set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``; only valid after :meth:`start`."""
+        if self._server is None:
+            raise ServiceError("replica has not been started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> None:
+        """Bind the listener and publish the ready file (if configured)."""
+        if self._server is not None:
+            raise ServiceError("replica already started")
+        try:
+            self._server = await asyncio.start_server(
+                self._serve_connection, host=self.config.host, port=self.config.port
+            )
+        except OSError as exc:
+            raise ServiceError(
+                f"replica {self.config.index} cannot bind "
+                f"{self.config.host}:{self.config.port}: {exc}"
+            ) from exc
+        if self.config.ready_file:
+            host, port = self.address
+            payload = {
+                "index": self.config.index,
+                "host": host,
+                "port": port,
+                "byzantine": self.config.byzantine_behaviour,
+            }
+            ready = Path(self.config.ready_file)
+            tmp = ready.with_suffix(ready.suffix + ".tmp")
+            tmp.write_text(json.dumps(payload), encoding="utf-8")
+            tmp.replace(ready)  # atomic: the supervisor never reads a torn file
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the subprocess entry point's main loop)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # Introspection frames.
+    # ------------------------------------------------------------------
+    def status_payload(self) -> dict:
+        return {
+            "type": "STATUS_REPLY",
+            "index": self.config.index,
+            "server": list(self.server_id)
+            if isinstance(self.server_id, tuple)
+            else self.server_id,
+            "construction": self.config.spec.construction,
+            "byzantine": self.config.byzantine_behaviour,
+            "stalled": not self._running.is_set(),
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "ok": True,
+        }
+
+    def metrics_payload(self) -> dict:
+        samples = sorted(self._latencies)
+        return {
+            "type": "METRICS_REPLY",
+            "index": self.config.index,
+            "operations": dict(self._op_counts),
+            "access_count": self.replica.access_count,
+            "protocol_errors": self._protocol_errors,
+            "latency_seconds": {
+                "count": len(samples),
+                "p50": _percentile(samples, 0.50) if samples else None,
+                "p90": _percentile(samples, 0.90) if samples else None,
+                "p99": _percentile(samples, 0.99) if samples else None,
+                "max": samples[-1] if samples else None,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Connection handling.
+    # ------------------------------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    payload = await wire.read_frame(reader)
+                except WireProtocolError as exc:
+                    # Malformed input never crashes or hangs the replica: it
+                    # answers with ERROR and drops the connection.
+                    self._protocol_errors += 1
+                    await self._send_error(writer, str(exc))
+                    return
+                if payload is None:
+                    return  # clean EOF
+                try:
+                    reply = await self._handle_frame(payload)
+                except WireProtocolError as exc:
+                    self._protocol_errors += 1
+                    await self._send_error(writer, str(exc))
+                    return
+                await wire.write_frame(writer, reply)
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError, asyncio.CancelledError):
+                # The task is ending either way; a cancel racing listener
+                # shutdown must not surface as an unhandled-exception log.
+                pass
+
+    async def _handle_frame(self, payload: dict) -> dict:
+        kind = payload.get("type")
+        if kind == "STATUS":
+            return self.status_payload()
+        if kind == "METRICS":
+            return self.metrics_payload()
+        if kind == "STALL":
+            self._running.clear()
+            return {"type": "OK", "stalled": True}
+        if kind == "RESUME":
+            self._running.set()
+            return {"type": "OK", "stalled": False}
+        # Protocol phases go through the simulator state machine.  A stalled
+        # replica holds the reply (clients see a timeout, exactly like the
+        # FaultScenario "slow" servers) but keeps answering control frames.
+        request = wire.frame_to_request(payload)
+        await self._running.wait()
+        started = time.monotonic()
+        if kind == "READ_TS":
+            reply = self.replica.handle_timestamp(request)  # type: ignore[arg-type]
+        elif kind == "READ":
+            reply = self.replica.handle_read(request)  # type: ignore[arg-type]
+        else:
+            reply = self.replica.handle_write(request)  # type: ignore[arg-type]
+        self._op_counts[kind] += 1
+        self._latencies.append(time.monotonic() - started)
+        return wire.reply_to_frame(reply, server_index=self.config.index)
+
+    @staticmethod
+    async def _send_error(writer: asyncio.StreamWriter, message: str) -> None:
+        try:
+            await wire.write_frame(writer, {"type": "ERROR", "message": message})
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+async def run_replica(config: ReplicaConfig) -> None:
+    """Start one replica and serve until cancelled (``python -m repro serve``)."""
+    await ReplicaService(config).serve_forever()

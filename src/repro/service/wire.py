@@ -1,0 +1,316 @@
+"""Length-prefixed JSON frame protocol for the networked register service.
+
+Every message on a replica connection is one *frame*: a 4-byte big-endian
+unsigned length ``N`` followed by ``N`` bytes of UTF-8 JSON encoding a single
+object with a ``"type"`` field.  The frame types mirror the simulator's
+message schema (:mod:`repro.simulation.messages`) phase for phase:
+
+========================  =====================================  ==========
+frame type                simulator message                       direction
+========================  =====================================  ==========
+``READ_TS``               :class:`TimestampRequest`               request
+``READ_TS_REPLY``         :class:`TimestampReply`                 reply
+``READ``                  :class:`ReadRequest`                    request
+``READ_REPLY``            :class:`ReadReply`                      reply
+``WRITE``                 :class:`WriteRequest`                   request
+``WRITE_ACK``             :class:`WriteAck`                       reply
+``STATUS`` / ``METRICS``  — (service health / load introspection)  request
+``STALL`` / ``RESUME``    — (fault-injection control)              request
+``ERROR``                 — (protocol error report)                reply
+========================  =====================================  ==========
+
+Timestamps travel as ``[counter, client_id]`` pairs and replicas are
+addressed by their *index* in the universe order (universe elements may be
+tuples, which JSON cannot key); values may be any JSON value and are
+canonicalised with :func:`canonical_value` on both the write and the read
+path so recorded histories compare pairs by value, not by Python identity.
+
+The codec is deliberately strict: oversized, truncated, non-JSON and
+unknown-type frames all raise :class:`~repro.exceptions.WireProtocolError`
+(never a hang, never an unhandled crash) — the replica answers with an
+``ERROR`` frame and closes the connection.  ``tests/test_service_wire.py``
+fuzzes exactly this contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+from repro.exceptions import WireProtocolError
+from repro.simulation.history import freeze_value
+from repro.simulation.messages import (
+    ReadReply,
+    ReadRequest,
+    Timestamp,
+    TimestampReply,
+    TimestampRequest,
+    ValueTimestampPair,
+    WriteAck,
+    WriteRequest,
+)
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "canonical_value",
+    "decode_frame",
+    "encode_frame",
+    "frame_to_reply",
+    "frame_to_request",
+    "read_frame",
+    "reply_to_frame",
+    "request_to_frame",
+    "write_frame",
+]
+
+#: Hard ceiling on one frame's JSON body; a length prefix above this is
+#: rejected before any allocation happens (malicious or corrupt peers).
+MAX_FRAME_BYTES = 1 << 20
+
+_LENGTH = struct.Struct("!I")
+
+#: Frame types that carry a protocol request a replica must answer.
+REQUEST_TYPES = frozenset({"READ_TS", "READ", "WRITE", "STATUS", "METRICS", "STALL", "RESUME"})
+
+#: Frame types a client may receive back.
+REPLY_TYPES = frozenset(
+    {"READ_TS_REPLY", "READ_REPLY", "WRITE_ACK", "STATUS_REPLY", "METRICS_REPLY", "OK", "ERROR"}
+)
+
+
+def canonical_value(value: object) -> object:
+    """Round-trip a value through JSON and freeze it into hashable form.
+
+    Writers and readers both canonicalise, so a written ``("a", 1)`` tuple
+    and the ``["a", 1]`` list JSON hands back compare equal in the history
+    checker's legitimate-pair set.  Non-JSON-serialisable values are a
+    :class:`~repro.exceptions.WireProtocolError` at the sender.
+    """
+    try:
+        return freeze_value(json.loads(json.dumps(value)))
+    except (TypeError, ValueError) as exc:
+        raise WireProtocolError(f"value {value!r} is not JSON-serialisable: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# Frame encoding / decoding.
+# ----------------------------------------------------------------------
+def encode_frame(payload: dict) -> bytes:
+    """Encode one frame: 4-byte big-endian length + UTF-8 JSON body."""
+    if not isinstance(payload, dict) or "type" not in payload:
+        raise WireProtocolError(
+            f"a frame payload must be a dict with a 'type' field, got {payload!r}"
+        )
+    try:
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise WireProtocolError(f"frame payload is not JSON-serialisable: {exc}") from None
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireProtocolError(
+            f"frame body of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_frame(data: bytes) -> tuple[dict, bytes]:
+    """Decode one frame from ``data``; return ``(payload, remainder)``.
+
+    Raises :class:`~repro.exceptions.WireProtocolError` when the prefix
+    announces an oversized or zero-length body, when the announced body is
+    truncated, or when the body is not a JSON object with a ``"type"``.
+    """
+    if len(data) < _LENGTH.size:
+        raise WireProtocolError(
+            f"truncated frame: {len(data)} bytes is shorter than the 4-byte length prefix"
+        )
+    (length,) = _LENGTH.unpack_from(data)
+    if length == 0:
+        raise WireProtocolError("zero-length frame body")
+    if length > MAX_FRAME_BYTES:
+        raise WireProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    end = _LENGTH.size + length
+    if len(data) < end:
+        raise WireProtocolError(
+            f"truncated frame: header announces {length} bytes, {len(data) - _LENGTH.size} present"
+        )
+    body = data[_LENGTH.size : end]
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireProtocolError(f"frame body is not valid UTF-8 JSON: {exc}") from None
+    if not isinstance(payload, dict) or not isinstance(payload.get("type"), str):
+        raise WireProtocolError(
+            "frame body must be a JSON object with a string 'type' field"
+        )
+    return payload, data[end:]
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read one frame from an asyncio stream; ``None`` on clean EOF.
+
+    A connection closed mid-frame raises
+    :class:`~repro.exceptions.WireProtocolError` (truncated frame), as does
+    an oversized length prefix — callers must not keep the connection.
+    """
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise WireProtocolError(
+            f"connection closed inside a frame header ({len(exc.partial)}/4 bytes)"
+        ) from None
+    (length,) = _LENGTH.unpack(header)
+    if length == 0 or length > MAX_FRAME_BYTES:
+        raise WireProtocolError(
+            f"frame length {length} outside (0, {MAX_FRAME_BYTES}]"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise WireProtocolError(
+            f"connection closed inside a frame body ({len(exc.partial)}/{length} bytes)"
+        ) from None
+    payload, remainder = decode_frame(header + body)
+    assert not remainder  # readexactly consumed exactly one frame
+    return payload
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: dict) -> None:
+    """Encode and send one frame, draining the transport."""
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# Timestamp / pair encoding.
+# ----------------------------------------------------------------------
+def _encode_timestamp(timestamp: Timestamp) -> list:
+    return [int(timestamp.counter), int(timestamp.client_id)]
+
+
+def _decode_timestamp(raw: object) -> Timestamp:
+    if (
+        not isinstance(raw, (list, tuple))
+        or len(raw) != 2
+        or not all(isinstance(part, int) and not isinstance(part, bool) for part in raw)
+    ):
+        raise WireProtocolError(
+            f"a timestamp must be a [counter, client_id] integer pair, got {raw!r}"
+        )
+    return Timestamp(counter=raw[0], client_id=raw[1])
+
+
+def _require_int(payload: dict, key: str) -> int:
+    value = payload.get(key)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise WireProtocolError(
+            f"{payload.get('type', '?')} frame needs an integer {key!r}, got {value!r}"
+        )
+    return value
+
+
+# ----------------------------------------------------------------------
+# Request translation (client -> replica).
+# ----------------------------------------------------------------------
+def request_to_frame(request: object) -> dict:
+    """Translate a simulator request message into its wire frame."""
+    if isinstance(request, TimestampRequest):
+        return {"type": "READ_TS", "client": request.client_id}
+    if isinstance(request, ReadRequest):
+        return {"type": "READ", "client": request.client_id}
+    if isinstance(request, WriteRequest):
+        return {
+            "type": "WRITE",
+            "client": request.client_id,
+            "value": request.pair.value,
+            "ts": _encode_timestamp(request.pair.timestamp),
+        }
+    raise WireProtocolError(f"cannot frame request of type {type(request).__name__}")
+
+
+def frame_to_request(payload: dict) -> object:
+    """Translate a request frame into the simulator message it mirrors.
+
+    ``STATUS``/``METRICS``/``STALL``/``RESUME`` frames are service-level and
+    have no simulator twin; they are handled by the replica directly and
+    rejected here.
+    """
+    kind = payload.get("type")
+    if kind == "READ_TS":
+        return TimestampRequest(client_id=_require_int(payload, "client"))
+    if kind == "READ":
+        return ReadRequest(client_id=_require_int(payload, "client"))
+    if kind == "WRITE":
+        if "ts" not in payload:
+            raise WireProtocolError("WRITE frame needs a 'ts' field")
+        pair = ValueTimestampPair(
+            value=canonical_value(payload.get("value")),
+            timestamp=_decode_timestamp(payload["ts"]),
+        )
+        return WriteRequest(client_id=_require_int(payload, "client"), pair=pair)
+    raise WireProtocolError(f"unknown or non-protocol request frame type {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Reply translation (replica -> client).
+# ----------------------------------------------------------------------
+def reply_to_frame(reply: object, *, server_index: int) -> dict:
+    """Translate a simulator reply message into its wire frame.
+
+    Replies carry the replica's universe *index* (not the raw server id,
+    which may be a tuple); clients map indices back onto universe elements.
+    """
+    if isinstance(reply, TimestampReply):
+        return {
+            "type": "READ_TS_REPLY",
+            "server": server_index,
+            "ts": _encode_timestamp(reply.timestamp),
+        }
+    if isinstance(reply, ReadReply):
+        return {
+            "type": "READ_REPLY",
+            "server": server_index,
+            "value": reply.pair.value,
+            "ts": _encode_timestamp(reply.pair.timestamp),
+        }
+    if isinstance(reply, WriteAck):
+        return {"type": "WRITE_ACK", "server": server_index, "accepted": bool(reply.accepted)}
+    raise WireProtocolError(f"cannot frame reply of type {type(reply).__name__}")
+
+
+def frame_to_reply(payload: dict, *, server_id: object) -> object:
+    """Translate a reply frame back into the simulator message it mirrors.
+
+    ``server_id`` is the universe element the answering replica index maps
+    to; it is substituted so client-side vouch counting and history records
+    speak universe elements exactly like the simulator stack.
+    """
+    kind = payload.get("type")
+    if kind == "READ_TS_REPLY":
+        if "ts" not in payload:
+            raise WireProtocolError("READ_TS_REPLY frame needs a 'ts' field")
+        return TimestampReply(server_id=server_id, timestamp=_decode_timestamp(payload["ts"]))
+    if kind == "READ_REPLY":
+        if "ts" not in payload:
+            raise WireProtocolError("READ_REPLY frame needs a 'ts' field")
+        pair = ValueTimestampPair(
+            value=canonical_value(payload.get("value")),
+            timestamp=_decode_timestamp(payload["ts"]),
+        )
+        return ReadReply(server_id=server_id, pair=pair)
+    if kind == "WRITE_ACK":
+        accepted = payload.get("accepted")
+        if not isinstance(accepted, bool):
+            raise WireProtocolError(
+                f"WRITE_ACK frame needs a boolean 'accepted', got {accepted!r}"
+            )
+        return WriteAck(server_id=server_id, accepted=accepted)
+    if kind == "ERROR":
+        raise WireProtocolError(
+            f"replica reported a protocol error: {payload.get('message', '?')}"
+        )
+    raise WireProtocolError(f"unknown reply frame type {kind!r}")

@@ -54,9 +54,11 @@ severed server acknowledged the operation).
 
 from __future__ import annotations
 
+import json
 from bisect import bisect_left, bisect_right
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.exceptions import SimulationError
 from repro.simulation.client import OperationResult
@@ -68,7 +70,27 @@ __all__ = [
     "HistoryRecorder",
     "OperationRecord",
     "check_register_history",
+    "dump_history_jsonl",
+    "freeze_value",
+    "load_history_jsonl",
+    "record_from_dict",
+    "record_to_dict",
 ]
+
+
+def freeze_value(value: object) -> object:
+    """Recursively turn JSON containers into hashable equivalents.
+
+    Lists become tuples and dicts become sorted ``(key, value)`` tuples, so a
+    value that travelled through JSON (the service wire, a history file)
+    compares and hashes equal to the tuple-shaped value a writer produced.
+    The checker relies on this: legitimate pairs live in a set.
+    """
+    if isinstance(value, list):
+        return tuple(freeze_value(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted((key, freeze_value(item)) for key, item in value.items()))
+    return value
 
 
 @dataclass(frozen=True)
@@ -538,3 +560,123 @@ def _write_floor(writes: Sequence[OperationRecord], initial_timestamp: Timestamp
         return prefix_max[index - 1]
 
     return latest_completed_before
+
+
+# ----------------------------------------------------------------------
+# History serialisation (service logs, golden fixtures).
+# ----------------------------------------------------------------------
+def _timestamp_to_json(timestamp: Timestamp | None) -> list | None:
+    return None if timestamp is None else [timestamp.counter, timestamp.client_id]
+
+
+def _timestamp_from_json(raw: object) -> Timestamp | None:
+    if raw is None:
+        return None
+    if not isinstance(raw, (list, tuple)) or len(raw) != 2:
+        raise SimulationError(f"a serialised timestamp must be [counter, client_id], got {raw!r}")
+    return Timestamp(counter=int(raw[0]), client_id=int(raw[1]))
+
+
+def record_to_dict(record: OperationRecord) -> dict:
+    """Serialise one :class:`OperationRecord` to a JSON-stable dict.
+
+    Quorum members and values may be tuples (grid coordinates); they travel
+    as JSON arrays and :func:`record_from_dict` freezes them back, so a
+    round-tripped history is checker-equivalent to the original.
+    """
+    attempted = record.attempted_pair
+    return {
+        "client_id": record.client_id,
+        "kind": record.kind,
+        "invoked_at": record.invoked_at,
+        "responded_at": record.responded_at,
+        "success": record.success,
+        "value": record.value,
+        "timestamp": _timestamp_to_json(record.timestamp),
+        "quorum": sorted(record.quorum) if record.quorum is not None else None,
+        "attempts": record.attempts,
+        "attempted_pair": (
+            None
+            if attempted is None
+            else {
+                "value": attempted.value,
+                "timestamp": _timestamp_to_json(attempted.timestamp),
+            }
+        ),
+    }
+
+
+def record_from_dict(payload: dict) -> OperationRecord:
+    """Rebuild an :class:`OperationRecord` from :func:`record_to_dict` output."""
+    if not isinstance(payload, dict):
+        raise SimulationError(f"a serialised record must be a JSON object, got {payload!r}")
+    kind = payload.get("kind")
+    if kind not in ("read", "write"):
+        raise SimulationError(f"serialised record kind must be 'read' or 'write', got {kind!r}")
+    raw_quorum = payload.get("quorum")
+    quorum = (
+        None
+        if raw_quorum is None
+        else frozenset(freeze_value(member) for member in raw_quorum)
+    )
+    raw_attempted = payload.get("attempted_pair")
+    if raw_attempted is None:
+        attempted = None
+    else:
+        attempted_timestamp = _timestamp_from_json(raw_attempted.get("timestamp"))
+        if attempted_timestamp is None:
+            raise SimulationError("a serialised attempted_pair needs a timestamp")
+        attempted = ValueTimestampPair(
+            value=freeze_value(raw_attempted.get("value")), timestamp=attempted_timestamp
+        )
+    try:
+        return OperationRecord(
+            client_id=int(payload["client_id"]),
+            kind=kind,
+            invoked_at=float(payload["invoked_at"]),
+            responded_at=float(payload["responded_at"]),
+            success=bool(payload["success"]),
+            value=freeze_value(payload.get("value")),
+            timestamp=_timestamp_from_json(payload.get("timestamp")),
+            quorum=quorum,
+            attempts=int(payload.get("attempts", 0)),
+            attempted_pair=attempted,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SimulationError(f"malformed serialised record: {exc!r}") from None
+
+
+def dump_history_jsonl(records: Iterable[OperationRecord], path: str | Path) -> int:
+    """Write a history as JSON Lines (one record per line); returns the count."""
+    count = 0
+    with Path(path).open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record_to_dict(record), separators=(",", ":")))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_history_jsonl(path: str | Path) -> list[OperationRecord]:
+    """Load a JSON Lines history written by :func:`dump_history_jsonl`."""
+    records: list[OperationRecord] = []
+    try:
+        handle = Path(path).open("r", encoding="utf-8")
+    except OSError as exc:
+        raise SimulationError(f"cannot read history file {path}: {exc}") from None
+    with handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SimulationError(
+                    f"{path}:{line_number}: not valid JSON: {exc}"
+                ) from None
+            try:
+                records.append(record_from_dict(payload))
+            except SimulationError as exc:
+                raise SimulationError(f"{path}:{line_number}: {exc}") from None
+    return records

@@ -1,0 +1,226 @@
+"""End-to-end tests of the networked service: real replica processes.
+
+Each test spawns a cluster of ``python -m repro serve --index i`` OS
+processes via :class:`ServiceCluster`, drives live TCP traffic through
+:func:`run_load`, and replays the recorded history through the same
+checker and conformance machinery the simulators use — the Lemma 3.6
+guarantees (zero fabricated, zero stale reads at ``byzantine <= b``) must
+hold over real sockets exactly as they do in simulation.
+
+Socket tests skip gracefully on runners that forbid loopback listeners or
+subprocess spawning.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.analysis import service_conformance
+from repro.api.registry import SystemSpec
+from repro.service import (
+    ClusterSpec,
+    ServiceCluster,
+    ServiceQuorumClient,
+    run_load,
+)
+from repro.exceptions import ServiceError
+from repro.simulation.client import RetryPolicy
+from repro.simulation.history import check_register_history
+
+OPS = 160
+CLIENTS = 8
+
+
+def _loopback_available() -> bool:
+    try:
+        with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+            sock.bind(("127.0.0.1", 0))
+            sock.listen(1)
+        return True
+    except OSError:
+        return False
+
+
+pytestmark = pytest.mark.skipif(
+    not _loopback_available(), reason="loopback sockets unavailable on this runner"
+)
+
+THRESHOLD_5 = SystemSpec(construction="threshold", params={"n": 5, "b": 1})
+
+
+@pytest.fixture
+def cluster_factory(tmp_path):
+    """Start clusters, guaranteeing teardown even when a test fails."""
+    started = []
+
+    def factory(spec: ClusterSpec) -> ServiceCluster:
+        cluster = ServiceCluster(spec, tmp_path / f"run-{len(started)}")
+        try:
+            cluster.start()
+        except ServiceError as exc:  # pragma: no cover - sandboxed runners
+            cluster.terminate()
+            pytest.skip(f"cannot spawn replica processes: {exc}")
+        started.append(cluster)
+        return cluster
+
+    yield factory
+    for cluster in started:
+        cluster.terminate()
+
+
+def _drive(cluster: ServiceCluster, **kwargs):
+    defaults = dict(
+        b=cluster.b,
+        operations=OPS,
+        clients=CLIENTS,
+        policy=RetryPolicy(request_timeout=2.0),
+        seed=7,
+        replica_endpoints=[
+            {"index": h.index, "host": h.host, "port": h.port}
+            for h in cluster.replicas
+        ],
+    )
+    defaults.update(kwargs)
+    return asyncio.run(run_load(cluster.system, cluster.endpoints(), **defaults))
+
+
+# ----------------------------------------------------------------------
+# The headline guarantee: live Byzantine replica, clean history.
+# ----------------------------------------------------------------------
+def test_live_cluster_masks_byzantine_replica(cluster_factory):
+    """5 real replicas, one lying on every read: zero fabricated/stale."""
+    cluster = cluster_factory(
+        ClusterSpec(THRESHOLD_5, byzantine=1, byzantine_behaviour="forge-on-read")
+    )
+    result = _drive(cluster)
+    assert result.operations == OPS
+    assert result.check.ok, result.check.violations
+    assert result.check.fabricated_reads == 0
+    assert result.check.stale_reads == 0
+    # The recorded history replays through the standalone checker too.
+    assert check_register_history(result.records).ok
+
+    report = service_conformance(result)
+    failed = [c.metric for c in report.checks if not c.ok]
+    assert report.ok, failed
+    assert {"fabricated-reads", "stale-read-rate", "history-safety"} <= {
+        c.metric for c in report.checks
+    }
+
+
+def test_live_report_shape_and_replica_metrics(cluster_factory):
+    cluster = cluster_factory(ClusterSpec(THRESHOLD_5))
+    result = _drive(cluster)
+    report = result.report(strategy_label="uniform")
+    assert report["engine"] == "service"
+    assert report["consistent"] is True
+    assert report["availability"] == 1.0
+    assert 0.0 < report["empirical_load"] <= 1.0
+    assert report["latency_p50"] is not None
+
+    service = report["service"]
+    assert service["clients"] == CLIENTS
+    assert service["check"]["ok"] is True
+    assert len(service["replica_status"]) == 5
+    assert len(service["replica_metrics"]) == 5
+    for status in service["replica_status"]:
+        assert status["ok"] is True
+        assert status["type"] == "STATUS_REPLY"
+    # Every replica served protocol traffic and measured its latencies.
+    served = sum(
+        sum(metrics["operations"].values()) for metrics in service["replica_metrics"]
+    )
+    assert served > 0
+    for metrics in service["replica_metrics"]:
+        assert metrics["latency_seconds"]["count"] >= 0
+        assert metrics["protocol_errors"] == 0
+
+
+def test_stalled_replica_is_steered_around(cluster_factory):
+    """A stalled (slow) replica costs timeouts, not consistency."""
+    cluster = cluster_factory(ClusterSpec(THRESHOLD_5))
+    asyncio.run(cluster.stall(0))
+    try:
+        result = _drive(
+            cluster,
+            operations=60,
+            clients=4,
+            policy=RetryPolicy(request_timeout=0.5),
+        )
+    finally:
+        asyncio.run(cluster.resume(0))
+    assert result.check.ok, result.check.violations
+    assert len(result.successful) == 60  # steering finds quorums avoiding 0
+    status = asyncio.run(cluster.status(0))
+    assert status["stalled"] is False  # resume took effect
+
+
+def test_crash_and_restart_preserve_staleness_bound(cluster_factory):
+    """Kill a replica mid-load, then restart it: clients steer around the
+    crash within the retry budget, and the rejoined (state-wiped) replica
+    never causes a stale or fabricated read — its stale answers are simply
+    short of the b+1 vouch threshold."""
+    cluster = cluster_factory(ClusterSpec(THRESHOLD_5))
+    before = _drive(cluster, operations=40, clients=4)
+    assert before.check.ok and len(before.successful) == 40
+
+    cluster.kill(2)
+    assert not cluster.replicas[2].alive
+    # Each follow-up run inherits the register state the previous one left
+    # behind; final_pair tells its checker what is legitimately readable.
+    during = _drive(
+        cluster, operations=60, clients=4, seed=11, initial_pair=before.final_pair
+    )
+    assert during.check.ok, during.check.violations
+    assert len(during.successful) == 60  # full availability around one crash
+    assert during.timeouts > 0  # the dead replica did cost probes
+
+    cluster.restart(2)
+    assert cluster.replicas[2].alive
+    after = _drive(
+        cluster, operations=60, clients=4, seed=13, initial_pair=during.final_pair
+    )
+    assert after.check.ok, after.check.violations
+    assert len(after.successful) == 60
+    # The restarted replica answers protocol traffic again.
+    metrics = asyncio.run(cluster.metrics(2))
+    assert sum(metrics["operations"].values()) > 0
+
+
+def test_byzantine_overload_requires_explicit_opt_in():
+    with pytest.raises(ServiceError, match="exceed the masking"):
+        ClusterSpec(THRESHOLD_5, byzantine=2).resolve()
+    system, b = ClusterSpec(THRESHOLD_5, byzantine=2, allow_overload=True).resolve()
+    assert (system.n, b) == (5, 1)
+
+
+def test_open_loop_mode_follows_trace_schedule(cluster_factory):
+    cluster = cluster_factory(ClusterSpec(THRESHOLD_5))
+    result = _drive(cluster, operations=48, clients=6, mode="open", rate=200.0)
+    assert result.check.ok
+    assert len(result.successful) == 48
+    assert result.duration > 0.0
+
+
+def test_single_client_sequential_semantics(cluster_factory):
+    """One client alone sees its own writes — the simplest sanity check."""
+    cluster = cluster_factory(ClusterSpec(THRESHOLD_5))
+
+    async def scenario():
+        client = ServiceQuorumClient(
+            0, cluster.system, cluster.endpoints(), b=cluster.b
+        )
+        try:
+            for i in range(5):
+                write = await client.write(("v", i))
+                assert write.success
+                read = await client.read()
+                assert read.success
+                assert read.value == ("v", i)
+        finally:
+            await client.close()
+
+    asyncio.run(scenario())
