@@ -24,6 +24,7 @@ ROOT = Path(__file__).resolve().parents[1]
 EXPECTED_ARTIFACTS = {
     "BENCH_scenarios.json": "benchmarks/test_bench_scenarios.py",
     "BENCH_membership.json": "benchmarks/test_bench_membership.py",
+    "BENCH_storage.json": "benchmarks/test_bench_storage.py",
 }
 
 

@@ -24,6 +24,7 @@ from repro.analysis.conformance import (
     masking_conformance,
     percolation_conformance,
     reconfig_conformance,
+    recovery_conformance,
     restricted_induced_loads,
     service_conformance,
     worst_case_induced_load,
@@ -68,6 +69,7 @@ __all__ = [
     "profile_system",
     "reconfig_conformance",
     "recommend_construction",
+    "recovery_conformance",
     "restricted_induced_loads",
     "section45_comparison",
     "section8_comparison",

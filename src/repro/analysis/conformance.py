@@ -60,6 +60,7 @@ from repro.simulation.adversary import (
     run_adversarial_workload,
 )
 from repro.simulation.engine import WorkloadResult, resolve_strategy, run_scenario
+from repro.simulation.messages import Timestamp
 from repro.simulation.reconfig import ReconfigResult
 from repro.simulation.scenarios import percolation_scenario
 
@@ -72,6 +73,7 @@ __all__ = [
     "masking_conformance",
     "percolation_conformance",
     "reconfig_conformance",
+    "recovery_conformance",
     "restricted_induced_loads",
     "service_conformance",
     "worst_case_induced_load",
@@ -526,6 +528,114 @@ def service_conformance(
                 direction=">=",
                 slack=_binomial_slack(lp_load, len(successful), z),
                 detail="L(Q) of the Definition 3.8 LP — no strategy induces less",
+            )
+        )
+    return ConformanceReport(checks=tuple(checks))
+
+
+def _timestamp_rank(timestamp) -> float:
+    """Monotone float embedding of the lexicographic timestamp order.
+
+    ``(counter, client_id)`` pairs compare lexicographically; mapping them
+    to ``counter + (client_id + 1) / 2**20`` preserves that order exactly
+    for every client id below ``2**20 - 1`` (client ids are small
+    non-negative ints, ``-1`` only in the zero timestamp), so the checks
+    below can expose real timestamps through ``ConformanceCheck``'s float
+    observed/bound fields without losing the comparison.
+    """
+    return float(timestamp.counter) + (float(timestamp.client_id) + 1.0) / float(1 << 20)
+
+
+def recovery_conformance(
+    result: object,
+    *,
+    server_id,
+    recovered_timestamp,
+    post_result: object | None = None,
+) -> ConformanceReport:
+    """Check that a restarted replica recovered everything it had acked.
+
+    ``result`` is the :class:`~repro.service.harness.ServiceRunResult`
+    (duck-typed) recorded *before* (or spanning) the crash; ``server_id``
+    the restarted replica's universe element; ``recovered_timestamp`` the
+    timestamp the replica answered with after recovery (from its ``STATUS``
+    frame, as a :class:`~repro.simulation.messages.Timestamp` or a raw
+    ``[counter, client_id]`` pair).
+
+    * **recovered-timestamp** — the recovered timestamp must be ``>=`` the
+      highest timestamp of any successful write whose quorum contained the
+      replica: every such write was acked by it, and an acked write must
+      survive the crash (the journal-before-ack contract of
+      :mod:`repro.storage`).  Exact, no slack.
+    * with ``post_result`` (a run driven *after* the restart): the Lemma 3.6
+      zero bounds must still hold — zero fabricated and zero stale reads
+      across the restart, **without** any client-side ``initial_pair``
+      chaining having been needed.
+    """
+    for attribute in ("records", "b"):
+        if not hasattr(result, attribute):
+            raise InvalidParameterError(
+                "recovery_conformance takes a ServiceRunResult-shaped object; "
+                f"{type(result).__name__} has no {attribute!r}"
+            )
+    recovered = (
+        recovered_timestamp
+        if isinstance(recovered_timestamp, Timestamp)
+        else Timestamp(counter=int(recovered_timestamp[0]), client_id=int(recovered_timestamp[1]))
+    )
+    acked = [
+        record.timestamp
+        for record in result.records
+        if record.success
+        and record.kind == "write"
+        and record.timestamp is not None
+        and server_id in (record.quorum or ())
+    ]
+    floor = max(acked, default=Timestamp.zero())
+    checks = [
+        ConformanceCheck(
+            metric="recovered-timestamp",
+            observed=_timestamp_rank(recovered),
+            bound=_timestamp_rank(floor),
+            direction=">=",
+            detail=(
+                f"replica {server_id!r} recovered ts={recovered.counter, recovered.client_id} "
+                f"vs last acked write ts={floor.counter, floor.client_id} over "
+                f"{len(acked)} acked writes (journal-before-ack contract)"
+            ),
+        )
+    ]
+    if post_result is not None:
+        for attribute in ("check", "records"):
+            if not hasattr(post_result, attribute):
+                raise InvalidParameterError(
+                    "recovery_conformance post_result must be ServiceRunResult-"
+                    f"shaped; {type(post_result).__name__} has no {attribute!r}"
+                )
+        post_history = post_result.check
+        post_reads = max(
+            1,
+            sum(1 for record in post_result.records if record.success and record.kind == "read"),
+        )
+        checks.append(
+            ConformanceCheck(
+                metric="post-restart-fabricated",
+                observed=float(post_history.fabricated_reads),
+                bound=0.0,
+                direction="<=",
+                detail="Lemma 3.6 across the restart: no fabricated reads",
+            )
+        )
+        checks.append(
+            ConformanceCheck(
+                metric="post-restart-stale-rate",
+                observed=post_history.stale_reads / post_reads,
+                bound=0.0,
+                direction="<=",
+                detail=(
+                    "Lemma 3.6 across the restart: staleness bound holds with "
+                    "no client-side initial_pair chaining"
+                ),
             )
         )
     return ConformanceReport(checks=tuple(checks))

@@ -337,6 +337,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             byzantine_behaviour=args.byzantine_behaviour,
             seed=args.seed,
             ready_file=args.ready_file,
+            data_dir=args.data_dir,
+            fsync=args.fsync,
+            snapshot_every=args.snapshot_every,
         )
         try:
             asyncio.run(run_replica(config))
@@ -358,6 +361,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         seed=args.seed,
         allow_overload=args.allow_overload,
+        data_root=args.data_dir,
+        fsync=args.fsync,
+        snapshot_every=args.snapshot_every,
     )
     run_dir = args.run_dir or tempfile.mkdtemp(prefix="repro-cluster-")
     cluster = ServiceCluster(cluster_spec, run_dir)
@@ -382,7 +388,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     import asyncio
     from pathlib import Path
 
-    from repro.service.harness import load_cluster_file, run_load
+    from repro.service.harness import discover_initial_pair, load_cluster_file, run_load
     from repro.simulation.client import RetryPolicy
     from repro.simulation.history import dump_history_jsonl
 
@@ -398,11 +404,19 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     policy = RetryPolicy(
         max_attempts=args.max_attempts, request_timeout=args.timeout
     )
+    protocol_b = b if args.protocol_b is None else args.protocol_b
+    initial_pair = None
+    if args.initial_from_cluster:
+        # Server-side state discovery (b+1-vouched STATUS pairs): the durable
+        # replacement for chaining a previous run's final_pair by hand.
+        initial_pair = asyncio.run(
+            discover_initial_pair(replicas, b=protocol_b, timeout=args.timeout)
+        )
     result = asyncio.run(
         run_load(
             system,
             endpoints,
-            b=b if args.protocol_b is None else args.protocol_b,
+            b=protocol_b,
             operations=args.ops,
             clients=args.clients,
             write_fraction=args.write_fraction,
@@ -412,6 +426,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             strategy=args.strategy,
             seed=args.seed,
             replica_endpoints=replicas,
+            initial_pair=initial_pair,
         )
     )
     payload = result.report(strategy_label=args.strategy or "uniform")
@@ -717,6 +732,34 @@ def _build_parser() -> argparse.ArgumentParser:
         help="permit more Byzantine replicas than b (negative tests)",
     )
     serve_parser.add_argument(
+        "--data-dir",
+        dest="data_dir",
+        default=None,
+        help=(
+            "durable state directory: the replica's own (single mode) or the "
+            "root for per-replica replica-<i> subdirectories (supervisor "
+            "mode); omitted = memory-only replicas"
+        ),
+    )
+    serve_parser.add_argument(
+        "--fsync",
+        default="always",
+        help=(
+            "write-ahead-log fsync policy: always, interval[:N] or never "
+            "(requires --data-dir; default: always)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--snapshot-every",
+        dest="snapshot_every",
+        type=int,
+        default=1024,
+        help=(
+            "journalled writes between snapshot+log-compaction cycles "
+            "(0 disables compaction; requires --data-dir)"
+        ),
+    )
+    serve_parser.add_argument(
         "--ready-timeout",
         dest="ready_timeout",
         type=float,
@@ -775,6 +818,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-request timeout in seconds (RetryPolicy.request_timeout)",
     )
     loadgen_parser.add_argument("--max-attempts", dest="max_attempts", type=int, default=10)
+    loadgen_parser.add_argument(
+        "--initial-from-cluster",
+        dest="initial_from_cluster",
+        action="store_true",
+        help=(
+            "discover the register state the cluster already holds (b+1-"
+            "vouched STATUS pairs) and hand it to the checker as the run's "
+            "initial pair — for runs against a recovered durable cluster"
+        ),
+    )
     loadgen_parser.add_argument(
         "--conformance",
         action="store_true",

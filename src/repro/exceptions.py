@@ -111,6 +111,19 @@ class WireProtocolError(ServiceError):
     """
 
 
+class StorageError(ReproError):
+    """Durable replica storage failed or was handed corrupt inputs.
+
+    Raised by :mod:`repro.storage` for I/O failures while journalling or
+    snapshotting, for values that cannot be serialised into a log record,
+    and for storage directories that cannot be created or opened.  *Not*
+    raised for corruption found during recovery: a torn, truncated or
+    bit-flipped log tail is expected crash damage, and recovery silently
+    discards the corrupt suffix (reporting it via
+    :class:`repro.storage.RecoveryResult`) instead of failing.
+    """
+
+
 class FieldError(ReproError):
     """Finite-field arithmetic was requested with invalid parameters.
 

@@ -24,6 +24,7 @@ from repro.lint.rules import RULES, Violation
 
 __all__ = [
     "HOT_MODULES",
+    "STORAGE_MODULES",
     "check_registry",
     "lint_file",
     "lint_paths",
@@ -44,6 +45,15 @@ _FROZENSET_TRAVERSALS = frozenset({"quorums", "iter_quorums", "frozensets"})
 
 #: Builtin exception names R3 refuses to see raised inside the library.
 _BANNED_RAISES = frozenset({"ValueError", "TypeError", "RuntimeError", "Exception"})
+
+#: Modules forming the durable-storage layer (rule R3's StorageError branch),
+#: as path fragments relative to the linted root.
+STORAGE_MODULES: tuple[str, ...] = ("repro/storage/",)
+
+#: OS-level exception names R3 additionally refuses inside STORAGE_MODULES:
+#: the storage contract is that nothing escapes past StorageError, so raw
+#: I/O errors must be wrapped at the point they occur.
+_BANNED_STORAGE_RAISES = frozenset({"OSError", "IOError"})
 
 #: ``numpy.random`` module-level functions that draw from the legacy global
 #: RNG state (R1); ``default_rng``/``Generator``/``SeedSequence`` are the
@@ -317,7 +327,13 @@ def _check_mask_native(path: str, tree: ast.Module) -> list[Violation]:
 # ----------------------------------------------------------------------
 # R3 — exception taxonomy.
 # ----------------------------------------------------------------------
+def _is_storage_module(path: str) -> bool:
+    normalised = path.replace("\\", "/")
+    return any(fragment in normalised for fragment in STORAGE_MODULES)
+
+
 def _check_exception_taxonomy(path: str, tree: ast.Module) -> list[Violation]:
+    storage = _is_storage_module(path)
     violations: list[Violation] = []
     for node in ast.walk(tree):
         if not isinstance(node, ast.Raise) or node.exc is None:
@@ -339,6 +355,20 @@ def _check_exception_taxonomy(path: str, tree: ast.Module) -> list[Violation]:
                         f"bare {name} escapes the ReproError hierarchy; raise "
                         "a repro.exceptions type (InvalidParameterError for "
                         "argument validation)"
+                    ),
+                )
+            )
+        elif storage and name in _BANNED_STORAGE_RAISES:
+            violations.append(
+                Violation(
+                    rule="R3",
+                    path=path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"raw {name} escapes the storage layer's StorageError "
+                        "contract; wrap I/O failures in "
+                        "repro.exceptions.StorageError at the point they occur"
                     ),
                 )
             )

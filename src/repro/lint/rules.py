@@ -122,13 +122,18 @@ RULES: dict[str, Rule] = {
             name="exception-taxonomy",
             summary=(
                 "no bare ValueError/TypeError/RuntimeError/Exception raises "
-                "inside src/repro; raise the repro.exceptions hierarchy"
+                "inside src/repro; raise the repro.exceptions hierarchy "
+                "(inside repro/storage/, raw OSError/IOError raises are "
+                "banned too — wrap them in StorageError)"
             ),
             rationale=(
                 "Callers catch ReproError subclasses at API boundaries and the "
                 "CLI maps them onto exit codes 2/3; a bare builtin raise "
                 "escapes both.  This is the static form of the registry-wide "
-                "InvalidParameterError contract asserted in tests/test_api.py."
+                "InvalidParameterError contract asserted in tests/test_api.py. "
+                "The storage branch enforces the recovery contract of "
+                "repro.storage — nothing escapes past StorageError, so raw "
+                "I/O errors must be wrapped where they occur."
             ),
         ),
         Rule(

@@ -45,6 +45,7 @@ DEFAULT_RATCHET: tuple[str, ...] = (
     "repro.core.*",
     "repro.api.*",
     "repro.lint.*",
+    "repro.storage.*",
 )
 
 #: Dunder methods whose return type is implied by the protocol and not

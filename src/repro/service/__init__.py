@@ -19,6 +19,7 @@ from repro.service.harness import (
     ReplicaHandle,
     ServiceCluster,
     ServiceRunResult,
+    discover_initial_pair,
     load_cluster_file,
     run_load,
     run_supervisor,
@@ -37,6 +38,7 @@ __all__ = [
     "ServiceRunResult",
     "call_endpoint",
     "decode_frame",
+    "discover_initial_pair",
     "encode_frame",
     "load_cluster_file",
     "run_load",

@@ -43,6 +43,7 @@ from repro.core.quorum_system import QuorumSystem
 from repro.core.rng import ensure_rng
 from repro.core.strategy import Strategy
 from repro.exceptions import ServiceError
+from repro.service import wire
 from repro.service.client import ServiceQuorumClient, call_endpoint
 from repro.simulation.client import RetryPolicy
 from repro.simulation.engine import resolve_strategy
@@ -50,16 +51,19 @@ from repro.simulation.history import (
     HistoryCheck,
     HistoryRecorder,
     OperationRecord,
+    freeze_value,
 )
 from repro.simulation.messages import ValueTimestampPair
 from repro.simulation.server import BYZANTINE_BEHAVIOURS
 from repro.simulation.traces import TraceScenario
+from repro.storage import FsyncPolicy
 
 __all__ = [
     "ClusterSpec",
     "ReplicaHandle",
     "ServiceCluster",
     "ServiceRunResult",
+    "discover_initial_pair",
     "load_cluster_file",
     "run_load",
     "run_supervisor",
@@ -79,6 +83,13 @@ class ClusterSpec:
     the protocol's masking parameter (defaults to the system's own masking
     bound), and ``byzantine > b`` is rejected unless ``allow_overload`` —
     exactly the simulator's guard.
+
+    ``data_root`` makes the cluster *durable*: replica ``i`` journals to
+    ``<data_root>/replica-<i>`` (see :mod:`repro.storage`) and a
+    :meth:`ServiceCluster.restart` recovers its pre-crash register from
+    there.  ``fsync`` / ``snapshot_every`` are forwarded to every replica's
+    store; without ``data_root`` the cluster is memory-only and a restarted
+    replica rejoins empty.
     """
 
     spec: SystemSpec
@@ -88,6 +99,9 @@ class ClusterSpec:
     host: str = "127.0.0.1"
     seed: int = 0
     allow_overload: bool = False
+    data_root: str | None = None
+    fsync: str = "always"
+    snapshot_every: int = 1024
 
     def resolve(self) -> tuple[QuorumSystem, int]:
         """Build the system and resolve the masking parameter."""
@@ -109,6 +123,8 @@ class ClusterSpec:
                 f"unknown Byzantine behaviour {self.byzantine_behaviour!r}; "
                 f"choose one of {sorted(BYZANTINE_BEHAVIOURS)}"
             )
+        if self.data_root is not None:
+            FsyncPolicy.parse(self.fsync)  # reject a bad policy before spawning
         return system, b
 
 
@@ -150,6 +166,15 @@ def _replica_command(
         "--seed",
         str(cluster.seed + index),
     ]
+    if cluster.data_root is not None:
+        command += [
+            "--data-dir",
+            str(Path(cluster.data_root) / f"replica-{index}"),
+            "--fsync",
+            cluster.fsync,
+            "--snapshot-every",
+            str(cluster.snapshot_every),
+        ]
     return command
 
 
@@ -297,7 +322,15 @@ class ServiceCluster:
             handle.process.wait(timeout=5.0)
 
     def restart(self, index: int, *, timeout: float = DEFAULT_READY_TIMEOUT) -> None:
-        """Restart a killed replica; it rejoins with a fresh (initial) state."""
+        """Restart a killed replica.
+
+        With ``ClusterSpec.data_root`` set the new process recovers its
+        register from its per-replica :class:`~repro.storage.DurableStore`
+        (write-ahead log + snapshot) and rejoins with its pre-crash state;
+        without it, the replica rejoins with a fresh (initial) state and
+        only the ``b+1`` vouch threshold protects readers from its stale
+        answers.
+        """
         handle = self.replicas[index]
         if handle.alive:
             raise ServiceError(f"replica {index} is still running")
@@ -321,6 +354,18 @@ class ServiceCluster:
         handle = self.replicas[index]
         return await call_endpoint(handle.host, handle.port, {"type": "METRICS"})
 
+    async def discover_pair(self) -> ValueTimestampPair | None:
+        """The cluster's b+1-vouched register state (see
+        :func:`discover_initial_pair`); queries live replicas only."""
+        return await discover_initial_pair(
+            [
+                {"host": handle.host, "port": handle.port}
+                for handle in self.replicas
+                if handle.alive
+            ],
+            b=self.b,
+        )
+
 
 def load_cluster_file(path: str | Path) -> tuple[SystemSpec, int, list[dict]]:
     """Parse a cluster file into ``(spec, b, replica descriptors)``."""
@@ -336,6 +381,48 @@ def load_cluster_file(path: str | Path) -> tuple[SystemSpec, int, list[dict]]:
         return spec, int(payload["b"]), list(payload["replicas"])
     except (KeyError, TypeError, ValueError) as exc:
         raise ServiceError(f"malformed cluster file {path}: {exc}") from None
+
+
+async def discover_initial_pair(
+    replica_endpoints: list,
+    *,
+    b: int,
+    timeout: float = 5.0,
+) -> ValueTimestampPair | None:
+    """Recover the register state a cluster already holds, from the server side.
+
+    Queries every replica's ``STATUS`` frame for its current ``(value,
+    ts)`` pair and returns the highest-timestamp pair vouched for by at
+    least ``b + 1`` replicas — the same masking rule a read uses, so up to
+    ``b`` Byzantine or freshly-wiped replicas cannot fabricate or roll back
+    the discovered state.  ``None`` when no pair reaches the vouch
+    threshold (e.g. a cluster that never served a write).
+
+    This replaces client-side ``initial_pair`` chaining across runs against
+    a *durable* cluster: after a full-cluster restart the state lives in the
+    replicas' write-ahead logs, not in any client's memory.  Unreachable
+    replicas and frames without register fields are skipped — discovery
+    degrades exactly like a read would.
+    """
+    votes: dict = {}
+    for descriptor in replica_endpoints:
+        host, port = descriptor["host"], descriptor["port"]
+        try:
+            payload = await call_endpoint(host, port, {"type": "STATUS"}, timeout=timeout)
+        except ServiceError:
+            continue
+        if "ts" not in payload:
+            continue
+        try:
+            timestamp = wire.decode_timestamp(payload["ts"])
+        except ServiceError:
+            continue
+        pair = ValueTimestampPair(
+            value=freeze_value(payload.get("value")), timestamp=timestamp
+        )
+        votes[pair] = votes.get(pair, 0) + 1
+    vouched = [pair for pair, count in votes.items() if count >= b + 1]
+    return max(vouched, key=lambda pair: pair.timestamp, default=None)
 
 
 # ----------------------------------------------------------------------
@@ -359,6 +446,9 @@ class ServiceRunResult:
     timeouts: int
     replica_status: list = field(default_factory=list)
     replica_metrics: list = field(default_factory=list)
+    #: What the run's checker assumed the register held at the start (the
+    #: ``initial_pair`` handed to :func:`run_load`, chained or discovered).
+    initial_pair: ValueTimestampPair | None = None
 
     @property
     def successful(self) -> list[OperationRecord]:
@@ -454,6 +544,14 @@ class ServiceRunResult:
             },
             "replica_status": self.replica_status,
             "replica_metrics": self.replica_metrics,
+            "initial_pair": (
+                None
+                if self.initial_pair is None
+                else {
+                    "value": self.initial_pair.value,
+                    "ts": wire.encode_timestamp(self.initial_pair.timestamp),
+                }
+            ),
         }
         return report
 
@@ -609,6 +707,7 @@ async def run_load(
         timeouts=sum(client.timeouts for client in pool),
         replica_status=replica_status,
         replica_metrics=replica_metrics,
+        initial_pair=initial_pair,
     )
 
 

@@ -35,13 +35,15 @@ from typing import Hashable
 
 from repro.api.registry import SystemSpec, build
 from repro.core.rng import ensure_rng
-from repro.exceptions import ServiceError, WireProtocolError
+from repro.exceptions import ServiceError, StorageError, WireProtocolError
 from repro.service import wire
+from repro.simulation.messages import Timestamp
 from repro.simulation.server import (
     BYZANTINE_BEHAVIOURS,
     ByzantineReplicaServer,
     ReplicaServer,
 )
+from repro.storage import DurableStore, FsyncPolicy
 
 __all__ = ["ReplicaConfig", "ReplicaService", "run_replica"]
 
@@ -60,6 +62,13 @@ class ReplicaConfig:
     into an adversary for fault-injection runs.  ``ready_file`` is written
     once the listener is bound, carrying the actual host/port (ephemeral
     ports included) as JSON.
+
+    ``data_dir`` makes the replica *durable*: accepted writes are
+    journalled to a :class:`~repro.storage.DurableStore` in that directory
+    before they are acked, and a restarted process recovers its register
+    from it.  ``fsync`` (``always`` / ``interval:N`` / ``never``) and
+    ``snapshot_every`` (journalled writes between log compactions) tune the
+    store; both are ignored without ``data_dir``.
     """
 
     spec: SystemSpec
@@ -70,6 +79,9 @@ class ReplicaConfig:
     initial_value: object = None
     seed: int | None = None
     ready_file: str | None = None
+    data_dir: str | None = None
+    fsync: str = "always"
+    snapshot_every: int = 1024
 
     def __post_init__(self) -> None:
         if self.byzantine_behaviour is not None and (
@@ -79,6 +91,8 @@ class ReplicaConfig:
                 f"unknown Byzantine behaviour {self.byzantine_behaviour!r}; "
                 f"choose one of {sorted(BYZANTINE_BEHAVIOURS)}"
             )
+        if self.data_dir is not None:
+            FsyncPolicy.parse(self.fsync)  # reject a bad policy at config time
 
 
 def _percentile(samples: list[float], fraction: float) -> float:
@@ -108,6 +122,18 @@ class ReplicaService:
             )
         else:
             self.replica = ReplicaServer(self.server_id, initial_value=config.initial_value)
+        # Durable state: open (= recover) the store before serving anything,
+        # so a restarted replica answers with its pre-crash register.
+        self._store: DurableStore | None = None
+        if config.data_dir is not None:
+            self._store = DurableStore(
+                config.data_dir,
+                fsync=config.fsync,
+                snapshot_every=config.snapshot_every,
+                initial_value=config.initial_value,
+            )
+            if self._store.recovery.pair.timestamp > Timestamp.zero():
+                self.replica.restore(self._store.recovery.pair)
         self._server: asyncio.base_events.Server | None = None
         self._started_at = time.monotonic()
         self._op_counts: Counter = Counter()
@@ -168,11 +194,17 @@ class ReplicaService:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._store is not None:
+            self._store.close()
 
     # ------------------------------------------------------------------
     # Introspection frames.
     # ------------------------------------------------------------------
+    def _storage_payload(self) -> dict:
+        return self._store.status() if self._store is not None else {"durable": False}
+
     def status_payload(self) -> dict:
+        pair = self.replica.current_pair
         return {
             "type": "STATUS_REPLY",
             "index": self.config.index,
@@ -183,6 +215,11 @@ class ReplicaService:
             "byzantine": self.config.byzantine_behaviour,
             "stalled": not self._running.is_set(),
             "uptime_seconds": time.monotonic() - self._started_at,
+            # The current register pair, protocol encodings: the substrate
+            # of b+1-vouched state discovery (harness.discover_initial_pair).
+            "value": pair.value,
+            "ts": wire.encode_timestamp(pair.timestamp),
+            "storage": self._storage_payload(),
             "ok": True,
         }
 
@@ -201,6 +238,7 @@ class ReplicaService:
                 "p99": _percentile(samples, 0.99) if samples else None,
                 "max": samples[-1] if samples else None,
             },
+            "storage": self._storage_payload(),
         }
 
     # ------------------------------------------------------------------
@@ -223,7 +261,10 @@ class ReplicaService:
                     return  # clean EOF
                 try:
                     reply = await self._handle_frame(payload)
-                except WireProtocolError as exc:
+                except (WireProtocolError, StorageError) as exc:
+                    # A journalling failure must not ack the write: answer
+                    # ERROR and drop the connection — the client sees
+                    # silence, exactly like a crashed server.
                     self._protocol_errors += 1
                     await self._send_error(writer, str(exc))
                     return
@@ -263,6 +304,10 @@ class ReplicaService:
             reply = self.replica.handle_read(request)  # type: ignore[arg-type]
         else:
             reply = self.replica.handle_write(request)  # type: ignore[arg-type]
+            # Durability contract: the accepted pair hits the journal
+            # *before* the ack frame goes out.
+            if self._store is not None and getattr(reply, "accepted", False):
+                self._store.journal(request.pair)  # type: ignore[attr-defined]
         self._op_counts[kind] += 1
         self._latencies.append(time.monotonic() - started)
         return wire.reply_to_frame(reply, server_index=self.config.index)

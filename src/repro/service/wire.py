@@ -19,11 +19,19 @@ frame type                simulator message                       direction
 ``ERROR``                 — (protocol error report)                reply
 ========================  =====================================  ==========
 
-Timestamps travel as ``[counter, client_id]`` pairs and replicas are
+Timestamps travel as ``[counter, client_id]`` pairs
+(:func:`encode_timestamp` / :func:`decode_timestamp`) and replicas are
 addressed by their *index* in the universe order (universe elements may be
 tuples, which JSON cannot key); values may be any JSON value and are
 canonicalised with :func:`canonical_value` on both the write and the read
 path so recorded histories compare pairs by value, not by Python identity.
+
+``STATUS_REPLY`` additionally carries the replica's current register pair
+(``value`` + ``ts``, same encodings as the protocol frames — the substrate
+of server-side state discovery after a full-cluster restart) and, like
+``METRICS_REPLY``, a ``storage`` section reporting durable-state health
+(WAL length, snapshot age, fsync policy — see :mod:`repro.storage`;
+``{"durable": false}`` when the replica runs without a data directory).
 
 The codec is deliberately strict: oversized, truncated, non-JSON and
 unknown-type frames all raise :class:`~repro.exceptions.WireProtocolError`
@@ -55,7 +63,9 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "canonical_value",
     "decode_frame",
+    "decode_timestamp",
     "encode_frame",
+    "encode_timestamp",
     "frame_to_reply",
     "frame_to_request",
     "read_frame",
@@ -188,11 +198,18 @@ async def write_frame(writer: asyncio.StreamWriter, payload: dict) -> None:
 # ----------------------------------------------------------------------
 # Timestamp / pair encoding.
 # ----------------------------------------------------------------------
-def _encode_timestamp(timestamp: Timestamp) -> list:
+def encode_timestamp(timestamp: Timestamp) -> list:
+    """Encode a timestamp as the wire's ``[counter, client_id]`` pair.
+
+    Public because introspection consumers (``STATUS`` register fields,
+    :func:`repro.service.harness.discover_initial_pair`) speak the same
+    encoding as the protocol frames.
+    """
     return [int(timestamp.counter), int(timestamp.client_id)]
 
 
-def _decode_timestamp(raw: object) -> Timestamp:
+def decode_timestamp(raw: object) -> Timestamp:
+    """Decode a ``[counter, client_id]`` pair; strict about shape."""
     if (
         not isinstance(raw, (list, tuple))
         or len(raw) != 2
@@ -227,7 +244,7 @@ def request_to_frame(request: object) -> dict:
             "type": "WRITE",
             "client": request.client_id,
             "value": request.pair.value,
-            "ts": _encode_timestamp(request.pair.timestamp),
+            "ts": encode_timestamp(request.pair.timestamp),
         }
     raise WireProtocolError(f"cannot frame request of type {type(request).__name__}")
 
@@ -249,7 +266,7 @@ def frame_to_request(payload: dict) -> object:
             raise WireProtocolError("WRITE frame needs a 'ts' field")
         pair = ValueTimestampPair(
             value=canonical_value(payload.get("value")),
-            timestamp=_decode_timestamp(payload["ts"]),
+            timestamp=decode_timestamp(payload["ts"]),
         )
         return WriteRequest(client_id=_require_int(payload, "client"), pair=pair)
     raise WireProtocolError(f"unknown or non-protocol request frame type {kind!r}")
@@ -268,14 +285,14 @@ def reply_to_frame(reply: object, *, server_index: int) -> dict:
         return {
             "type": "READ_TS_REPLY",
             "server": server_index,
-            "ts": _encode_timestamp(reply.timestamp),
+            "ts": encode_timestamp(reply.timestamp),
         }
     if isinstance(reply, ReadReply):
         return {
             "type": "READ_REPLY",
             "server": server_index,
             "value": reply.pair.value,
-            "ts": _encode_timestamp(reply.pair.timestamp),
+            "ts": encode_timestamp(reply.pair.timestamp),
         }
     if isinstance(reply, WriteAck):
         return {"type": "WRITE_ACK", "server": server_index, "accepted": bool(reply.accepted)}
@@ -293,13 +310,13 @@ def frame_to_reply(payload: dict, *, server_id: object) -> object:
     if kind == "READ_TS_REPLY":
         if "ts" not in payload:
             raise WireProtocolError("READ_TS_REPLY frame needs a 'ts' field")
-        return TimestampReply(server_id=server_id, timestamp=_decode_timestamp(payload["ts"]))
+        return TimestampReply(server_id=server_id, timestamp=decode_timestamp(payload["ts"]))
     if kind == "READ_REPLY":
         if "ts" not in payload:
             raise WireProtocolError("READ_REPLY frame needs a 'ts' field")
         pair = ValueTimestampPair(
             value=canonical_value(payload.get("value")),
-            timestamp=_decode_timestamp(payload["ts"]),
+            timestamp=decode_timestamp(payload["ts"]),
         )
         return ReadReply(server_id=server_id, pair=pair)
     if kind == "WRITE_ACK":

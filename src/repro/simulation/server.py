@@ -54,6 +54,19 @@ class ReplicaServer:
         """The replica's current ``(value, timestamp)`` pair."""
         return self._pair
 
+    def restore(self, pair: ValueTimestampPair) -> None:
+        """Install recovered state without counting it as an access.
+
+        The durable-storage recovery path (:mod:`repro.storage`) calls this
+        once, before the replica serves any request, so a restarted process
+        answers with its pre-crash register instead of the zero pair.  A
+        recovered pair can only be *newer* than the fresh zero state, so the
+        protocol's install invariant (timestamps never move backwards) is
+        preserved.
+        """
+        if pair.timestamp > self._pair.timestamp:
+            self._pair = pair
+
     # ------------------------------------------------------------------
     # Request handlers.
     # ------------------------------------------------------------------

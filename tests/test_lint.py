@@ -111,6 +111,27 @@ class TestR3ExceptionTaxonomy:
         source = "try:\n    pass\nexcept ValueError:\n    raise\n"
         assert lint_source(source, "x.py") == []
 
+    def test_raw_oserror_in_storage_layer_is_flagged(self):
+        source = "raise OSError('disk full')\n"
+        violations = lint_source(source, "repro/storage/wal.py")
+        assert rules_fired(violations) == {"R3"}
+        assert "StorageError" in violations[0].message
+
+    def test_raw_ioerror_in_storage_layer_is_flagged(self):
+        assert rules_fired(
+            lint_source("raise IOError('boom')\n", "src/repro/storage/store.py")
+        ) == {"R3"}
+
+    def test_raw_oserror_outside_storage_layer_is_legal(self):
+        assert lint_source("raise OSError('fine here')\n", "repro/service/wire.py") == []
+
+    def test_storage_error_raise_in_storage_layer_is_legal(self):
+        source = (
+            "from repro.exceptions import StorageError\n"
+            "raise StorageError('wrapped')\n"
+        )
+        assert lint_source(source, "repro/storage/snapshot.py") == []
+
 
 # ----------------------------------------------------------------------
 # R4 — float discipline.

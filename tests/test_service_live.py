@@ -18,7 +18,7 @@ import socket
 
 import pytest
 
-from repro.analysis import service_conformance
+from repro.analysis import recovery_conformance, service_conformance
 from repro.api.registry import SystemSpec
 from repro.service import (
     ClusterSpec,
@@ -159,10 +159,14 @@ def test_stalled_replica_is_steered_around(cluster_factory):
 
 
 def test_crash_and_restart_preserve_staleness_bound(cluster_factory):
-    """Kill a replica mid-load, then restart it: clients steer around the
-    crash within the retry budget, and the rejoined (state-wiped) replica
-    never causes a stale or fabricated read — its stale answers are simply
-    short of the b+1 vouch threshold."""
+    """The *non-durable* crash/restart regression: without ``data_root`` a
+    restarted replica rejoins with its state wiped, so each follow-up run
+    must chain ``initial_pair`` from the previous run's ``final_pair`` to
+    tell the checker what is legitimately readable.  Even so, the
+    state-wiped replica never causes a stale or fabricated read — its
+    stale answers are simply short of the b+1 vouch threshold.  (Durable
+    clusters need none of this chaining; see the ``durable`` tests below.)
+    """
     cluster = cluster_factory(ClusterSpec(THRESHOLD_5))
     before = _drive(cluster, operations=40, clients=4)
     assert before.check.ok and len(before.successful) == 40
@@ -180,6 +184,10 @@ def test_crash_and_restart_preserve_staleness_bound(cluster_factory):
 
     cluster.restart(2)
     assert cluster.replicas[2].alive
+    # Memory-only: the rejoined replica really did lose everything.
+    status = asyncio.run(cluster.status(2))
+    assert status["storage"] == {"durable": False}
+    assert status["ts"] == [0, -1]
     after = _drive(
         cluster, operations=60, clients=4, seed=13, initial_pair=during.final_pair
     )
@@ -188,6 +196,104 @@ def test_crash_and_restart_preserve_staleness_bound(cluster_factory):
     # The restarted replica answers protocol traffic again.
     metrics = asyncio.run(cluster.metrics(2))
     assert sum(metrics["operations"].values()) > 0
+
+
+# ----------------------------------------------------------------------
+# Durable clusters: crash recovery from the write-ahead log.
+# ----------------------------------------------------------------------
+def test_durable_replica_recovers_from_wal_mid_run(cluster_factory, tmp_path):
+    """The live durability demo: five durable replicas under open-loop
+    load, one SIGKILLed mid-run and restarted from its write-ahead log
+    while traffic continues.  The merged history must pass the register
+    checker, and recovery conformance must confirm the journal-before-ack
+    contract: the replica rejoined with a timestamp at least as new as
+    every write it ever acked."""
+    cluster = cluster_factory(
+        ClusterSpec(THRESHOLD_5, data_root=str(tmp_path / "state"), fsync="always")
+    )
+
+    async def scenario():
+        task = asyncio.create_task(
+            run_load(
+                cluster.system,
+                cluster.endpoints(),
+                b=cluster.b,
+                operations=240,
+                clients=6,
+                mode="open",
+                rate=120.0,  # ~2s of scheduled arrivals: room for the crash
+                policy=RetryPolicy(request_timeout=2.0),
+                seed=7,
+                replica_endpoints=[
+                    {"index": h.index, "host": h.host, "port": h.port}
+                    for h in cluster.replicas
+                ],
+            )
+        )
+        await asyncio.sleep(0.6)
+        cluster.kill(2)
+        await asyncio.sleep(0.3)
+        await asyncio.to_thread(cluster.restart, 2)
+        result = await task
+        status = await cluster.status(2)
+        return result, status
+
+    result, status = asyncio.run(scenario())
+    assert result.check.ok, result.check.violations
+    assert len(result.successful) == 240
+    # STATUS surfaces the storage health of the recovered store.
+    storage = status["storage"]
+    assert storage["durable"] is True
+    assert storage["fsync"] == "always"
+    assert storage["recovery_dropped_bytes"] == 0  # SIGKILL leaves no torn tail
+    # The journal-before-ack contract, checked exactly (no slack).
+    report = recovery_conformance(
+        result,
+        server_id=cluster.system.universe.element_at(2),
+        recovered_timestamp=status["ts"],
+    )
+    failed = [c.metric for c in report.checks if not c.ok]
+    assert report.ok, failed
+
+
+def test_durable_cluster_full_restart_needs_no_chaining(cluster_factory, tmp_path):
+    """Kill *all five* replicas, restart them from their stores: the
+    b+1-vouched discovery recovers exactly the pre-crash register, and a
+    follow-up run passes the checker **without** any client-side
+    ``initial_pair`` chaining from the previous run object."""
+    cluster = cluster_factory(
+        ClusterSpec(THRESHOLD_5, data_root=str(tmp_path / "state"), snapshot_every=8)
+    )
+    before = _drive(cluster, operations=40, clients=4)
+    assert before.check.ok and len(before.successful) == 40
+
+    for index in range(5):
+        cluster.kill(index)
+    for index in range(5):
+        cluster.restart(index)
+
+    # Server-side discovery replaces the old chaining: the recovered state
+    # is vouched for by b+1 restarted replicas, not remembered by a client.
+    discovered = asyncio.run(cluster.discover_pair())
+    assert discovered is not None
+    assert discovered == before.final_pair
+
+    after = _drive(cluster, operations=60, clients=4, seed=13, initial_pair=discovered)
+    assert after.check.ok, after.check.violations
+    assert len(after.successful) == 60
+
+    status = asyncio.run(cluster.status(1))
+    report = recovery_conformance(
+        before,
+        server_id=cluster.system.universe.element_at(1),
+        recovered_timestamp=status["ts"],
+        post_result=after,
+    )
+    failed = [c.metric for c in report.checks if not c.ok]
+    assert report.ok, failed
+    assert {"recovered-timestamp", "post-restart-fabricated", "post-restart-stale-rate"} <= {
+        c.metric for c in report.checks
+    }
 
 
 def test_byzantine_overload_requires_explicit_opt_in():
